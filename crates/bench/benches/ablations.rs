@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! unrolled vs strip-mined vs naive kernels, BCRS vs scalar CSR,
+//! Morton/RCM ordering vs random labels, and coordinate vs RCB
+//! partition quality (reported as throughput of the halo-bound kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrhs_sparse::gspmv::{gspmv_serial_generic, gspmv_serial_naive};
+use mrhs_sparse::reorder::{permute_symmetric, reverse_cuthill_mckee};
+use mrhs_sparse::{gspmv_serial, BcrsMatrix, CsrMatrix, MultiVec, SymmetricBcrs};
+use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
+
+fn sd_matrix(n: usize) -> BcrsMatrix {
+    let sys = SystemBuilder::new(n)
+        .volume_fraction(0.5)
+        .seed(20120521)
+        .build();
+    assemble_resistance(sys.particles(), &ResistanceConfig::default())
+}
+
+/// Kernel variants at m = 16: monomorphized vs strip-mined generic vs
+/// fully-runtime naive.
+fn bench_kernel_variants(c: &mut Criterion) {
+    let a = sd_matrix(2000);
+    let n = a.n_rows();
+    let m = 16;
+    let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+    let mut y = MultiVec::zeros(n, m);
+    let mut group = c.benchmark_group("kernel_variants_m16");
+    group.sample_size(20);
+    group.bench_function("specialized", |b| {
+        b.iter(|| gspmv_serial(&a, &x, &mut y));
+    });
+    group.bench_function("strip_mined_generic", |b| {
+        b.iter(|| gspmv_serial_generic(&a, &x, &mut y));
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| gspmv_serial_naive(&a, &x, &mut y));
+    });
+    group.finish();
+}
+
+/// BCRS 3×3 blocks vs scalar CSR on the same matrix — the format choice
+/// the paper bases on the natural block structure.
+fn bench_bcrs_vs_csr(c: &mut Criterion) {
+    let a = sd_matrix(2000);
+    let csr = CsrMatrix::from(&a);
+    let n = a.n_rows();
+    let mut group = c.benchmark_group("format_m8");
+    group.sample_size(20);
+    let x = MultiVec::from_flat(n, 8, vec![1.0; n * 8]);
+    let mut y = MultiVec::zeros(n, 8);
+    group.bench_function("bcrs", |b| b.iter(|| gspmv_serial(&a, &x, &mut y)));
+    group.bench_function("csr", |b| b.iter(|| csr.gspmv(&x, &mut y)));
+    group.finish();
+}
+
+/// Ordering ablation: the Morton-labelled SD matrix vs a randomly
+/// relabelled copy vs RCM — locality of `x` accesses (the `k(m)` term).
+fn bench_ordering(c: &mut Criterion) {
+    let a = sd_matrix(2000);
+    let nb = a.nb_rows();
+    // random relabelling (deterministic shuffle)
+    let mut perm: Vec<usize> = (0..nb).collect();
+    let mut state = 12345u64;
+    for i in (1..nb).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        perm.swap(i, (state as usize) % (i + 1));
+    }
+    let shuffled = permute_symmetric(&a, &perm);
+    let rcm = permute_symmetric(&shuffled, &reverse_cuthill_mckee(&shuffled));
+
+    let n = a.n_rows();
+    let m = 8;
+    let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+    let mut y = MultiVec::zeros(n, m);
+    let mut group = c.benchmark_group("ordering_m8");
+    group.sample_size(20);
+    group.bench_function("morton", |b| b.iter(|| gspmv_serial(&a, &x, &mut y)));
+    group.bench_function("random", |b| {
+        b.iter(|| gspmv_serial(&shuffled, &x, &mut y))
+    });
+    group.bench_function("rcm", |b| b.iter(|| gspmv_serial(&rcm, &x, &mut y)));
+    group.finish();
+}
+
+/// Symmetric (half) storage vs full storage — the symmetry the paper
+/// leaves unexploited. Halves the matrix stream at the cost of
+/// scattered writes.
+fn bench_symmetric_storage(c: &mut Criterion) {
+    let a = sd_matrix(2000);
+    let s = SymmetricBcrs::from_full(&a, 1e-9).expect("SD matrices are symmetric");
+    let n = a.n_rows();
+    let mut group = c.benchmark_group("symmetry_m8");
+    group.sample_size(20);
+    let x = MultiVec::from_flat(n, 8, vec![1.0; n * 8]);
+    let mut y = MultiVec::zeros(n, 8);
+    group.bench_function("full", |b| b.iter(|| gspmv_serial(&a, &x, &mut y)));
+    group.bench_function("half", |b| b.iter(|| s.gspmv(&x, &mut y)));
+    group.finish();
+}
+
+/// Assembly cost vs particle count (the per-step `Construct R_k` cost).
+fn bench_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let sys = SystemBuilder::new(n)
+            .volume_fraction(0.5)
+            .seed(20120521)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                assemble_resistance(sys.particles(), &ResistanceConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_variants,
+    bench_bcrs_vs_csr,
+    bench_ordering,
+    bench_symmetric_storage,
+    bench_assembly
+);
+criterion_main!(benches);

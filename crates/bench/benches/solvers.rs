@@ -1,0 +1,77 @@
+//! Criterion benches of the solver stack on SD resistance matrices:
+//! block CG vs independent CG solves (the MRHS workhorse comparison)
+//! and the Chebyshev Brownian-force evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrhs_solvers::{block_cg, cg, spectral_bounds, ChebyshevSqrt, SolveConfig};
+use mrhs_sparse::{BcrsMatrix, MultiVec};
+use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
+
+fn sd_matrix(n: usize) -> BcrsMatrix {
+    let sys = SystemBuilder::new(n)
+        .volume_fraction(0.4)
+        .seed(20120521)
+        .build();
+    assemble_resistance(sys.particles(), &ResistanceConfig::default())
+}
+
+fn rhs(n: usize, m: usize) -> MultiVec {
+    let mut state = 99u64;
+    let mut mv = MultiVec::zeros(n, m);
+    for v in mv.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    mv
+}
+
+/// Block CG with m RHS vs m independent CG solves — the matrix-traffic
+/// amortization the MRHS algorithm banks on.
+fn bench_block_vs_single(c: &mut Criterion) {
+    let a = sd_matrix(400);
+    let n = a.n_rows();
+    let cfg = SolveConfig { tol: 1e-6, max_iter: 2000 };
+    let mut group = c.benchmark_group("solve_8_rhs");
+    group.sample_size(10);
+    let b = rhs(n, 8);
+    group.bench_function("block_cg", |bch| {
+        bch.iter(|| {
+            let mut x = MultiVec::zeros(n, 8);
+            block_cg(&a, &b, &mut x, &cfg)
+        });
+    });
+    group.bench_function("8x_cg", |bch| {
+        bch.iter(|| {
+            for j in 0..8 {
+                let mut x = vec![0.0; n];
+                cg(&a, &b.column(j), &mut x, &cfg);
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Chebyshev matrix square root: single vector vs a block of 8 — the
+/// "Cheb single" vs "Cheb vectors" rows of Tables VI/VII.
+fn bench_chebyshev(c: &mut Criterion) {
+    let a = sd_matrix(400);
+    let n = a.n_rows();
+    let g = (a.gershgorin_lower_bound(), a.gershgorin_upper_bound());
+    let bounds = spectral_bounds(&a, 20, Some(g));
+    let cheb = ChebyshevSqrt::new(bounds.lo, bounds.hi, 30);
+    let mut group = c.benchmark_group("chebyshev_sqrt");
+    group.sample_size(10);
+    for &m in &[1usize, 8, 16] {
+        let z = rhs(n, m);
+        let mut y = MultiVec::zeros(n, m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| cheb.apply_multi(&a, &z, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_vs_single, bench_chebyshev);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Multi-node experiments: Fig. 3, Fig. 4, Table III.
+//!
+//! The functional halo exchange runs in-process (see `mrhs-cluster`);
+//! times come from the calibrated cluster model with the paper's
+//! machine and InfiniBand constants, so node counts up to 64 are
+//! reproducible without the cluster.
+
+use crate::common::{f, sd_system_and_matrix, section, Options, TABLE1_CUTOFFS};
+use mrhs_cluster::{ClusterGspmvModel, ClusterMrhsModel, DistributedMatrix};
+use mrhs_perfmodel::mrhs_model::SolveCounts;
+use mrhs_sparse::partition::coordinate_partition;
+
+fn distribute(
+    opts: &Options,
+    s_cut: f64,
+    nodes: usize,
+) -> DistributedMatrix {
+    let (system, a) = sd_system_and_matrix(opts.particles, s_cut, opts.seed);
+    let part = coordinate_partition(
+        &a,
+        system.particles().positions(),
+        system.particles().box_lengths(),
+        nodes,
+    );
+    DistributedMatrix::new(&a, &part)
+}
+
+/// Volume factor projecting the generated structure to the paper's
+/// 300,000 particles (1.0 when running with `--full`).
+fn paper_scale(opts: &Options) -> f64 {
+    300_000.0 / opts.particles as f64
+}
+
+/// Fig. 3: r(m) for mat1 and mat2 on 1/4/16/64 nodes.
+pub fn fig3(opts: &Options) {
+    let model = ClusterGspmvModel::paper_cluster();
+    let ms = [1usize, 2, 4, 8, 16, 24, 32];
+    for (name, s_cut, _) in [TABLE1_CUTOFFS[0], TABLE1_CUTOFFS[1]] {
+        section(&format!("Fig. 3: relative time r(m, p) for {name}"));
+        let node_counts = [1usize, 4, 16, 64];
+        let scale = paper_scale(opts);
+        let dms: Vec<DistributedMatrix> = node_counts
+            .iter()
+            .map(|&p| distribute(opts, s_cut, p))
+            .collect();
+        print!("{:>4}", "m");
+        for p in node_counts {
+            print!(" {:>9}", format!("p={p}"));
+        }
+        println!();
+        for &m in &ms {
+            print!("{m:>4}");
+            for dm in &dms {
+                print!(" {:>9}", f(model.relative_time_scaled(dm, m, scale)));
+            }
+            println!();
+        }
+    }
+}
+
+/// Fig. 4: the trend of r(m) versus node count — a slight rise at small
+/// node counts (halo gather cost), then a drop at large counts where
+/// latency dominates and extra vectors are nearly free.
+pub fn fig4(opts: &Options) {
+    section("Fig. 4: relative time vs number of nodes (mat1)");
+    let model = ClusterGspmvModel::paper_cluster();
+    let scale = paper_scale(opts);
+    let node_counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let ms = [4usize, 8, 16, 32];
+    print!("{:>6}", "nodes");
+    for m in ms {
+        print!(" {:>9}", format!("r(m={m})"));
+    }
+    println!();
+    for &p in &node_counts {
+        let dm = distribute(opts, TABLE1_CUTOFFS[0].1, p);
+        print!("{p:>6}");
+        for &m in &ms {
+            print!(" {:>9}", f(model.relative_time_scaled(&dm, m, scale)));
+        }
+        println!();
+    }
+}
+
+/// Table III: communication time fraction for mat1 at 32 and 64 nodes.
+/// Paper: 88/76/52% at 32 nodes and 97/90/67% at 64 nodes for
+/// m = 1/8/32.
+pub fn table3(opts: &Options) {
+    section("Table III: GSPMV communication time fractions (mat1, projected to 300k particles)");
+    let model = ClusterGspmvModel::paper_cluster();
+    let scale = paper_scale(opts);
+    let ms = [1usize, 8, 32];
+    let paper = [[88, 76, 52], [97, 90, 67]];
+    println!("{:>8} {:>8} {:>8} {:>8}   (paper)", "nodes", "m=1", "m=8", "m=32");
+    for (row, &p) in [32usize, 64].iter().enumerate() {
+        let dm = distribute(opts, TABLE1_CUTOFFS[0].1, p);
+        print!("{p:>8}");
+        for &m in &ms {
+            print!(" {:>7.0}%", 100.0 * model.comm_fraction_scaled(&dm, m, scale));
+        }
+        println!(
+            "   ({}%/{}%/{}%)",
+            paper[row][0], paper[row][1], paper[row][2]
+        );
+    }
+}
+
+/// Multi-node MRHS projection (beyond the paper's evaluation — the
+/// distributed SD code it defers): Eq. 9 with the cluster GSPMV model.
+pub fn cluster_mrhs(opts: &Options) {
+    section("Multi-node MRHS projection (Eq. 9 x cluster model, mat2, 300k scale)");
+    let model = ClusterMrhsModel {
+        gspmv: ClusterGspmvModel::paper_cluster(),
+        counts: SolveCounts::fig7(),
+        block_fraction: 2.0 / 3.0,
+    };
+    let scale = paper_scale(opts);
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>10}",
+        "nodes", "optimal m", "T_mrhs [ms]", "T_orig [ms]", "speedup"
+    );
+    for p in [1usize, 4, 16, 64] {
+        let dm = distribute(opts, TABLE1_CUTOFFS[1].1, p);
+        let (m, s) = model.predicted_speedup(&dm, 32, scale);
+        println!(
+            "{p:>6} {m:>12} {:>14} {:>14} {:>9.2}x",
+            f(model.tmrhs(&dm, m, scale) * 1e3),
+            f(model.toriginal(&dm, scale) * 1e3),
+            s
+        );
+    }
+    println!("(the paper defers distributed SD; this composes its two validated models)");
+}
+
+/// Functional check printed alongside the model: the distributed
+/// multiply with real halo exchange must agree with the serial kernel.
+pub fn verify_exchange(opts: &Options) {
+    section("Distributed GSPMV functional check (real halo exchange)");
+    let dm = distribute(opts, TABLE1_CUTOFFS[0].1, 8);
+    let n = dm.nb_rows() * 3;
+    let m = 8;
+    let mut x = mrhs_sparse::MultiVec::zeros(n, m);
+    let mut state = 1u64;
+    for v in x.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    let (y, stats) = mrhs_cluster::exchange::execute(&dm, &x);
+    println!(
+        "8 nodes, m = {m}: {} halo bytes over {} messages, |Y|max = {:.3}",
+        stats.total_bytes(),
+        stats.recv_messages.iter().sum::<usize>(),
+        y.max_abs()
+    );
+}

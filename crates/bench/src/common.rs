@@ -1,0 +1,148 @@
+//! Shared experiment plumbing: workload generation, option parsing,
+//! table printing.
+
+use mrhs_sparse::BcrsMatrix;
+use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
+
+/// Command-line options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Base particle count (the paper's 300,000 scaled down by default
+    /// so every experiment finishes on a laptop; pass `--full` or
+    /// `--particles N` to scale up).
+    pub particles: usize,
+    /// Measurement repetitions for timed kernels.
+    pub reps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { particles: 2000, reps: 5, seed: 20120521 }
+    }
+}
+
+impl Options {
+    /// Parses `--particles N`, `--reps N`, `--seed N`, `--full` from the
+    /// argument list (unknown arguments are ignored by design so every
+    /// subcommand accepts the same flags).
+    pub fn parse(args: &[String]) -> Options {
+        let mut o = Options::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--particles" => {
+                    o.particles = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--particles needs a number");
+                }
+                "--reps" => {
+                    o.reps = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--reps needs a number");
+                }
+                "--seed" => {
+                    o.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--full" => o.particles = 300_000,
+                _ => {}
+            }
+        }
+        o
+    }
+}
+
+/// The three matrix flavours of Table I, produced (as in the paper) by
+/// changing the interaction cutoff of the SD generator.
+pub const TABLE1_CUTOFFS: [(&str, f64, f64); 3] = [
+    // (name, s_cut, paper nnzb/nb)
+    ("mat1", 2.25, 5.6),
+    ("mat2", 3.2, 24.9),
+    ("mat3", 4.1, 45.3),
+];
+
+thread_local! {
+    static PACKED: std::cell::RefCell<
+        std::collections::HashMap<(usize, u64), mrhs_stokes::ParticleSystem>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Packs (and memoizes) the standard 50%-occupancy particle system —
+/// packing is the slow part and is independent of the matrix cutoff.
+pub fn packed_system(n: usize, seed: u64) -> mrhs_stokes::ParticleSystem {
+    PACKED.with(|cache| {
+        cache
+            .borrow_mut()
+            .entry((n, seed))
+            .or_insert_with(|| {
+                SystemBuilder::new(n)
+                    .volume_fraction(0.5)
+                    .seed(seed)
+                    .build()
+                    .particles()
+                    .clone()
+            })
+            .clone()
+    })
+}
+
+/// Generates a Table I-style matrix: `n` particles at 50% occupancy with
+/// the given cutoff.
+pub fn sd_matrix(n: usize, s_cut: f64, seed: u64) -> BcrsMatrix {
+    let particles = packed_system(n, seed);
+    assemble_resistance(
+        &particles,
+        &ResistanceConfig { s_cut, ..Default::default() },
+    )
+}
+
+/// Particle count for *kernel timing* experiments: at least 12,000 so
+/// the matrices exceed any last-level cache and SPMV is genuinely
+/// streaming from DRAM (Table II / Fig. 2 are bandwidth statements).
+pub fn kernel_particles(opts: &Options) -> usize {
+    opts.particles.max(12_000)
+}
+
+/// Generates the particle system and matrix together (the partitioners
+/// need coordinates).
+pub fn sd_system_and_matrix(
+    n: usize,
+    s_cut: f64,
+    seed: u64,
+) -> (mrhs_stokes::StokesianSystem, BcrsMatrix) {
+    let system = SystemBuilder::new(n)
+        .volume_fraction(0.5)
+        .s_cut(s_cut)
+        .seed(seed)
+        .build();
+    let m = assemble_resistance(
+        system.particles(),
+        &ResistanceConfig { s_cut, ..Default::default() },
+    );
+    (system, m)
+}
+
+/// Prints a header line for an experiment section.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Formats a float column to a fixed width.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "-".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}

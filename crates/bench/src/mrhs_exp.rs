@@ -1,0 +1,370 @@
+//! End-to-end MRHS experiments: Tables VI, VII, VIII, Fig. 7, Fig. 8.
+
+use crate::common::{f, section, Options, TABLE1_CUTOFFS};
+use mrhs_core::tuning::{
+    detect_switch_point, optimal_m_from_costs, tmrhs, toriginal, IterationCounts,
+};
+use mrhs_core::{run_mrhs_chunk, run_original_step, MrhsConfig, TimingBreakdown};
+use mrhs_perfmodel::measure::{host_profile, time_gspmv};
+use mrhs_perfmodel::mrhs_model::{MrhsModel, SolveCounts};
+use mrhs_perfmodel::{GspmvModel, MachineProfile};
+use mrhs_stokes::{
+    assemble_resistance, GaussianNoise, ResistanceConfig, StokesianSystem,
+    SystemBuilder,
+};
+
+fn build(n: usize, phi: f64, seed: u64) -> (StokesianSystem, GaussianNoise) {
+    SystemBuilder::new(n).volume_fraction(phi).seed(seed).build_with_noise()
+}
+
+/// Runs `steps` of the MRHS algorithm (in chunks of `m`) and the same
+/// number of baseline steps on an identical system, returning the two
+/// timing breakdowns and the measured iteration counts
+/// `(N, N1, N2)`.
+type BothTimings = (TimingBreakdown, TimingBreakdown, IterationCounts);
+
+fn run_both(n: usize, phi: f64, seed: u64, m: usize, chunks: usize) -> BothTimings {
+    let cfg = MrhsConfig { m, ..Default::default() };
+
+    let (mut sys, mut noise) = build(n, phi, seed);
+    let mut mrhs = TimingBreakdown::default();
+    let (mut n1_sum, mut n1_cnt) = (0usize, 0usize);
+    let (mut n2_sum, mut n2_cnt) = (0usize, 0usize);
+    for _ in 0..chunks {
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        for (k, s) in report.steps.iter().enumerate() {
+            mrhs.add_step(&s.timings);
+            if k > 0 {
+                n1_sum += s.first_solve_iterations;
+                n1_cnt += 1;
+            }
+            n2_sum += s.second_solve_iterations;
+            n2_cnt += 1;
+        }
+    }
+
+    let (mut sys2, mut noise2) = build(n, phi, seed);
+    let mut orig = TimingBreakdown::default();
+    let mut cache = None;
+    let (mut n_sum, mut n_cnt) = (0usize, 0usize);
+    for _ in 0..m * chunks {
+        let s = run_original_step(&mut sys2, &mut noise2, &cfg, &mut cache);
+        orig.add_step(&s.timings);
+        n_sum += s.first_solve_iterations;
+        n_cnt += 1;
+    }
+
+    let counts = IterationCounts {
+        cold: (n_sum as f64 / n_cnt.max(1) as f64).round() as usize,
+        warm_first: (n1_sum as f64 / n1_cnt.max(1) as f64).round() as usize,
+        warm_second: (n2_sum as f64 / n2_cnt.max(1) as f64).round() as usize,
+        cheb_order: cfg.cheb_order,
+    };
+    (mrhs, orig, counts)
+}
+
+type CategoryGetter = fn(&TimingBreakdown) -> f64;
+
+fn print_breakdown_pair(
+    labels: &[String],
+    pairs: &[(TimingBreakdown, TimingBreakdown)],
+) {
+    println!("{:<14} {}", "", labels.join("  |  "));
+    let rows: [(&str, CategoryGetter); 6] = [
+        ("Cheb vectors", |b| b.category_averages().0),
+        ("Calc guesses", |b| b.category_averages().1),
+        ("Cheb single", |b| b.category_averages().2),
+        ("1st solve", |b| b.category_averages().3),
+        ("2nd solve", |b| b.category_averages().4),
+        ("Average", |b| b.average_per_step()),
+    ];
+    for (name, get) in rows {
+        print!("{name:<14}");
+        for (mrhs, orig) in pairs {
+            print!(
+                " mrhs {:>8}  orig {:>8}",
+                f(get(mrhs)),
+                if name == "Cheb vectors" || name == "Calc guesses" {
+                    "-".to_string()
+                } else {
+                    f(get(orig))
+                }
+            );
+        }
+        println!();
+    }
+    print!("{:<14}", "Speedup");
+    for (mrhs, orig) in pairs {
+        print!(
+            " {:>23}x",
+            f(orig.average_per_step() / mrhs.average_per_step())
+        );
+    }
+    println!("   (paper: 1.1x-1.4x)");
+}
+
+/// Measures the per-iteration cost of block CG beyond the GSPMV: the
+/// Gram reductions and dense updates, `O(n·m²)` each. The paper's Eq. 9
+/// treats a block iteration as one GSPMV; on hosts where the matrix is
+/// cache-resident these BLAS-like terms are not negligible, so the
+/// `m`-selection here prices them in.
+fn block_iteration_overhead(n_scalar: usize, m: usize, reps: usize) -> f64 {
+    use mrhs_sparse::MultiVec;
+    use std::time::Instant;
+    let a = MultiVec::from_flat(n_scalar, m, vec![1.0; n_scalar * m]);
+    let mut b = a.clone();
+    let c = vec![0.5; m * m];
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        let t = Instant::now();
+        // one block-CG iteration's worth: 2 grams, 2 X-updates, 1 P-update
+        std::hint::black_box(a.gram(&b));
+        std::hint::black_box(a.gram(&a));
+        b.add_mul_dense(&a, &c);
+        b.add_mul_dense(&a, &c);
+        b.assign_add_mul_dense(&a, &c);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Picks the number of right-hand sides for this host and system via
+/// Eq. 9 on a measured *effective* block-iteration cost curve (GSPMV
+/// plus the dense block-CG terms) — the procedure §V-B3 prescribes,
+/// with the implementation overhead priced in. A short probe chunk
+/// supplies the iteration counts.
+fn pick_m(n: usize, phi: f64, opts: &Options) -> (usize, Vec<(usize, f64)>, IterationCounts) {
+    let (sys, _) = build(n, phi, opts.seed);
+    let a = assemble_resistance(sys.particles(), &ResistanceConfig::default());
+    let n_scalar = a.n_rows();
+    let costs: Vec<(usize, f64)> = [1usize, 2, 4, 8, 12, 16]
+        .iter()
+        .map(|&m| {
+            let t = time_gspmv(&a, m, opts.reps.max(3))
+                + if m > 1 {
+                    block_iteration_overhead(n_scalar, m, opts.reps)
+                } else {
+                    0.0
+                };
+            (m, t)
+        })
+        .collect();
+    let (_, _, counts) = run_both(n, phi, opts.seed, 4, 1);
+    let m = optimal_m_from_costs(&costs, &counts).clamp(2, 16);
+    (m, costs, counts)
+}
+
+/// Deterministic Eq. 9 speedup from stable quantities: measured
+/// iteration counts and the min-estimator cost curve. This is robust to
+/// scheduler noise, unlike single-run wall-clock ratios on a shared
+/// machine.
+fn eq9_speedup(costs: &[(usize, f64)], counts: &IterationCounts, m: usize) -> f64 {
+    let t1 = costs[0].1;
+    let t_m = costs
+        .iter()
+        .find(|(mm, _)| *mm == m)
+        .map(|(_, t)| *t)
+        .unwrap_or_else(|| costs.last().unwrap().1);
+    // The block solve stops at guess_tol = 1e-4 instead of 1e-6, so it
+    // takes about log(1e4)/log(1e6) = 2/3 of the cold iteration count.
+    let block = IterationCounts {
+        cold: (counts.cold as f64 * 2.0 / 3.0).round() as usize,
+        ..*counts
+    };
+    toriginal(t1, counts) / tmrhs(m, t_m, t1, &block)
+}
+
+/// Table VI: per-step timing breakdown vs problem size at 50%
+/// occupancy. Paper sizes 3k/30k/300k; ours scale with `--particles`.
+/// `m` is chosen per system by Eq. 9, as the paper prescribes (§V-B3);
+/// the paper's own runs used m = 16 at 300k scale.
+pub fn table6(opts: &Options) {
+    let sizes = [
+        (opts.particles / 20).max(100),
+        (opts.particles / 5).max(300),
+        opts.particles,
+    ];
+    section(&format!(
+        "Table VI: timing breakdown per step vs problem size {sizes:?} (50%)"
+    ));
+    for &n in &sizes {
+        let (m, costs, probe_counts) = pick_m(n, 0.5, opts);
+        let (mrhs, orig, counts) = run_both(n, 0.5, opts.seed, m, 2);
+        println!("\n-- {n} particles (m={m}, N={}, N1={}, N2={}) --",
+            counts.cold, counts.warm_first, counts.warm_second);
+        print_breakdown_pair(
+            &[format!("{n} particles")],
+            &[(mrhs, orig)],
+        );
+        println!(
+            "Eq.9 speedup from measured counts + cost curve: {:.2}x",
+            eq9_speedup(&costs, &probe_counts, m)
+        );
+    }
+}
+
+/// Table VII: per-step timing breakdown vs volume occupancy at fixed
+/// size. Paper: speedups grow with occupancy (1.06x → 1.23x → 1.41x).
+pub fn table7(opts: &Options) {
+    let n = opts.particles;
+    section(&format!(
+        "Table VII: timing breakdown per step vs occupancy ({n} particles)"
+    ));
+    for phi in [0.1, 0.3, 0.5] {
+        let (m, costs, probe_counts) = pick_m(n, phi, opts);
+        let (mrhs, orig, counts) = run_both(n, phi, opts.seed, m, 2);
+        println!("\n-- occupancy {phi} (m={m}, N={}, N1={}, N2={}) --",
+            counts.cold, counts.warm_first, counts.warm_second);
+        print_breakdown_pair(&[format!("phi={phi}")], &[(mrhs, orig)]);
+        println!(
+            "Eq.9 speedup from measured counts + cost curve: {:.2}x",
+            eq9_speedup(&costs, &probe_counts, m)
+        );
+    }
+}
+
+/// Fig. 7: predicted vs achieved average step time as a function of m.
+pub fn fig7(opts: &Options) {
+    let n = opts.particles;
+    section(&format!(
+        "Fig. 7: predicted vs achieved average step time vs m ({n} particles, 50%)"
+    ));
+    // Measure the GSPMV cost curve of this system's matrix.
+    let (sys, _) = build(n, 0.5, opts.seed);
+    let a = assemble_resistance(sys.particles(), &ResistanceConfig::default());
+    let ms = [1usize, 2, 4, 8, 12, 16, 24, 32];
+    let costs: Vec<(usize, f64)> =
+        ms.iter().map(|&m| (m, time_gspmv(&a, m, opts.reps))).collect();
+
+    // Measure iteration counts once (m = 16 chunk).
+    let (_, _, counts) = run_both(n, 0.5, opts.seed, 16, 1);
+    println!(
+        "measured counts: N = {}, N1 = {}, N2 = {}, Cmax = {}",
+        counts.cold, counts.warm_first, counts.warm_second, counts.cheb_order
+    );
+
+    // Model curves with the host profile.
+    let host = host_profile();
+    let model = MrhsModel {
+        gspmv: GspmvModel::new(&a.stats(), host),
+        counts: SolveCounts {
+            cold: counts.cold,
+            warm_first: counts.warm_first,
+            warm_second: counts.warm_second,
+            cheb_order: counts.cheb_order,
+        },
+    };
+
+    let t1 = costs[0].1;
+    // Normalize the model to the measured single-vector time: on hosts
+    // with very large LLCs the matrices are cache-resident and the
+    // DRAM-bandwidth model over-predicts absolute times; the *shape*
+    // (where the minimum falls) is the prediction of interest, exactly
+    // as in the paper's Fig. 7.
+    let norm = t1 / model.gspmv.time(1);
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12}   (model scaled by {:.2})",
+        "m", "achieved*", "predicted", "bw-estimate", "comp-estimate", norm
+    );
+    for &(m, t_m) in &costs {
+        // "Achieved" via Eq. 9 on the *measured* cost curve (the true
+        // end-to-end runs appear in Tables VI/VII); predicted uses the
+        // model curve scaled to the measured T(1).
+        println!(
+            "{m:>4} {:>12} {:>12} {:>12} {:>12}",
+            f(tmrhs(m, t_m, t1, &counts)),
+            f(model.tmrhs(m) * norm),
+            f(model.tmrhs_bandwidth(m) * norm),
+            f(model.tmrhs_compute(m) * norm)
+        );
+    }
+    println!(
+        "original algorithm: measured-curve {} / model {}",
+        f(toriginal(t1, &counts)),
+        f(model.toriginal() * norm)
+    );
+    let mo_measured = optimal_m_from_costs(&costs, &counts);
+    let mo_model = model.m_optimal(32);
+    println!("m_optimal: measured-curve {mo_measured}, model {mo_model}");
+}
+
+/// Table VIII: the switch point `m_s` vs the optimal `m` across several
+/// systems. Paper: they are within 1–3 of each other everywhere.
+pub fn table8(opts: &Options) {
+    section("Table VIII: m_s vs m_optimal for different systems");
+    let host = host_profile();
+    let systems: [(usize, f64); 5] = [
+        ((opts.particles / 20).max(100), 0.5),
+        ((opts.particles / 5).max(300), 0.5),
+        (opts.particles, 0.1),
+        (opts.particles, 0.3),
+        (opts.particles, 0.5),
+    ];
+    println!(
+        "{:>10} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "particles", "phi", "ms(model)", "ms(meas.)", "mo(model)", "mo(meas.)"
+    );
+    for (n, phi) in systems {
+        let (sys, _) = build(n, phi, opts.seed);
+        let a = assemble_resistance(sys.particles(), &ResistanceConfig::default());
+        let gspmv = GspmvModel::new(&a.stats(), host);
+        let ms_model = gspmv.switch_point();
+
+        let mvals = [1usize, 2, 4, 8, 12, 16, 24, 32];
+        let costs: Vec<(usize, f64)> = mvals
+            .iter()
+            .map(|&m| (m, time_gspmv(&a, m, opts.reps)))
+            .collect();
+        let curve: Vec<(usize, f64)> =
+            costs.iter().map(|&(m, t)| (m, t / costs[0].1)).collect();
+        let ms_measured = detect_switch_point(&curve);
+
+        let (_, _, counts) = run_both(n, phi, opts.seed, 8, 1);
+        let model = MrhsModel {
+            gspmv,
+            counts: SolveCounts {
+                cold: counts.cold,
+                warm_first: counts.warm_first,
+                warm_second: counts.warm_second,
+                cheb_order: counts.cheb_order,
+            },
+        };
+        let mo_model = model.m_optimal(32);
+        let mo_measured = optimal_m_from_costs(&costs, &counts);
+        println!(
+            "{n:>10} {phi:>6} {:>12} {ms_measured:>12} {mo_model:>12} {mo_measured:>12}",
+            ms_model.map_or("never".to_string(), |v| v.to_string()),
+        );
+    }
+}
+
+/// Fig. 8: (a) modeled GSPMV time vs thread count; (b) modeled MRHS
+/// speedup vs thread count. More threads raise compute throughput much
+/// faster than bandwidth, lowering B/F — extra vectors get cheaper, so
+/// the MRHS advantage grows (the paper's observation for large
+/// manycore nodes). The host of record has few cores, so this
+/// experiment replays the paper's WSM parameters.
+pub fn fig8(opts: &Options) {
+    section("Fig. 8: thread scaling (paper-machine model)");
+    let base = MachineProfile::wsm();
+    let density = TABLE1_CUTOFFS[1].2; // mat2-like
+    let counts = SolveCounts::fig7();
+    println!(
+        "{:>8} {:>8} {:>14} {:>14} {:>10}",
+        "threads", "B/F", "T_gspmv(16)", "rel. t(16)", "speedup"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let machine = base.with_threads(threads, 8);
+        let gspmv = GspmvModel::from_density(density, machine);
+        let model = MrhsModel { gspmv, counts };
+        println!(
+            "{threads:>8} {:>8.2} {:>14} {:>14} {:>9}x",
+            machine.byte_per_flop(),
+            f(gspmv.time(16) * 1e3),
+            f(gspmv.relative_time(16)),
+            f(model.predicted_speedup(32))
+        );
+    }
+    println!("(paper Fig. 8b: speedup grows with threads, ~1.3x at 8 threads)");
+    let _ = opts;
+}

@@ -1,0 +1,248 @@
+//! Row-partitioned matrix with halo bookkeeping.
+//!
+//! After partitioning, the global matrix is permuted so each node owns
+//! a contiguous block-row range, and each node's rows are rewritten
+//! onto a compact local column space: own rows first, then the halo
+//! (remote block rows it must receive), in sorted order. Off-node
+//! columns appear once in the halo regardless of how many local rows
+//! reference them — the deduplication that makes communication volume
+//! scale with the partition surface, not with nnz.
+
+use mrhs_sparse::partition::Partition;
+use mrhs_sparse::reorder::permute_symmetric;
+use mrhs_sparse::{BcrsMatrix, Block3};
+use std::ops::Range;
+
+/// One node's slice of the matrix.
+#[derive(Clone, Debug)]
+pub struct NodeMatrix {
+    /// Global (permuted) block rows owned: `range.start..range.end`.
+    pub rows: Range<usize>,
+    /// The local matrix: `rows.len()` block rows, and
+    /// `rows.len() + halo.len()` block columns in local indexing.
+    pub local: BcrsMatrix,
+    /// Global (permuted) block rows this node must receive, sorted.
+    pub halo: Vec<usize>,
+    /// Count of stored blocks whose column is owned locally (the part
+    /// of the multiply that can overlap communication).
+    pub nnzb_local: usize,
+    /// Count of stored blocks referencing halo columns.
+    pub nnzb_remote: usize,
+}
+
+/// A matrix distributed over `n_nodes` row partitions.
+#[derive(Clone, Debug)]
+pub struct DistributedMatrix {
+    nodes: Vec<NodeMatrix>,
+    /// `perm[new] = old` mapping from permuted to original block rows.
+    perm: Vec<usize>,
+    nb: usize,
+}
+
+impl DistributedMatrix {
+    /// Partitions and permutes `a` (square, symmetric pattern assumed)
+    /// according to `partition`.
+    pub fn new(a: &BcrsMatrix, partition: &Partition) -> Self {
+        assert_eq!(a.nb_rows(), a.nb_cols());
+        let perm = partition.permutation();
+        let permuted = permute_symmetric(a, &perm);
+        let nb = permuted.nb_rows();
+
+        // Contiguous ranges per node in the permuted ordering.
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        {
+            let parts = partition.parts();
+            let mut start = 0usize;
+            for p in &parts {
+                ranges.push(start..start + p.len());
+                start += p.len();
+            }
+            assert_eq!(start, nb);
+        }
+
+        let nodes = ranges
+            .iter()
+            .map(|range| build_node(&permuted, range.clone()))
+            .collect();
+
+        DistributedMatrix { nodes, perm, nb }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Global block-row count.
+    pub fn nb_rows(&self) -> usize {
+        self.nb
+    }
+
+    /// Per-node slices.
+    pub fn nodes(&self) -> &[NodeMatrix] {
+        &self.nodes
+    }
+
+    /// The permutation applied (`perm[new] = old`).
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The node owning permuted block row `row`.
+    pub fn owner_of(&self, row: usize) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| n.rows.contains(&row))
+            .expect("row out of range")
+    }
+
+    /// For node `p`: the halo rows grouped by owning peer, as
+    /// `(peer, rows)` with rows in the order they appear in `halo`.
+    pub fn recv_plan(&self, p: usize) -> Vec<(usize, Vec<usize>)> {
+        let mut plan: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &row in &self.nodes[p].halo {
+            let owner = self.owner_of(row);
+            debug_assert_ne!(owner, p);
+            match plan.iter_mut().find(|(q, _)| *q == owner) {
+                Some((_, rows)) => rows.push(row),
+                None => plan.push((owner, vec![row])),
+            }
+        }
+        plan
+    }
+
+    /// Total halo entries (block rows) each node receives; index = node.
+    pub fn recv_volumes(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.halo.len()).collect()
+    }
+}
+
+fn build_node(permuted: &BcrsMatrix, rows: Range<usize>) -> NodeMatrix {
+    let sub = permuted.submatrix(rows.clone());
+    let own = rows.len();
+
+    // Collect sorted unique halo columns.
+    let mut halo: Vec<usize> = sub
+        .col_idx()
+        .iter()
+        .map(|&c| c as usize)
+        .filter(|c| !rows.contains(c))
+        .collect();
+    halo.sort_unstable();
+    halo.dedup();
+
+    // Remap columns: own col c → c − rows.start; halo col → own + index.
+    let mut nnzb_local = 0usize;
+    let mut nnzb_remote = 0usize;
+    let mut row_ptr = vec![0usize; own + 1];
+    let mut col_idx: Vec<u32> = Vec::with_capacity(sub.nnz_blocks());
+    let mut blocks: Vec<Block3> = Vec::with_capacity(sub.nnz_blocks());
+    let mut entries: Vec<(u32, Block3)> = Vec::new();
+    for bi in 0..own {
+        let (cols, blks) = sub.block_row(bi);
+        entries.clear();
+        for (c, b) in cols.iter().zip(blks) {
+            let c = *c as usize;
+            let local_c = if rows.contains(&c) {
+                nnzb_local += 1;
+                c - rows.start
+            } else {
+                nnzb_remote += 1;
+                own + halo.binary_search(&c).unwrap()
+            };
+            entries.push((local_c as u32, *b));
+        }
+        entries.sort_unstable_by_key(|&(c, _)| c);
+        for (c, b) in &entries {
+            col_idx.push(*c);
+            blocks.push(*b);
+        }
+        row_ptr[bi + 1] = col_idx.len();
+    }
+    let local = BcrsMatrix::from_parts(own, own + halo.len(), row_ptr, col_idx, blocks);
+    NodeMatrix { rows, local, halo, nnzb_local, nnzb_remote }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrhs_sparse::partition::contiguous_partition;
+    use mrhs_sparse::{Block3, BlockTripletBuilder};
+
+    fn chain(nb: usize) -> BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        for i in 0..nb {
+            t.add(i, i, Block3::scaled_identity(4.0));
+            if i + 1 < nb {
+                t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+            }
+        }
+        t.build()
+    }
+
+    #[test]
+    fn chain_halo_is_partition_boundary() {
+        let a = chain(16);
+        let part = contiguous_partition(&a, 4);
+        let dm = DistributedMatrix::new(&a, &part);
+        assert_eq!(dm.n_nodes(), 4);
+        // interior nodes need one row from each side
+        assert_eq!(dm.nodes()[1].halo.len(), 2);
+        // end nodes need one
+        assert_eq!(dm.nodes()[0].halo.len(), 1);
+        assert_eq!(dm.nodes()[3].halo.len(), 1);
+    }
+
+    #[test]
+    fn local_matrices_cover_all_blocks() {
+        let a = chain(20);
+        let part = contiguous_partition(&a, 3);
+        let dm = DistributedMatrix::new(&a, &part);
+        let total: usize =
+            dm.nodes().iter().map(|n| n.local.nnz_blocks()).sum();
+        assert_eq!(total, a.nnz_blocks());
+        for n in dm.nodes() {
+            assert_eq!(n.nnzb_local + n.nnzb_remote, n.local.nnz_blocks());
+            assert_eq!(
+                n.local.nb_cols(),
+                n.rows.len() + n.halo.len(),
+                "compact column space"
+            );
+        }
+    }
+
+    #[test]
+    fn recv_plan_points_at_true_owners() {
+        let a = chain(12);
+        let part = contiguous_partition(&a, 3);
+        let dm = DistributedMatrix::new(&a, &part);
+        for p in 0..3 {
+            for (peer, rows) in dm.recv_plan(p) {
+                assert_ne!(peer, p);
+                for r in rows {
+                    assert!(dm.nodes()[peer].rows.contains(&r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_has_no_halo() {
+        let a = chain(10);
+        let part = contiguous_partition(&a, 1);
+        let dm = DistributedMatrix::new(&a, &part);
+        assert!(dm.nodes()[0].halo.is_empty());
+        assert_eq!(dm.nodes()[0].nnzb_remote, 0);
+    }
+
+    #[test]
+    fn owner_of_is_consistent_with_ranges() {
+        let a = chain(9);
+        let part = contiguous_partition(&a, 3);
+        let dm = DistributedMatrix::new(&a, &part);
+        for row in 0..9 {
+            let p = dm.owner_of(row);
+            assert!(dm.nodes()[p].rows.contains(&row));
+        }
+    }
+}

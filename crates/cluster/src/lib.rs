@@ -1,0 +1,29 @@
+//! Distributed-memory GSPMV (paper §IV-A2, §IV-D3).
+//!
+//! The paper runs GSPMV on up to 64 InfiniBand-connected nodes. This
+//! crate reproduces that system as a faithful in-process simulation:
+//!
+//! * **Real data movement.** [`distmat::DistributedMatrix`] partitions
+//!   the matrix by rows, remaps each node's columns onto a compact
+//!   local index space `[own rows | received halo rows]`, and
+//!   [`exchange::execute`] runs the actual multiply with per-node
+//!   threads that exchange *packed* halo messages over channels — a
+//!   node can only read its own rows plus what it received, exactly as
+//!   an MPI rank would.
+//! * **Modeled time.** [`sim`] prices the same execution with the
+//!   paper's machine and network constants: per-node compute from the
+//!   Eq. 8 model (split into a local part overlapped with communication
+//!   and a remote part that waits for the halo) and per-message
+//!   `latency + bytes/bandwidth` costs. This regenerates Fig. 3/4 and
+//!   Table III without owning 64 nodes.
+
+pub mod distmat;
+pub mod exchange;
+pub mod mrhs;
+pub mod network;
+pub mod sim;
+
+pub use distmat::DistributedMatrix;
+pub use mrhs::ClusterMrhsModel;
+pub use network::NetworkModel;
+pub use sim::{ClusterGspmvModel, NodeTime};

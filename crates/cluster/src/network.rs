@@ -1,0 +1,56 @@
+//! Point-to-point network cost model.
+
+/// Latency/bandwidth model of one link; a message of `b` bytes costs
+/// `latency + b/bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// One-way small-message latency in seconds.
+    pub latency: f64,
+    /// Unidirectional bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// The paper's InfiniBand interconnect: 1.5 µs one-way latency for
+    /// 4 bytes, up to 3380 MiB/s unidirectional.
+    pub fn infiniband() -> Self {
+        NetworkModel { latency: 1.5e-6, bandwidth: 3380.0 * 1024.0 * 1024.0 }
+    }
+
+    /// Time for one message of `bytes`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Time for a set of incoming messages serialized at one NIC.
+    pub fn receive_time(&self, message_bytes: &[usize]) -> f64 {
+        message_bytes.iter().map(|&b| self.message_time(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let n = NetworkModel::infiniband();
+        let t = n.message_time(4);
+        assert!((t - 1.5e-6).abs() / t < 0.01);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let n = NetworkModel::infiniband();
+        let t = n.message_time(64 << 20);
+        assert!(t > 0.018 && t < 0.020, "{t}");
+    }
+
+    #[test]
+    fn receive_time_sums_messages() {
+        let n = NetworkModel::infiniband();
+        let sizes = [1000usize, 2000, 3000];
+        let sum: f64 = sizes.iter().map(|&b| n.message_time(b)).sum();
+        assert_eq!(n.receive_time(&sizes), sum);
+    }
+}

@@ -1,0 +1,481 @@
+//! The MRHS driver (paper Algorithm 2) and the original baseline
+//! (Algorithm 1), both instrumented with the paper's timing categories
+//! and iteration counts.
+
+use crate::system::{NoiseSource, ResistanceSystem};
+use crate::timing::StepTimings;
+use mrhs_solvers::{
+    block_cg, cg, spectral_bounds, ChebyshevSqrt, SolveConfig,
+};
+use mrhs_sparse::MultiVec;
+use std::time::Instant;
+
+/// Parameters of both drivers.
+#[derive(Clone, Debug)]
+pub struct MrhsConfig {
+    /// Number of right-hand sides per chunk (the paper's `m`; 16 in the
+    /// headline experiments).
+    pub m: usize,
+    /// Maximum Chebyshev order `C_max` (30 in the paper).
+    pub cheb_order: usize,
+    /// Convergence controls for all solves.
+    pub solve: SolveConfig,
+    /// Relative tolerance of the auxiliary block solve. The auxiliary
+    /// solutions are only *initial guesses*, and for every step after
+    /// the first their error is dominated by the √t matrix drift
+    /// (Fig. 5: ~3·10⁻³ after one step) — so the block solve stops one
+    /// decade below that floor (10⁻⁴ default) instead of running to
+    /// full tolerance, and every step (including the chunk head)
+    /// refines its own solution to `solve.tol` from its column.
+    pub guess_tol: f64,
+    /// Lanczos steps for the spectral-bound estimate at chunk heads.
+    pub lanczos_steps: usize,
+    /// Multiplicative widening of the spectral interval so one
+    /// Chebyshev polynomial stays valid while `R` drifts over a chunk.
+    pub bounds_margin: f64,
+    /// Record `‖u_k − u'_k‖/‖u_k‖` per step (Fig. 5). Costs one vector
+    /// copy per solve.
+    pub record_guess_errors: bool,
+}
+
+impl Default for MrhsConfig {
+    fn default() -> Self {
+        MrhsConfig {
+            m: 16,
+            cheb_order: 30,
+            solve: SolveConfig::default(),
+            guess_tol: 1e-4,
+            lanczos_steps: 20,
+            bounds_margin: 1.15,
+            record_guess_errors: true,
+        }
+    }
+}
+
+/// Per-step observations.
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// CG iterations of the step's first solve, warm-started from the
+    /// step's auxiliary-system column.
+    pub first_solve_iterations: usize,
+    /// CG iterations of the midpoint solve.
+    pub second_solve_iterations: usize,
+    /// `‖u_k − u'_k‖/‖u_k‖` where `u'_k` was the initial guess used for
+    /// the first solve; `None` when not recorded or no guess was used.
+    pub guess_relative_error: Option<f64>,
+    /// Wall-clock breakdown.
+    pub timings: StepTimings,
+}
+
+/// Everything observed while running one MRHS chunk of `m` steps.
+#[derive(Clone, Debug)]
+pub struct ChunkReport {
+    /// Right-hand sides in the chunk.
+    pub m: usize,
+    /// Block-CG iterations of the auxiliary solve.
+    pub block_iterations: usize,
+    /// Per-step observations, length `m`.
+    pub steps: Vec<StepStats>,
+}
+
+impl ChunkReport {
+    /// Mean wall-clock seconds per step, amortizing the chunk-head work
+    /// — the quantity `T_mrhs` of the paper's Eq. 9.
+    pub fn average_step_seconds(&self) -> f64 {
+        let total: f64 =
+            self.steps.iter().map(|s| s.timings.total().as_secs_f64()).sum();
+        total / self.steps.len().max(1) as f64
+    }
+}
+
+/// Runs one chunk of `cfg.m` time steps with the MRHS algorithm
+/// (paper Alg. 2), advancing `system` by `cfg.m` steps.
+pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
+    system: &mut S,
+    noise: &mut N,
+    cfg: &MrhsConfig,
+) -> ChunkReport {
+    assert!(cfg.m >= 1);
+    let n = system.dim();
+    let m = cfg.m;
+
+    // -- Alg. 2 step 1: construct R_0 ---------------------------------
+    let mut timings0 = StepTimings::default();
+    let t = Instant::now();
+    let mut r0 = system.assemble();
+    timings0.assemble += t.elapsed();
+
+    // Spectral interval for the whole chunk.
+    let g = (r0.gershgorin_lower_bound(), r0.gershgorin_upper_bound());
+    let b = spectral_bounds(&r0, cfg.lanczos_steps, Some(g));
+    let cheb = ChebyshevSqrt::new(
+        b.lo / cfg.bounds_margin,
+        b.hi * cfg.bounds_margin,
+        cfg.cheb_order,
+    );
+
+    // -- Alg. 2 step 2: F_B = S(R_0)·Z with all m noise vectors --------
+    let mut z = MultiVec::zeros(n, m);
+    noise.fill_standard_normal(z.as_mut_slice());
+    let t = Instant::now();
+    let mut rhs = MultiVec::zeros(n, m);
+    cheb.apply_multi(&r0, &z, &mut rhs);
+    rhs.scale(-1.0); // solve R·u = −(f_B + f_P)
+    timings0.cheb_vectors += t.elapsed();
+    let mut f_ext = vec![0.0; n];
+    system.add_external_forces(&mut f_ext);
+    for (row, fe) in (0..n).zip(&f_ext) {
+        for v in rhs.row_mut(row) {
+            *v -= fe;
+        }
+    }
+
+    // -- Alg. 2 step 3: block solve R_0·U = −F_B -----------------------
+    // Solved only to `guess_tol`: the columns are initial guesses whose
+    // quality is bounded by the matrix drift anyway; each step below
+    // refines its own solution to full tolerance.
+    let t = Instant::now();
+    let mut u = MultiVec::zeros(n, m);
+    let guess_cfg = SolveConfig { tol: cfg.guess_tol, ..cfg.solve };
+    let block = block_cg(&r0, &rhs, &mut u, &guess_cfg);
+    timings0.calc_guesses += t.elapsed();
+
+    let mut steps = Vec::with_capacity(m);
+
+    // -- Alg. 2 steps 4–14: every step warm-starts from its column ----
+    for k in 0..m {
+        let mut timings = if k == 0 {
+            std::mem::take(&mut timings0)
+        } else {
+            StepTimings::default()
+        };
+
+        // R_k (the chunk head reuses R_0, already assembled).
+        let rk = if k == 0 {
+            std::mem::replace(&mut r0, mrhs_sparse::BcrsMatrix::zero(0))
+        } else {
+            let t = Instant::now();
+            let rk = system.assemble();
+            timings.assemble += t.elapsed();
+            rk
+        };
+
+        // f_B(k) = S(R_k)·z_k; the head step's is column 0 of the block.
+        let fbk = if k == 0 {
+            rhs.column(0)
+        } else {
+            let zk = z.column(k);
+            let t = Instant::now();
+            let mut fbk = vec![0.0; n];
+            cheb.apply(&rk, &zk, &mut fbk);
+            let mut ext = vec![0.0; n];
+            system.add_external_forces(&mut ext);
+            for (v, e) in fbk.iter_mut().zip(&ext) {
+                *v = -*v - e;
+            }
+            timings.cheb_single += t.elapsed();
+            fbk
+        };
+
+        // First solve, warm-started from the auxiliary solution u'_k.
+        let mut uk = u.column(k);
+        let guess =
+            (k > 0 && cfg.record_guess_errors).then(|| uk.clone());
+        let t = Instant::now();
+        let res1 = cg(&rk, &fbk, &mut uk, &cfg.solve);
+        timings.first_solve += t.elapsed();
+        let guess_relative_error = guess.map(|g| relative_error(&uk, &g));
+
+        let stats = midpoint_second_half(system, &cheb, &uk, &fbk, cfg, timings);
+        steps.push(StepStats {
+            first_solve_iterations: res1.iterations,
+            guess_relative_error,
+            ..stats
+        });
+    }
+
+    ChunkReport { m, block_iterations: block.iterations, steps }
+}
+
+/// Runs one time step of the original algorithm (paper Alg. 1): a cold
+/// first solve, then the midpoint solve warm-started from it. `cheb`
+/// caches the Chebyshev polynomial across steps; pass `None` initially
+/// (or to force a bounds refresh) and reuse the returned cache.
+pub fn run_original_step<S: ResistanceSystem, N: NoiseSource>(
+    system: &mut S,
+    noise: &mut N,
+    cfg: &MrhsConfig,
+    cheb_cache: &mut Option<ChebyshevSqrt>,
+) -> StepStats {
+    let n = system.dim();
+    let mut timings = StepTimings::default();
+
+    let t = Instant::now();
+    let rk = system.assemble();
+    timings.assemble += t.elapsed();
+
+    let cheb = cheb_cache.get_or_insert_with(|| {
+        let g = (rk.gershgorin_lower_bound(), rk.gershgorin_upper_bound());
+        let b = spectral_bounds(&rk, cfg.lanczos_steps, Some(g));
+        ChebyshevSqrt::new(
+            b.lo / cfg.bounds_margin,
+            b.hi * cfg.bounds_margin,
+            cfg.cheb_order,
+        )
+    });
+
+    let mut zk = vec![0.0; n];
+    noise.fill_standard_normal(&mut zk);
+    let t = Instant::now();
+    let mut fbk = vec![0.0; n];
+    cheb.apply(&rk, &zk, &mut fbk);
+    let mut ext = vec![0.0; n];
+    system.add_external_forces(&mut ext);
+    for (v, e) in fbk.iter_mut().zip(&ext) {
+        *v = -*v - e;
+    }
+    timings.cheb_single += t.elapsed();
+
+    // Cold first solve (no initial guess available in the original
+    // algorithm).
+    let mut uk = vec![0.0; n];
+    let t = Instant::now();
+    let res1 = cg(&rk, &fbk, &mut uk, &cfg.solve);
+    timings.first_solve += t.elapsed();
+
+    let cheb = cheb.clone();
+    let stats = midpoint_second_half(system, &cheb, &uk, &fbk, cfg, timings);
+    StepStats {
+        first_solve_iterations: res1.iterations,
+        guess_relative_error: None,
+        ..stats
+    }
+}
+
+/// Shared tail of both algorithms: advance to the midpoint, solve
+/// `R(r_{k+1/2})·u_{k+1/2} = b` warm-started from `u_k`, return to the
+/// start of the step, and advance by the full `Δt·u_{k+1/2}`.
+fn midpoint_second_half<S: ResistanceSystem>(
+    system: &mut S,
+    _cheb: &ChebyshevSqrt,
+    u_first: &[f64],
+    b: &[f64],
+    cfg: &MrhsConfig,
+    mut timings: StepTimings,
+) -> StepStats {
+    let dt = system.dt();
+    let saved = system.save_state();
+    system.advance(u_first, 0.5 * dt);
+
+    let t = Instant::now();
+    let r_mid = system.assemble();
+    timings.assemble += t.elapsed();
+
+    let mut u_mid = u_first.to_vec(); // warm start from the first solve
+    let t = Instant::now();
+    let res2 = cg(&r_mid, b, &mut u_mid, &cfg.solve);
+    timings.second_solve += t.elapsed();
+
+    system.restore_state(&saved);
+    system.advance(&u_mid, dt);
+
+    StepStats {
+        first_solve_iterations: 0,
+        second_solve_iterations: res2.iterations,
+        guess_relative_error: None,
+        timings,
+    }
+}
+
+fn relative_error(solution: &[f64], guess: &[f64]) -> f64 {
+    let mut diff = 0.0;
+    let mut norm = 0.0;
+    for (s, g) in solution.iter().zip(guess) {
+        diff += (s - g) * (s - g);
+        norm += s * s;
+    }
+    if norm == 0.0 {
+        0.0
+    } else {
+        (diff / norm).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::XorShiftNoise;
+    use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder};
+
+    /// A synthetic resistance system: particles on a periodic line with
+    /// spring-like couplings whose strength depends on separation, so
+    /// the matrix genuinely evolves with the configuration.
+    struct LineSystem {
+        positions: Vec<f64>, // one scalar coordinate per particle
+        dt: f64,
+    }
+
+    impl LineSystem {
+        fn new(n_particles: usize) -> Self {
+            LineSystem {
+                positions: (0..n_particles).map(|i| i as f64).collect(),
+                dt: 0.05,
+            }
+        }
+    }
+
+    impl ResistanceSystem for LineSystem {
+        fn dim(&self) -> usize {
+            self.positions.len() * 3
+        }
+
+        fn assemble(&self) -> BcrsMatrix {
+            let nb = self.positions.len();
+            let mut t = BlockTripletBuilder::square(nb);
+            for i in 0..nb {
+                t.add(i, i, Block3::scaled_identity(4.0));
+                if i + 1 < nb {
+                    let d = (self.positions[i + 1] - self.positions[i]).abs();
+                    let w = 1.0 / (0.5 + d * d);
+                    t.add(i, i, Block3::scaled_identity(w));
+                    t.add(i + 1, i + 1, Block3::scaled_identity(w));
+                    t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-w));
+                }
+            }
+            t.build()
+        }
+
+        fn advance(&mut self, u: &[f64], dt: f64) {
+            // Use the x-component of each particle's velocity.
+            for (i, p) in self.positions.iter_mut().enumerate() {
+                *p += dt * u[3 * i];
+            }
+        }
+
+        fn dt(&self) -> f64 {
+            self.dt
+        }
+
+        fn save_state(&self) -> Vec<f64> {
+            self.positions.clone()
+        }
+
+        fn restore_state(&mut self, state: &[f64]) {
+            self.positions.copy_from_slice(state);
+        }
+    }
+
+    #[test]
+    fn mrhs_chunk_advances_m_steps() {
+        let mut sys = LineSystem::new(20);
+        let before = sys.positions.clone();
+        let mut noise = XorShiftNoise::new(1);
+        let cfg = MrhsConfig { m: 4, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        assert_eq!(report.steps.len(), 4);
+        assert!(report.block_iterations > 0);
+        assert_ne!(before, sys.positions);
+    }
+
+    #[test]
+    fn guesses_cut_iterations_versus_baseline() {
+        // Same system, same noise stream: warm-started steps of the MRHS
+        // chunk should need fewer first-solve iterations than the cold
+        // baseline steps.
+        let cfg = MrhsConfig { m: 8, ..Default::default() };
+
+        let mut sys_a = LineSystem::new(30);
+        let mut noise_a = XorShiftNoise::new(99);
+        let report = run_mrhs_chunk(&mut sys_a, &mut noise_a, &cfg);
+
+        let mut sys_b = LineSystem::new(30);
+        let mut noise_b = XorShiftNoise::new(99);
+        let mut cache = None;
+        let mut cold_iters = Vec::new();
+        for _ in 0..8 {
+            let s = run_original_step(&mut sys_b, &mut noise_b, &cfg, &mut cache);
+            cold_iters.push(s.first_solve_iterations);
+        }
+
+        let warm: f64 = report.steps[1..]
+            .iter()
+            .map(|s| s.first_solve_iterations as f64)
+            .sum::<f64>()
+            / (report.steps.len() - 1) as f64;
+        let cold: f64 = cold_iters[1..].iter().map(|&v| v as f64).sum::<f64>()
+            / (cold_iters.len() - 1) as f64;
+        assert!(
+            warm < cold,
+            "warm-start mean {warm} should beat cold mean {cold}"
+        );
+    }
+
+    #[test]
+    fn guess_errors_grow_with_step_index() {
+        let mut sys = LineSystem::new(25);
+        let mut noise = XorShiftNoise::new(5);
+        let cfg = MrhsConfig { m: 8, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        let errs: Vec<f64> = report
+            .steps
+            .iter()
+            .filter_map(|s| s.guess_relative_error)
+            .collect();
+        assert_eq!(errs.len(), 7);
+        // √t-like growth: the last error should exceed the first.
+        assert!(errs.last().unwrap() >= errs.first().unwrap());
+        assert!(errs.iter().all(|&e| e.is_finite() && e >= 0.0));
+    }
+
+    #[test]
+    fn second_solve_warm_start_is_cheap() {
+        let mut sys = LineSystem::new(20);
+        let mut noise = XorShiftNoise::new(3);
+        let cfg = MrhsConfig::default();
+        let mut cache = None;
+        let s = run_original_step(&mut sys, &mut noise, &cfg, &mut cache);
+        // Midpoint matrix is near R_k, so the warm-started second solve
+        // should need no more iterations than the cold first solve.
+        assert!(s.second_solve_iterations <= s.first_solve_iterations);
+    }
+
+    #[test]
+    fn chunk_head_work_recorded_once() {
+        let mut sys = LineSystem::new(15);
+        let mut noise = XorShiftNoise::new(2);
+        let cfg = MrhsConfig { m: 4, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        let with_head: Vec<bool> = report
+            .steps
+            .iter()
+            .map(|s| {
+                s.timings.cheb_vectors.as_nanos() > 0
+                    || s.timings.calc_guesses.as_nanos() > 0
+            })
+            .collect();
+        assert!(with_head[0]);
+        assert!(with_head[1..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn original_step_reuses_cheb_cache() {
+        let mut sys = LineSystem::new(10);
+        let mut noise = XorShiftNoise::new(4);
+        let cfg = MrhsConfig::default();
+        let mut cache = None;
+        run_original_step(&mut sys, &mut noise, &cfg, &mut cache);
+        assert!(cache.is_some());
+        let interval = cache.as_ref().unwrap().interval();
+        run_original_step(&mut sys, &mut noise, &cfg, &mut cache);
+        assert_eq!(cache.as_ref().unwrap().interval(), interval);
+    }
+
+    #[test]
+    fn average_step_seconds_is_positive() {
+        let mut sys = LineSystem::new(10);
+        let mut noise = XorShiftNoise::new(8);
+        let cfg = MrhsConfig { m: 2, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        assert!(report.average_step_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-step timing breakdowns — the rows of the paper's Tables VI/VII.
+
+use std::time::Duration;
+
+/// Wall-clock cost of one time step, split into the categories the
+/// paper reports. Chunk-head costs (`cheb_vectors`, `calc_guesses`) are
+/// attributed to the step they run in and amortized by
+/// [`TimingBreakdown::average_per_step`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimings {
+    /// Matrix assembly (`Construct R_k`).
+    pub assemble: Duration,
+    /// Chebyshev with the block of `m` noise vectors (Alg. 2 step 2);
+    /// zero for all but the first step of a chunk and for the baseline.
+    pub cheb_vectors: Duration,
+    /// Block solve of the auxiliary system (Alg. 2 step 3); likewise
+    /// chunk-head only.
+    pub calc_guesses: Duration,
+    /// Chebyshev with a single vector (Alg. 2 step 9 / Alg. 1 step 2).
+    pub cheb_single: Duration,
+    /// First velocity solve of the step (Alg. 2 step 10 / Alg. 1 step 3).
+    pub first_solve: Duration,
+    /// Midpoint velocity solve (Alg. 2 step 12 / Alg. 1 step 5).
+    pub second_solve: Duration,
+}
+
+impl StepTimings {
+    /// Total wall-clock of the step.
+    pub fn total(&self) -> Duration {
+        self.assemble
+            + self.cheb_vectors
+            + self.calc_guesses
+            + self.cheb_single
+            + self.first_solve
+            + self.second_solve
+    }
+
+    /// Adds another step's timings into this one (used for aggregation).
+    pub fn accumulate(&mut self, other: &StepTimings) {
+        self.assemble += other.assemble;
+        self.cheb_vectors += other.cheb_vectors;
+        self.calc_guesses += other.calc_guesses;
+        self.cheb_single += other.cheb_single;
+        self.first_solve += other.first_solve;
+        self.second_solve += other.second_solve;
+    }
+}
+
+/// Aggregated timings over a run, in seconds, in the layout of the
+/// paper's Tables VI/VII.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimingBreakdown {
+    /// Steps aggregated.
+    pub steps: usize,
+    /// Total `Cheb vectors` seconds (chunk heads).
+    pub cheb_vectors: f64,
+    /// Total `Calc guesses` seconds (chunk heads).
+    pub calc_guesses: f64,
+    /// Total single-vector Chebyshev seconds.
+    pub cheb_single: f64,
+    /// Total first-solve seconds.
+    pub first_solve: f64,
+    /// Total second-solve seconds.
+    pub second_solve: f64,
+    /// Total assembly seconds.
+    pub assemble: f64,
+}
+
+impl TimingBreakdown {
+    /// Folds a step into the aggregate.
+    pub fn add_step(&mut self, t: &StepTimings) {
+        self.steps += 1;
+        self.cheb_vectors += t.cheb_vectors.as_secs_f64();
+        self.calc_guesses += t.calc_guesses.as_secs_f64();
+        self.cheb_single += t.cheb_single.as_secs_f64();
+        self.first_solve += t.first_solve.as_secs_f64();
+        self.second_solve += t.second_solve.as_secs_f64();
+        self.assemble += t.assemble.as_secs_f64();
+    }
+
+    /// Average seconds per time step, all categories included — the
+    /// "Average" row of Tables VI/VII.
+    pub fn average_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            (self.cheb_vectors
+                + self.calc_guesses
+                + self.cheb_single
+                + self.first_solve
+                + self.second_solve
+                + self.assemble)
+                / self.steps as f64
+        }
+    }
+
+    /// Per-step averages of the individual categories, in the order
+    /// `(cheb_vectors, calc_guesses, cheb_single, 1st solve, 2nd solve)`.
+    pub fn category_averages(&self) -> (f64, f64, f64, f64, f64) {
+        let n = self.steps.max(1) as f64;
+        (
+            self.cheb_vectors / n,
+            self.calc_guesses / n,
+            self.cheb_single / n,
+            self.first_solve / n,
+            self.second_solve / n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_total_sums_categories() {
+        let t = StepTimings {
+            assemble: Duration::from_millis(1),
+            cheb_vectors: Duration::from_millis(2),
+            calc_guesses: Duration::from_millis(3),
+            cheb_single: Duration::from_millis(4),
+            first_solve: Duration::from_millis(5),
+            second_solve: Duration::from_millis(6),
+        };
+        assert_eq!(t.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn breakdown_averages_over_steps() {
+        let mut agg = TimingBreakdown::default();
+        let t = StepTimings {
+            first_solve: Duration::from_millis(10),
+            ..Default::default()
+        };
+        agg.add_step(&t);
+        agg.add_step(&t);
+        assert_eq!(agg.steps, 2);
+        assert!((agg.average_per_step() - 0.010).abs() < 1e-12);
+        let (cv, cg, cs, s1, s2) = agg.category_averages();
+        assert_eq!((cv, cg, cs, s2), (0.0, 0.0, 0.0, 0.0));
+        assert!((s1 - 0.010).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let agg = TimingBreakdown::default();
+        assert_eq!(agg.average_per_step(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_all_fields() {
+        let t = StepTimings {
+            assemble: Duration::from_millis(1),
+            cheb_vectors: Duration::from_millis(1),
+            calc_guesses: Duration::from_millis(1),
+            cheb_single: Duration::from_millis(1),
+            first_solve: Duration::from_millis(1),
+            second_solve: Duration::from_millis(1),
+        };
+        let mut sum = StepTimings::default();
+        sum.accumulate(&t);
+        sum.accumulate(&t);
+        assert_eq!(sum.total(), Duration::from_millis(12));
+    }
+}

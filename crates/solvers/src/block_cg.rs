@@ -1,0 +1,340 @@
+//! Block conjugate gradients (O'Leary 1980).
+//!
+//! One block-CG iteration performs a single GSPMV with all `m` columns
+//! plus small `m×m` reductions and solves — this is the kernel structure
+//! the MRHS algorithm exploits: the auxiliary system `R₀·U = F_B` with
+//! `m` right-hand sides (paper Alg. 2 step 3) costs little more per
+//! iteration than single-vector CG because the matrix is streamed once
+//! for all columns.
+//!
+//! The paper notes block methods "have been avoided because of numerical
+//! issues" (rank deficiency of the block residual); we guard the small
+//! solves with symmetrization and a trace-scaled ridge, which is enough
+//! for the random right-hand sides that occur here (they are almost
+//! surely full rank).
+
+use crate::cg::SolveConfig;
+use crate::dense;
+use crate::operator::LinearOperator;
+use mrhs_sparse::MultiVec;
+
+/// Outcome of a block-CG solve.
+#[derive(Clone, Debug)]
+pub struct BlockCgResult {
+    /// Block iterations performed (each is one GSPMV).
+    pub iterations: usize,
+    /// Whether every column met the tolerance.
+    pub converged: bool,
+    /// Final per-column residual norms.
+    pub residual_norms: Vec<f64>,
+    /// Iteration at which each column first met its tolerance.
+    pub column_converged_at: Vec<Option<usize>>,
+}
+
+/// Solves `A·X = B` for SPD `A` and `m` right-hand sides by block CG,
+/// starting from the guess already in `x`. Each column converges when
+/// its residual norm is below `cfg.tol` times that column's `‖b_j‖`.
+pub fn block_cg<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    cfg: &SolveConfig,
+) -> BlockCgResult {
+    let n = a.dim();
+    let m = b.m();
+    assert_eq!(b.n(), n);
+    assert_eq!(x.shape(), (n, m));
+
+    let b_norms = b.norms();
+    let thresholds: Vec<f64> =
+        b_norms.iter().map(|bn| cfg.tol * bn.max(f64::MIN_POSITIVE)).collect();
+
+    // R = B − A·X
+    let mut r = MultiVec::zeros(n, m);
+    a.apply_multi(x, &mut r);
+    {
+        let (rs, bs) = (r.as_mut_slice(), b.as_slice());
+        for (ri, bi) in rs.iter_mut().zip(bs) {
+            *ri = bi - *ri;
+        }
+    }
+
+    let mut column_converged_at: Vec<Option<usize>> = vec![None; m];
+    let mut rho = r.gram(&r); // m×m
+    update_convergence(&rho, m, &thresholds, &mut column_converged_at, 0);
+    if column_converged_at.iter().all(Option::is_some) {
+        let norms = diag_sqrt(&rho, m);
+        return BlockCgResult {
+            iterations: 0,
+            converged: true,
+            residual_norms: norms,
+            column_converged_at,
+        };
+    }
+
+    let mut p = r.clone();
+    let mut q = MultiVec::zeros(n, m);
+    let mut iterations = 0;
+    let mut broke_down = false;
+
+    for it in 1..=cfg.max_iter {
+        a.apply_multi(&p, &mut q);
+        // α solves (PᵀQ)·α = ρ
+        let mut pq = p.gram(&q);
+        dense::symmetrize(&mut pq, m);
+        ridge(&mut pq, m);
+        let mut alpha = rho.clone();
+        if !dense::lu_solve(&mut pq, m, &mut alpha, m) {
+            broke_down = true;
+            break;
+        }
+        // X += P·α ; R −= Q·α fused with the ρ_new = RᵀR reduction
+        x.add_mul_dense(&p, &alpha);
+        let rho_new = r.sub_mul_dense_then_gram(&q, &alpha);
+        iterations = it;
+        update_convergence(&rho_new, m, &thresholds, &mut column_converged_at, it);
+        if column_converged_at.iter().all(Option::is_some) {
+            rho = rho_new;
+            break;
+        }
+
+        // β solves ρ·β = ρ_new
+        let mut rho_lhs = rho.clone();
+        dense::symmetrize(&mut rho_lhs, m);
+        ridge(&mut rho_lhs, m);
+        let mut beta = rho_new.clone();
+        if !dense::lu_solve(&mut rho_lhs, m, &mut beta, m) {
+            broke_down = true;
+            rho = rho_new;
+            break;
+        }
+        // P ← R + P·β
+        p.assign_add_mul_dense(&r, &beta);
+        rho = rho_new;
+    }
+
+    let converged =
+        !broke_down && column_converged_at.iter().all(Option::is_some);
+    BlockCgResult {
+        iterations,
+        converged,
+        residual_norms: diag_sqrt(&rho, m),
+        column_converged_at,
+    }
+}
+
+fn diag_sqrt(gram: &[f64], m: usize) -> Vec<f64> {
+    (0..m).map(|j| gram[j * m + j].max(0.0).sqrt()).collect()
+}
+
+fn update_convergence(
+    gram: &[f64],
+    m: usize,
+    thresholds: &[f64],
+    converged_at: &mut [Option<usize>],
+    iteration: usize,
+) {
+    for j in 0..m {
+        if converged_at[j].is_none()
+            && gram[j * m + j].max(0.0).sqrt() <= thresholds[j]
+        {
+            converged_at[j] = Some(iteration);
+        }
+    }
+}
+
+/// Adds a tiny trace-scaled ridge so rank-deficient Gram matrices stay
+/// factorizable after some columns converge.
+fn ridge(a: &mut [f64], m: usize) {
+    let trace: f64 = (0..m).map(|i| a[i * m + i]).sum();
+    let eps = trace.abs().max(f64::MIN_POSITIVE) * 1e-14 / m as f64;
+    for i in 0..m {
+        a[i * m + i] += eps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{cg, SolveConfig};
+    use crate::operator::CountingOperator;
+    use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder};
+
+    fn laplacian(nb: usize) -> BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        for bi in 0..nb {
+            t.add(bi, bi, Block3::scaled_identity(4.0));
+            if bi + 1 < nb {
+                t.add_symmetric_pair(bi, bi + 1, Block3::scaled_identity(-1.0));
+            }
+        }
+        t.build()
+    }
+
+    fn pseudo_multivec(n: usize, m: usize, seed: u64) -> MultiVec {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut mv = MultiVec::zeros(n, m);
+        for v in mv.as_mut_slice() {
+            *v = next();
+        }
+        mv
+    }
+
+    #[test]
+    fn solves_each_column_to_tolerance() {
+        let a = laplacian(25);
+        let n = a.n_rows();
+        let m = 6;
+        let b = pseudo_multivec(n, m, 17);
+        let mut x = MultiVec::zeros(n, m);
+        let cfg = SolveConfig { tol: 1e-8, max_iter: 400 };
+        let res = block_cg(&a, &b, &mut x, &cfg);
+        assert!(res.converged, "{res:?}");
+
+        // verify true residuals column by column
+        use crate::operator::LinearOperator;
+        let mut ax = MultiVec::zeros(n, m);
+        a.apply_multi(&x, &mut ax);
+        for j in 0..m {
+            let bj = b.column(j);
+            let axj = ax.column(j);
+            let rn: f64 = bj
+                .iter()
+                .zip(&axj)
+                .map(|(u, v)| (u - v) * (u - v))
+                .sum::<f64>()
+                .sqrt();
+            let bn: f64 = bj.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(rn <= 2e-8 * bn, "col {j}: {rn} vs {bn}");
+        }
+    }
+
+    #[test]
+    fn matches_single_cg_solutions() {
+        let a = laplacian(15);
+        let n = a.n_rows();
+        let m = 3;
+        let b = pseudo_multivec(n, m, 5);
+        let cfg = SolveConfig { tol: 1e-10, max_iter: 500 };
+
+        let mut xb = MultiVec::zeros(n, m);
+        let res = block_cg(&a, &b, &mut xb, &cfg);
+        assert!(res.converged);
+
+        for j in 0..m {
+            let mut xj = vec![0.0; n];
+            let r = cg(&a, &b.column(j), &mut xj, &cfg);
+            assert!(r.converged);
+            for (u, v) in xb.column(j).iter().zip(&xj) {
+                assert!((u - v).abs() < 1e-7, "col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_cg_converges_in_fewer_iterations_than_cg() {
+        // Block Krylov spaces are richer: iterations should not exceed
+        // the worst single-vector count, and usually beat it.
+        let a = laplacian(40);
+        let n = a.n_rows();
+        let m = 8;
+        let b = pseudo_multivec(n, m, 23);
+        let cfg = SolveConfig { tol: 1e-6, max_iter: 500 };
+
+        let mut xb = MultiVec::zeros(n, m);
+        let res = block_cg(&a, &b, &mut xb, &cfg);
+        assert!(res.converged);
+
+        let mut worst = 0;
+        for j in 0..m {
+            let mut xj = vec![0.0; n];
+            let r = cg(&a, &b.column(j), &mut xj, &cfg);
+            worst = worst.max(r.iterations);
+        }
+        assert!(
+            res.iterations <= worst,
+            "block {} vs worst single {}",
+            res.iterations,
+            worst
+        );
+    }
+
+    #[test]
+    fn one_gspmv_per_iteration() {
+        let a = laplacian(20);
+        let c = CountingOperator::new(&a);
+        let n = a.n_rows();
+        let m = 4;
+        let b = pseudo_multivec(n, m, 3);
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg(&c, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+        // initial residual + one per iteration
+        assert_eq!(c.multi_applies(), res.iterations + 1);
+        assert_eq!(c.single_applies(), 0);
+    }
+
+    #[test]
+    fn initial_guess_helps_block_solve() {
+        let a = laplacian(30);
+        let n = a.n_rows();
+        let m = 4;
+        let b = pseudo_multivec(n, m, 77);
+        let cfg = SolveConfig::default();
+
+        let mut x_cold = MultiVec::zeros(n, m);
+        let cold = block_cg(&a, &b, &mut x_cold, &cfg);
+
+        let mut x_warm = x_cold.clone();
+        x_warm.scale(1.0 + 1e-5);
+        let warm = block_cg(&a, &b, &mut x_warm, &cfg);
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn single_column_block_cg_equals_cg_iterations() {
+        let a = laplacian(30);
+        let n = a.n_rows();
+        let b = pseudo_multivec(n, 1, 9);
+        let cfg = SolveConfig::default();
+
+        let mut xb = MultiVec::zeros(n, 1);
+        let rb = block_cg(&a, &b, &mut xb, &cfg);
+        let mut xs = vec![0.0; n];
+        let rs = cg(&a, &b.column(0), &mut xs, &cfg);
+        assert!(rb.converged && rs.converged);
+        assert!(rb.iterations.abs_diff(rs.iterations) <= 1);
+    }
+
+    #[test]
+    fn column_convergence_order_recorded() {
+        let a = laplacian(25);
+        let n = a.n_rows();
+        let m = 3;
+        let b = pseudo_multivec(n, m, 31);
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg(&a, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+        for c in &res.column_converged_at {
+            let at = c.expect("every column converged");
+            assert!(at <= res.iterations);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_block() {
+        let a = laplacian(5);
+        let n = a.n_rows();
+        let b = MultiVec::zeros(n, 2);
+        let mut x = MultiVec::zeros(n, 2);
+        let res = block_cg(&a, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Shifted Chebyshev polynomial approximation of the matrix square root.
+//!
+//! Brownian forces need `f_B = L·z` with `L·Lᵀ = R`. Following Fixman
+//! (1986) and the paper (§II-C), we instead compute `S(R)·z` where
+//! `S` is a Chebyshev polynomial approximating `√λ` on an interval
+//! `[λ_lo, λ_hi]` that brackets the spectrum of `R`. The evaluation uses
+//! only matrix–vector products — `C_max` of them, 30 in the paper — and
+//! with a block of noise vectors they all become GSPMV (Alg. 2 step 2,
+//! "Cheb vectors").
+
+use crate::operator::LinearOperator;
+use mrhs_sparse::MultiVec;
+
+/// A fixed-degree Chebyshev approximation of `√λ` on `[lo, hi]`.
+#[derive(Clone, Debug)]
+pub struct ChebyshevSqrt {
+    lo: f64,
+    hi: f64,
+    /// Chebyshev coefficients `c_0..c_order`; the approximation is
+    /// `c_0/2 + Σ_{k≥1} c_k T_k(t)` with `t = (λ − mid)/half`.
+    coeffs: Vec<f64>,
+}
+
+impl ChebyshevSqrt {
+    /// Builds the degree-`order` approximation of `√λ` on `[lo, hi]`.
+    /// `order` is the maximum polynomial order, i.e. the number of
+    /// operator applications per evaluation (the paper's `C_max = 30`).
+    ///
+    /// # Panics
+    /// If `lo ≤ 0`, `hi ≤ lo`, or `order == 0`.
+    pub fn new(lo: f64, hi: f64, order: usize) -> Self {
+        assert!(lo > 0.0, "spectrum bound must be positive, got lo={lo}");
+        assert!(hi > lo, "need hi > lo, got [{lo}, {hi}]");
+        assert!(order >= 1);
+        let k_pts = order + 1;
+        let mid = 0.5 * (hi + lo);
+        let half = 0.5 * (hi - lo);
+        // Values of √λ at the Chebyshev nodes of the interval.
+        let node_vals: Vec<f64> = (0..k_pts)
+            .map(|j| {
+                let t = (std::f64::consts::PI * (j as f64 + 0.5) / k_pts as f64).cos();
+                (mid + half * t).sqrt()
+            })
+            .collect();
+        let coeffs: Vec<f64> = (0..=order)
+            .map(|k| {
+                let mut acc = 0.0;
+                for (j, fv) in node_vals.iter().enumerate() {
+                    acc += fv
+                        * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5)
+                            / k_pts as f64)
+                            .cos();
+                }
+                2.0 * acc / k_pts as f64
+            })
+            .collect();
+        ChebyshevSqrt { lo, hi, coeffs }
+    }
+
+    /// Polynomial order (= operator applications per evaluation).
+    pub fn order(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The approximation interval.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Evaluates the scalar polynomial at `lambda` (Clenshaw recurrence).
+    pub fn evaluate_scalar(&self, lambda: f64) -> f64 {
+        let mid = 0.5 * (self.hi + self.lo);
+        let half = 0.5 * (self.hi - self.lo);
+        let t = (lambda - mid) / half;
+        let mut b1 = 0.0;
+        let mut b2 = 0.0;
+        for &c in self.coeffs.iter().skip(1).rev() {
+            let b0 = 2.0 * t * b1 - b2 + c;
+            b2 = b1;
+            b1 = b0;
+        }
+        t * b1 - b2 + 0.5 * self.coeffs[0]
+    }
+
+    /// Maximum absolute error of the scalar approximation sampled at
+    /// `samples` evenly spaced points of the interval.
+    pub fn max_error(&self, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let lambda = self.lo
+                    + (self.hi - self.lo) * i as f64 / (samples - 1).max(1) as f64;
+                (self.evaluate_scalar(lambda) - lambda.sqrt()).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Computes `Y = S(A)·Z` for a block of vectors using the three-term
+    /// Chebyshev recurrence; performs exactly `order` GSPMV applications.
+    pub fn apply_multi<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        z: &MultiVec,
+        y: &mut MultiVec,
+    ) {
+        assert_eq!(z.n(), a.dim());
+        assert_eq!(z.shape(), y.shape());
+        let (n, m) = z.shape();
+        let mid = 0.5 * (self.hi + self.lo);
+        let half = 0.5 * (self.hi - self.lo);
+
+        // u_prev = Z ; u_cur = Ã·Z with Ã = (A − mid·I)/half
+        let mut u_prev = z.clone();
+        let mut u_cur = MultiVec::zeros(n, m);
+        let mut scratch = MultiVec::zeros(n, m);
+        apply_shifted(a, z, &mut u_cur, &mut scratch, mid, half);
+
+        // y = c0/2 · Z + c1 · u_cur
+        y.fill(0.0);
+        y.axpy(0.5 * self.coeffs[0], z);
+        y.axpy(self.coeffs[1], &u_cur);
+
+        for &c in self.coeffs.iter().skip(2) {
+            // u_next = 2·Ã·u_cur − u_prev, built in `u_prev`'s storage.
+            apply_shifted(a, &u_cur, &mut scratch, &mut u_prev, mid, half);
+            // scratch now holds Ã·u_cur (u_prev was used as workspace and
+            // then restored by apply_shifted's contract below).
+            let u_next = {
+                scratch.scale(2.0);
+                scratch.axpy(-1.0, &u_prev);
+                &scratch
+            };
+            y.axpy(c, u_next);
+            std::mem::swap(&mut u_prev, &mut u_cur);
+            std::mem::swap(&mut u_cur, &mut scratch);
+        }
+    }
+
+    /// Single-vector convenience wrapper around [`Self::apply_multi`].
+    pub fn apply<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        z: &[f64],
+        y: &mut [f64],
+    ) {
+        let zm = MultiVec::from_vec(z.to_vec());
+        let mut ym = MultiVec::zeros(z.len(), 1);
+        self.apply_multi(a, &zm, &mut ym);
+        y.copy_from_slice(&ym.column(0));
+    }
+}
+
+/// `out = (A·x − mid·x)/half`; `work` is untouched scratch the caller
+/// may reuse (kept as a parameter so the recurrence allocates nothing).
+fn apply_shifted<A: LinearOperator + ?Sized>(
+    a: &A,
+    x: &MultiVec,
+    out: &mut MultiVec,
+    _work: &mut MultiVec,
+    mid: f64,
+    half: f64,
+) {
+    a.apply_multi(x, out);
+    let inv = 1.0 / half;
+    for (o, xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        *o = (*o - mid * xi) * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{CountingOperator, DenseOperator};
+    use mrhs_sparse::BcrsMatrix;
+
+    #[test]
+    fn scalar_approximation_is_accurate() {
+        let cheb = ChebyshevSqrt::new(0.1, 10.0, 30);
+        assert!(cheb.max_error(1000) < 2e-3, "err = {}", cheb.max_error(1000));
+        // and improves with order
+        let cheb50 = ChebyshevSqrt::new(0.1, 10.0, 60);
+        assert!(cheb50.max_error(1000) < cheb.max_error(1000));
+    }
+
+    #[test]
+    fn scalar_matches_sqrt_at_midpoint() {
+        let cheb = ChebyshevSqrt::new(1.0, 4.0, 24);
+        for lambda in [1.0, 1.7, 2.5, 3.3, 4.0] {
+            assert!(
+                (cheb.evaluate_scalar(lambda) - lambda.sqrt()).abs() < 1e-6,
+                "λ={lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_apply_matches_scalar_on_diagonal_operator() {
+        // For a diagonal matrix, S(A)z has entries S(d_i)·z_i.
+        let n = 4;
+        let diag = [0.5, 1.0, 2.0, 3.5];
+        let mut dense = vec![0.0; n * n];
+        for i in 0..n {
+            dense[i * n + i] = diag[i];
+        }
+        let a = DenseOperator::new(n, dense);
+        let cheb = ChebyshevSqrt::new(0.4, 4.0, 30);
+        let z = vec![1.0, -2.0, 0.5, 3.0];
+        let mut y = vec![0.0; n];
+        cheb.apply(&a, &z, &mut y);
+        for i in 0..n {
+            let want = cheb.evaluate_scalar(diag[i]) * z[i];
+            assert!((y[i] - want).abs() < 1e-10, "i={i}: {} vs {want}", y[i]);
+        }
+    }
+
+    #[test]
+    fn squaring_recovers_matrix_action() {
+        // S(A)·S(A)·z ≈ A·z when the spectrum is inside the interval.
+        let n = 3;
+        let dense =
+            vec![2.0, 0.3, 0.0, 0.3, 1.5, 0.2, 0.0, 0.2, 2.5];
+        let a = DenseOperator::new(n, dense.clone());
+        let cheb = ChebyshevSqrt::new(0.8, 3.5, 40);
+        let z = vec![1.0, 2.0, -1.0];
+        let mut s1 = vec![0.0; n];
+        let mut s2 = vec![0.0; n];
+        cheb.apply(&a, &z, &mut s1);
+        cheb.apply(&a, &s1, &mut s2);
+        let mut az = vec![0.0; n];
+        use crate::operator::LinearOperator;
+        a.apply(&z, &mut az);
+        for i in 0..n {
+            assert!((s2[i] - az[i]).abs() < 1e-6, "{} vs {}", s2[i], az[i]);
+        }
+    }
+
+    #[test]
+    fn apply_multi_performs_order_gspmvs() {
+        let a = BcrsMatrix::scaled_identity(5, 2.0);
+        let c = CountingOperator::new(&a);
+        let cheb = ChebyshevSqrt::new(1.0, 3.0, 30);
+        let z = MultiVec::zeros(15, 4);
+        let mut y = MultiVec::zeros(15, 4);
+        cheb.apply_multi(&c, &z, &mut y);
+        assert_eq!(c.multi_applies(), 30);
+    }
+
+    #[test]
+    fn multi_columns_match_single_applies() {
+        let n = 9;
+        let a = BcrsMatrix::scaled_identity(3, 2.5);
+        let cheb = ChebyshevSqrt::new(2.0, 3.0, 16);
+        let mut z = MultiVec::zeros(n, 3);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..n).map(|i| ((i + j) as f64).sin()).collect();
+            z.set_column(j, &col);
+        }
+        let mut y = MultiVec::zeros(n, 3);
+        cheb.apply_multi(&a, &z, &mut y);
+        for j in 0..3 {
+            let mut yj = vec![0.0; n];
+            cheb.apply(&a, &z.column(j), &mut yj);
+            for (u, v) in y.column(j).iter().zip(&yj) {
+                assert!((u - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_scaling_gives_sqrt_scale() {
+        // A = 4·I ⇒ S(A)z ≈ 2z.
+        let a = BcrsMatrix::scaled_identity(4, 4.0);
+        let cheb = ChebyshevSqrt::new(1.0, 5.0, 30);
+        let z = vec![1.0; 12];
+        let mut y = vec![0.0; 12];
+        cheb.apply(&a, &z, &mut y);
+        for v in &y {
+            assert!((v - 2.0).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_interval() {
+        ChebyshevSqrt::new(0.0, 1.0, 10);
+    }
+}

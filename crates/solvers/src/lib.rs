@@ -1,0 +1,37 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the paper: i/j/k are matrix and coordinate indices
+
+//! Iterative and direct solvers for the MRHS reproduction.
+//!
+//! The Stokesian dynamics method needs, per time step (paper §II-C):
+//!
+//! * solves `R·u = −f_B` with the SPD resistance matrix — conjugate
+//!   gradients ([`cg()`](cg::cg)) here, and the **block** conjugate gradient of
+//!   O'Leary ([`block_cg()`](block_cg::block_cg)) for the MRHS auxiliary system with `m`
+//!   right-hand sides, whose iteration cost is dominated by GSPMV;
+//! * Brownian forces `f_B = S(R)·z` where `S` is a shifted Chebyshev
+//!   polynomial approximation of the matrix square root (Fixman) —
+//!   [`chebyshev::ChebyshevSqrt`];
+//! * spectral bounds feeding the Chebyshev interval — [`eigbounds`]
+//!   (Gershgorin, power iteration, and a small Lanczos);
+//! * a dense Cholesky reference path for small systems ([`cholesky`]),
+//!   combined with iterative refinement ([`refinement`]) as in §II-C.
+
+pub mod block_cg;
+pub mod cg;
+pub mod chebyshev;
+pub mod cholesky;
+pub mod dense;
+pub mod eigbounds;
+pub mod operator;
+pub mod precond;
+pub mod recycling;
+pub mod refinement;
+
+pub use block_cg::{block_cg, BlockCgResult};
+pub use cg::{cg, CgResult, SolveConfig};
+pub use chebyshev::ChebyshevSqrt;
+pub use cholesky::DenseCholesky;
+pub use eigbounds::{spectral_bounds, SpectralBounds};
+pub use operator::{CountingOperator, DenseOperator, LinearOperator};
+pub use precond::{pcg, BlockJacobi, IdentityPreconditioner, Preconditioner};
+pub use recycling::{recycled_cg, RecycleSpace, RecycledSolve};

@@ -1,0 +1,194 @@
+//! The abstract linear operator the solvers run against.
+//!
+//! All Krylov machinery in this crate touches the matrix only through
+//! [`LinearOperator::apply`] (SPMV) and [`LinearOperator::apply_multi`]
+//! (GSPMV). That keeps the solvers reusable by the distributed simulator
+//! (whose operator spans partitions) and lets tests count kernel
+//! invocations via [`CountingOperator`].
+
+use mrhs_sparse::{gspmv, spmv, BcrsMatrix, MultiVec};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A square linear operator `y = A·x` of scalar dimension `dim`.
+pub trait LinearOperator: Sync {
+    /// Scalar dimension of the operator.
+    fn dim(&self) -> usize;
+
+    /// `y = A·x` (single vector).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// `Y = A·X` (multivector). The default forwards column-by-column;
+    /// implementations backed by GSPMV override it.
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.shape(), y.shape());
+        assert_eq!(x.n(), self.dim());
+        let mut yj = vec![0.0; self.dim()];
+        for j in 0..x.m() {
+            self.apply(&x.column(j), &mut yj);
+            y.set_column(j, &yj);
+        }
+    }
+}
+
+impl LinearOperator for BcrsMatrix {
+    fn dim(&self) -> usize {
+        assert_eq!(self.n_rows(), self.n_cols());
+        self.n_rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        spmv(self, x, y);
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        gspmv(self, x, y);
+    }
+}
+
+/// A dense row-major operator for tests and small reference problems.
+pub struct DenseOperator {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseOperator {
+    /// Wraps a row-major `n×n` buffer.
+    pub fn new(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n);
+        DenseOperator { n, data }
+    }
+
+    /// The raw buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl LinearOperator for DenseOperator {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+}
+
+/// Wraps an operator and counts single- and multi-vector applications,
+/// plus the total number of *columns* multiplied. The experiment harness
+/// uses these counts to feed the paper's timing model (Eq. 9) with
+/// measured iteration numbers.
+pub struct CountingOperator<'a, T: LinearOperator + ?Sized> {
+    inner: &'a T,
+    single: AtomicUsize,
+    multi: AtomicUsize,
+    columns: AtomicUsize,
+}
+
+impl<'a, T: LinearOperator + ?Sized> CountingOperator<'a, T> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: &'a T) -> Self {
+        CountingOperator {
+            inner,
+            single: AtomicUsize::new(0),
+            multi: AtomicUsize::new(0),
+            columns: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of `apply` (SPMV) calls.
+    pub fn single_applies(&self) -> usize {
+        self.single.load(Ordering::Relaxed)
+    }
+
+    /// Number of `apply_multi` (GSPMV) calls.
+    pub fn multi_applies(&self) -> usize {
+        self.multi.load(Ordering::Relaxed)
+    }
+
+    /// Total vector columns multiplied across both kinds of call.
+    pub fn total_columns(&self) -> usize {
+        self.columns.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.single.store(0, Ordering::Relaxed);
+        self.multi.store(0, Ordering::Relaxed);
+        self.columns.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for CountingOperator<'_, T> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.single.fetch_add(1, Ordering::Relaxed);
+        self.columns.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply(x, y);
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.multi.fetch_add(1, Ordering::Relaxed);
+        self.columns.fetch_add(x.m(), Ordering::Relaxed);
+        self.inner.apply_multi(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrhs_sparse::{Block3, BlockTripletBuilder};
+
+    fn small_bcrs() -> BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(2);
+        t.add(0, 0, Block3::scaled_identity(2.0));
+        t.add(1, 1, Block3::scaled_identity(3.0));
+        t.add_symmetric_pair(0, 1, Block3::scaled_identity(1.0));
+        t.build()
+    }
+
+    #[test]
+    fn bcrs_operator_applies() {
+        let a = small_bcrs();
+        let x = vec![1.0; 6];
+        let mut y = vec![0.0; 6];
+        a.apply(&x, &mut y);
+        assert_eq!(y, vec![3.0, 3.0, 3.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn default_apply_multi_matches_columns() {
+        let a = DenseOperator::new(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let x = MultiVec::from_columns(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut y = MultiVec::zeros(2, 2);
+        a.apply_multi(&x, &mut y);
+        assert_eq!(y.column(0), vec![1.0, 3.0]);
+        assert_eq!(y.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn counting_operator_counts() {
+        let a = small_bcrs();
+        let c = CountingOperator::new(&a);
+        let x = vec![0.0; 6];
+        let mut y = vec![0.0; 6];
+        c.apply(&x, &mut y);
+        c.apply(&x, &mut y);
+        let xm = MultiVec::zeros(6, 4);
+        let mut ym = MultiVec::zeros(6, 4);
+        c.apply_multi(&xm, &mut ym);
+        assert_eq!(c.single_applies(), 2);
+        assert_eq!(c.multi_applies(), 1);
+        assert_eq!(c.total_columns(), 6);
+        c.reset();
+        assert_eq!(c.total_columns(), 0);
+    }
+}

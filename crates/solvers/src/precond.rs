@@ -1,0 +1,274 @@
+//! Preconditioning — the first of the paper's §III techniques for
+//! sequences of slowly-varying systems: "invest in constructing a
+//! preconditioner that can be reused for solving with many matrices".
+//!
+//! For block matrices with heavy diagonal blocks (lubrication-dominated
+//! resistance matrices qualify), block-Jacobi is the natural reusable
+//! preconditioner: invert each 3×3 diagonal block once, reuse across
+//! steps until convergence degrades, then rebuild.
+
+use crate::cg::SolveConfig;
+use crate::cg::CgResult;
+use crate::operator::LinearOperator;
+use mrhs_sparse::{BcrsMatrix, Block3};
+
+/// A symmetric preconditioner `z = P⁻¹·r`.
+pub trait Preconditioner: Sync {
+    /// Applies the preconditioner.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// Identity preconditioner (turns [`pcg`] into plain CG).
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Block-Jacobi: the inverse of each 3×3 diagonal block.
+pub struct BlockJacobi {
+    inverses: Vec<Block3>,
+}
+
+impl BlockJacobi {
+    /// Builds the preconditioner from the diagonal blocks of `a`.
+    /// Returns `None` if any diagonal block is singular.
+    pub fn new(a: &BcrsMatrix) -> Option<Self> {
+        let mut inverses = Vec::with_capacity(a.nb_rows());
+        for d in a.diagonal_blocks() {
+            inverses.push(invert3(&d)?);
+        }
+        Some(BlockJacobi { inverses })
+    }
+
+    /// Scalar dimension.
+    pub fn dim(&self) -> usize {
+        3 * self.inverses.len()
+    }
+}
+
+impl Preconditioner for BlockJacobi {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.dim());
+        assert_eq!(z.len(), self.dim());
+        for (i, inv) in self.inverses.iter().enumerate() {
+            let v = inv.mul_vec([r[3 * i], r[3 * i + 1], r[3 * i + 2]]);
+            z[3 * i..3 * i + 3].copy_from_slice(&v);
+        }
+    }
+}
+
+/// Preconditioned conjugate gradients with initial guess in `x`.
+pub fn pcg<A: LinearOperator + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    p: &P,
+    b: &[f64],
+    x: &mut [f64],
+    cfg: &SolveConfig,
+) -> CgResult {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        x.fill(0.0);
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            residual_norm: 0.0,
+            history: vec![0.0],
+        };
+    }
+    let threshold = cfg.tol * b_norm;
+
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let mut z = vec![0.0; n];
+    p.apply(&r, &mut z);
+    let mut rho = dot(&r, &z);
+    let mut history = vec![norm(&r)];
+    if history[0] <= threshold {
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            residual_norm: history[0],
+            history,
+        };
+    }
+
+    let mut dir = z.clone();
+    let mut q = vec![0.0; n];
+    let mut converged = false;
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iter {
+        a.apply(&dir, &mut q);
+        let dq = dot(&dir, &q);
+        if dq <= 0.0 {
+            break;
+        }
+        let alpha = rho / dq;
+        for i in 0..n {
+            x[i] += alpha * dir[i];
+            r[i] -= alpha * q[i];
+        }
+        iterations += 1;
+        let rnorm = norm(&r);
+        history.push(rnorm);
+        if rnorm <= threshold {
+            converged = true;
+            break;
+        }
+        p.apply(&r, &mut z);
+        let rho_new = dot(&r, &z);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            dir[i] = z[i] + beta * dir[i];
+        }
+    }
+    let residual_norm = *history.last().unwrap();
+    CgResult { iterations, converged, residual_norm, history }
+}
+
+/// Inverts a 3×3 block via cofactors; `None` when near-singular.
+fn invert3(b: &Block3) -> Option<Block3> {
+    let a = &b.0;
+    let c00 = a[4] * a[8] - a[5] * a[7];
+    let c01 = a[5] * a[6] - a[3] * a[8];
+    let c02 = a[3] * a[7] - a[4] * a[6];
+    let det = a[0] * c00 + a[1] * c01 + a[2] * c02;
+    let scale = b.abs_sum().max(f64::MIN_POSITIVE);
+    if det.abs() < 1e-14 * scale * scale * scale {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    Some(Block3([
+        c00 * inv_det,
+        (a[2] * a[7] - a[1] * a[8]) * inv_det,
+        (a[1] * a[5] - a[2] * a[4]) * inv_det,
+        c01 * inv_det,
+        (a[0] * a[8] - a[2] * a[6]) * inv_det,
+        (a[2] * a[3] - a[0] * a[5]) * inv_det,
+        c02 * inv_det,
+        (a[1] * a[6] - a[0] * a[7]) * inv_det,
+        (a[0] * a[4] - a[1] * a[3]) * inv_det,
+    ]))
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use mrhs_sparse::BlockTripletBuilder;
+
+    fn ill_conditioned(nb: usize) -> BcrsMatrix {
+        // Strongly anisotropic diagonal blocks (condition ~1e4 within
+        // each block): exactly what block-Jacobi normalizes away.
+        let mut t = BlockTripletBuilder::square(nb);
+        for bi in 0..nb {
+            let s = 30.0;
+            t.add(
+                bi,
+                bi,
+                Block3::from_rows([
+                    [4.0 * s, 0.3, 0.0],
+                    [0.3, 4.0, 0.3],
+                    [0.0, 0.3, 4.0 / s],
+                ]),
+            );
+            if bi + 1 < nb {
+                t.add_symmetric_pair(bi, bi + 1, Block3::scaled_identity(-0.005));
+            }
+        }
+        t.build()
+    }
+
+    #[test]
+    fn invert3_round_trip() {
+        let b = Block3::from_rows([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]]);
+        let inv = invert3(&b).unwrap();
+        let prod = b * inv;
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((prod.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn invert3_rejects_singular() {
+        let b = Block3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]]);
+        assert!(invert3(&b).is_none());
+    }
+
+    #[test]
+    fn pcg_with_identity_matches_cg() {
+        let a = ill_conditioned(10);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let cfg = SolveConfig::default();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let r1 = cg(&a, &b, &mut x1, &cfg);
+        let r2 = pcg(&a, &IdentityPreconditioner, &b, &mut x2, &cfg);
+        assert!(r1.converged && r2.converged);
+        assert!(r1.iterations.abs_diff(r2.iterations) <= 1);
+    }
+
+    #[test]
+    fn block_jacobi_cuts_iterations_on_scaled_problem() {
+        let a = ill_conditioned(30);
+        let n = a.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+        let cfg = SolveConfig { tol: 1e-8, max_iter: 5000 };
+
+        let mut x_plain = vec![0.0; n];
+        let plain = cg(&a, &b, &mut x_plain, &cfg);
+        let pc = BlockJacobi::new(&a).unwrap();
+        let mut x_pc = vec![0.0; n];
+        let pcg_res = pcg(&a, &pc, &b, &mut x_pc, &cfg);
+        assert!(plain.converged && pcg_res.converged);
+        assert!(
+            pcg_res.iterations * 2 < plain.iterations,
+            "PCG {} vs CG {}",
+            pcg_res.iterations,
+            plain.iterations
+        );
+        // same solution
+        for (u, v) in x_pc.iter().zip(&x_plain) {
+            assert!((u - v).abs() <= 1e-5 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn stale_preconditioner_still_converges() {
+        // The paper's reuse pattern: precondition with the matrix from
+        // an earlier step.
+        let a_old = ill_conditioned(20);
+        let mut a_new = a_old.clone();
+        for blk in a_new.blocks_mut() {
+            *blk = *blk * 1.05; // drifted matrix
+        }
+        let pc = BlockJacobi::new(&a_old).unwrap();
+        let n = a_new.n_rows();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let res = pcg(&a_new, &pc, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+    }
+}

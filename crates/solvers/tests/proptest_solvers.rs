@@ -1,0 +1,166 @@
+//! Property-based tests of the solver stack on randomly generated SPD
+//! problems: convergence contracts, block/single agreement, direct vs
+//! iterative agreement, and spectral-approximation invariants.
+
+use mrhs_solvers::dense;
+use mrhs_solvers::{
+    block_cg, cg, spectral_bounds, ChebyshevSqrt, DenseCholesky, DenseOperator,
+    LinearOperator, SolveConfig,
+};
+use mrhs_sparse::MultiVec;
+use proptest::prelude::*;
+
+/// Strategy: a random dense SPD matrix `A = Bᵀ·B + d·I` of dimension `n`.
+fn arb_spd(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (2usize..=max_n)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec(-1.0f64..1.0, n * n),
+                0.5f64..3.0,
+            )
+        })
+        .prop_map(|(n, b, shift)| {
+            let bt = dense::transpose(&b, n, n);
+            let mut a = dense::matmul(&bt, n, n, &b, n);
+            for i in 0..n {
+                a[i * n + i] += shift;
+            }
+            (n, a)
+        })
+}
+
+fn residual_norm(a: &[f64], n: usize, x: &[f64], b: &[f64]) -> f64 {
+    let ax = dense::matmul(a, n, n, x, 1);
+    ax.iter()
+        .zip(b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cg_meets_its_tolerance((n, a) in arb_spd(12)) {
+        let op = DenseOperator::new(n, a.clone());
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assume!(bn > 0.0);
+        let mut x = vec![0.0; n];
+        let cfg = SolveConfig { tol: 1e-9, max_iter: 20 * n };
+        let res = cg(&op, &b, &mut x, &cfg);
+        prop_assert!(res.converged);
+        prop_assert!(residual_norm(&a, n, &x, &b) <= 1e-8 * bn.max(1.0));
+    }
+
+    #[test]
+    fn block_cg_matches_cholesky((n, a) in arb_spd(10), m in 1usize..5) {
+        let op = DenseOperator::new(n, a.clone());
+        let chol = DenseCholesky::factor_dense(&a, n).expect("SPD");
+        let mut b = MultiVec::zeros(n, m);
+        for j in 0..m {
+            let col: Vec<f64> =
+                (0..n).map(|i| (((i + j) * 3 % 7) as f64) - 3.0).collect();
+            b.set_column(j, &col);
+        }
+        let mut x = MultiVec::zeros(n, m);
+        let cfg = SolveConfig { tol: 1e-11, max_iter: 30 * n };
+        let res = block_cg(&op, &b, &mut x, &cfg);
+        prop_assert!(res.converged, "{res:?}");
+        let mut want = b.clone();
+        chol.solve_multi_in_place(&mut want);
+        let scale = want.max_abs().max(1.0);
+        for (u, v) in x.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((u - v).abs() <= 1e-6 * scale, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn warm_start_never_hurts((n, a) in arb_spd(10)) {
+        let op = DenseOperator::new(n, a);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) + 1.0).collect();
+        let cfg = SolveConfig { tol: 1e-8, max_iter: 20 * n };
+        let mut x_cold = vec![0.0; n];
+        let cold = cg(&op, &b, &mut x_cold, &cfg);
+        prop_assert!(cold.converged);
+        let mut x_warm = x_cold.clone();
+        let warm = cg(&op, &b, &mut x_warm, &cfg);
+        prop_assert!(warm.converged);
+        prop_assert!(warm.iterations <= 1, "exact guess needs no iterations");
+    }
+
+    #[test]
+    fn cholesky_reconstructs((n, a) in arb_spd(9)) {
+        let chol = DenseCholesky::factor_dense(&a, n).expect("SPD");
+        let lt = dense::transpose(chol.l(), n, n);
+        let llt = dense::matmul(chol.l(), n, n, &lt, n);
+        let scale = a.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        prop_assert!(dense::max_diff(&llt, &a) <= 1e-9 * scale);
+    }
+
+    #[test]
+    fn lu_solves_random_systems((n, a) in arb_spd(9)) {
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 11 % 7) as f64) - 3.0).collect();
+        let b = dense::matmul(&a, n, n, &x_true, 1);
+        let mut lu = a.clone();
+        let mut x = b.clone();
+        prop_assert!(dense::lu_solve(&mut lu, n, &mut x, 1));
+        let scale = x_true.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for (u, v) in x.iter().zip(&x_true) {
+            prop_assert!((u - v).abs() <= 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn chebyshev_sqrt_accurate_on_random_interval(
+        lo in 0.05f64..2.0,
+        width in 1.0f64..40.0,
+    ) {
+        let cheb = ChebyshevSqrt::new(lo, lo + width, 40);
+        // error scales with sqrt of the interval's upper end
+        let tol = 1e-2 * (lo + width).sqrt() * (width / lo / 100.0).max(0.01);
+        prop_assert!(cheb.max_error(400) <= tol.max(1e-8),
+            "err {} tol {tol}", cheb.max_error(400));
+    }
+
+    #[test]
+    fn spectral_bounds_bracket_dense_spectrum((n, a) in arb_spd(10)) {
+        let op = DenseOperator::new(n, a.clone());
+        let bounds = spectral_bounds(&op, 3 * n, None);
+        // Rayleigh quotients live inside [lo, hi] up to the widening slack.
+        for seed in 1u64..4 {
+            let mut state = seed;
+            let v: Vec<f64> = (0..n).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }).collect();
+            let mut av = vec![0.0; n];
+            op.apply(&v, &mut av);
+            let q: f64 = v.iter().zip(&av).map(|(u, w)| u * w).sum::<f64>()
+                / v.iter().map(|u| u * u).sum::<f64>();
+            prop_assert!(q >= bounds.lo * 0.85 && q <= bounds.hi * 1.15,
+                "q={q} not within [{}, {}]", bounds.lo, bounds.hi);
+        }
+    }
+
+    #[test]
+    fn chebyshev_squares_to_matrix((n, a) in arb_spd(8)) {
+        let op = DenseOperator::new(n, a.clone());
+        let bounds = spectral_bounds(&op, 3 * n, None);
+        let cheb = ChebyshevSqrt::new(bounds.lo * 0.9, bounds.hi * 1.1, 60);
+        let z: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) - 1.5).collect();
+        let mut s1 = vec![0.0; n];
+        let mut s2 = vec![0.0; n];
+        cheb.apply(&op, &z, &mut s1);
+        cheb.apply(&op, &s1, &mut s2);
+        let az = dense::matmul(&a, n, n, &z, 1);
+        let scale = az.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for (u, v) in s2.iter().zip(&az) {
+            prop_assert!((u - v).abs() <= 2e-3 * scale, "{u} vs {v}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Dense 3×3 blocks.
+//!
+//! Resistance matrices in Stokesian dynamics are block matrices whose
+//! 3×3 blocks couple the translational degrees of freedom of a particle
+//! pair. `Block3` stores one such block row-major in a flat `[f64; 9]`.
+
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense 3×3 block stored row-major: entry `(i, j)` lives at `3*i + j`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Block3(pub [f64; 9]);
+
+impl Block3 {
+    /// The zero block.
+    pub const ZERO: Block3 = Block3([0.0; 9]);
+
+    /// The identity block.
+    pub const IDENTITY: Block3 =
+        Block3([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+
+    /// Builds a block from a row-major 2-D array.
+    #[inline]
+    pub fn from_rows(rows: [[f64; 3]; 3]) -> Self {
+        Block3([
+            rows[0][0], rows[0][1], rows[0][2], //
+            rows[1][0], rows[1][1], rows[1][2], //
+            rows[2][0], rows[2][1], rows[2][2],
+        ])
+    }
+
+    /// `s · I`.
+    #[inline]
+    pub fn scaled_identity(s: f64) -> Self {
+        Block3([s, 0.0, 0.0, 0.0, s, 0.0, 0.0, 0.0, s])
+    }
+
+    /// The dyadic (outer) product `a ⊗ b`.
+    #[inline]
+    pub fn outer(a: [f64; 3], b: [f64; 3]) -> Self {
+        let mut m = [0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[3 * i + j] = a[i] * b[j];
+            }
+        }
+        Block3(m)
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.0[3 * i + j]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.0[3 * i + j]
+    }
+
+    /// The transposed block.
+    #[inline]
+    pub fn transpose(&self) -> Block3 {
+        let a = &self.0;
+        Block3([a[0], a[3], a[6], a[1], a[4], a[7], a[2], a[5], a[8]])
+    }
+
+    /// Matrix–vector product with a length-3 vector.
+    #[inline]
+    pub fn mul_vec(&self, x: [f64; 3]) -> [f64; 3] {
+        let a = &self.0;
+        [
+            a[0] * x[0] + a[1] * x[1] + a[2] * x[2],
+            a[3] * x[0] + a[4] * x[1] + a[5] * x[2],
+            a[6] * x[0] + a[7] * x[1] + a[8] * x[2],
+        ]
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.0.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sum of absolute values of all entries (used for Gershgorin bounds).
+    pub fn abs_sum(&self) -> f64 {
+        self.0.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Row-wise absolute sums.
+    pub fn row_abs_sums(&self) -> [f64; 3] {
+        let a = &self.0;
+        [
+            a[0].abs() + a[1].abs() + a[2].abs(),
+            a[3].abs() + a[4].abs() + a[5].abs(),
+            a[6].abs() + a[7].abs() + a[8].abs(),
+        ]
+    }
+
+    /// Trace of the block.
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.0[0] + self.0[4] + self.0[8]
+    }
+
+    /// Whether the block is (exactly) symmetric.
+    pub fn is_symmetric(&self) -> bool {
+        let a = &self.0;
+        a[1] == a[3] && a[2] == a[6] && a[5] == a[7]
+    }
+
+    /// Whether the block is symmetric within tolerance `tol` (absolute).
+    pub fn is_symmetric_within(&self, tol: f64) -> bool {
+        let a = &self.0;
+        (a[1] - a[3]).abs() <= tol
+            && (a[2] - a[6]).abs() <= tol
+            && (a[5] - a[7]).abs() <= tol
+    }
+}
+
+impl Default for Block3 {
+    fn default() -> Self {
+        Block3::ZERO
+    }
+}
+
+impl Add for Block3 {
+    type Output = Block3;
+    #[inline]
+    fn add(self, rhs: Block3) -> Block3 {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o += r;
+        }
+        Block3(out)
+    }
+}
+
+impl AddAssign for Block3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Block3) {
+        for (o, r) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o += r;
+        }
+    }
+}
+
+impl Sub for Block3 {
+    type Output = Block3;
+    #[inline]
+    fn sub(self, rhs: Block3) -> Block3 {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o -= r;
+        }
+        Block3(out)
+    }
+}
+
+impl Neg for Block3 {
+    type Output = Block3;
+    #[inline]
+    fn neg(self) -> Block3 {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = -*o;
+        }
+        Block3(out)
+    }
+}
+
+impl Mul<f64> for Block3 {
+    type Output = Block3;
+    #[inline]
+    fn mul(self, s: f64) -> Block3 {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o *= s;
+        }
+        Block3(out)
+    }
+}
+
+impl Mul<Block3> for Block3 {
+    type Output = Block3;
+    /// Dense 3×3 matrix product.
+    fn mul(self, rhs: Block3) -> Block3 {
+        let mut out = [0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += self.get(i, k) * rhs.get(k, j);
+                }
+                out[3 * i + j] = acc;
+            }
+        }
+        Block3(out)
+    }
+}
+
+impl Index<(usize, usize)> for Block3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.0[3 * i + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Block3 {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.0[3 * i + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mul_vec_is_noop() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(Block3::IDENTITY.mul_vec(v), v);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let b = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        assert_eq!(b.transpose().transpose(), b);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let b = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let t = b.transpose();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.get(i, j), b.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn outer_product_symmetric_for_same_vector() {
+        let e = [1.0, 2.0, 3.0];
+        let b = Block3::outer(e, e);
+        assert!(b.is_symmetric());
+        assert_eq!(b.get(0, 1), 2.0);
+        assert_eq!(b.get(2, 2), 9.0);
+    }
+
+    #[test]
+    fn block_matmul_matches_manual() {
+        let a = Block3::from_rows([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]]);
+        let b = Block3::from_rows([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0], [1.0, 0.0, 1.0]]);
+        let c = a * b;
+        // row 0: [1+2, 1, 2]
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(0, 2), 2.0);
+        // row 2: [4+5, 4, 5]
+        assert_eq!(c.get(2, 0), 9.0);
+        assert_eq!(c.get(2, 1), 4.0);
+        assert_eq!(c.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn scaled_identity_trace() {
+        assert_eq!(Block3::scaled_identity(2.5).trace(), 7.5);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let b = Block3::scaled_identity(0.5);
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn row_abs_sums_with_negatives() {
+        let b = Block3::from_rows([[-1.0, 2.0, -3.0], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]);
+        assert_eq!(b.row_abs_sums(), [6.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_identity() {
+        assert!((Block3::IDENTITY.frobenius_norm() - 3f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neg_negates_every_entry() {
+        let b = Block3::from_rows([[1.0, -2.0, 3.0], [0.0, 4.0, 0.0], [5.0, 0.0, -6.0]]);
+        let n = -b;
+        for i in 0..9 {
+            assert_eq!(n.0[i], -b.0[i]);
+        }
+    }
+
+    #[test]
+    fn index_operators() {
+        let mut b = Block3::ZERO;
+        b[(1, 2)] = 7.0;
+        assert_eq!(b[(1, 2)], 7.0);
+        assert_eq!(b.get(1, 2), 7.0);
+    }
+}

@@ -1,0 +1,540 @@
+//! SPMV and GSPMV kernels.
+//!
+//! The paper's "basic kernel" multiplies one 3×3 block by a 3×`m` slab of
+//! the multivector with the multiplication of each matrix element
+//! unrolled by `m` (§IV-A1, produced there by a code generator emitting
+//! SSE/AVX). Here the code generator is the Rust compiler: the kernel is
+//! monomorphized over `const M: usize` so that the `m`-wide inner loops
+//! are fixed-trip-count arrays that LLVM unrolls and autovectorizes.
+//! A generic any-`m` fallback handles the remaining sizes, and an
+//! ablation bench compares the two.
+//!
+//! Thread blocking follows the paper: block rows are split into chunks of
+//! balanced non-zero count and each chunk writes a disjoint slice of `Y`.
+
+use crate::bcrs::BcrsMatrix;
+use crate::multivec::MultiVec;
+use crate::BLOCK_DIM;
+use std::ops::Range;
+
+/// The `m` sizes with dedicated monomorphized kernels. Mirrors the set of
+/// generated kernels in the paper's experiments (m up to 32 on clusters,
+/// 42 on single node; sizes in between fall back to the generic kernel).
+pub const SPECIALIZED_M: &[usize] = &[1, 2, 4, 8, 12, 16, 24, 32, 42, 48];
+
+/// Single-vector SPMV on plain slices: `y = A·x`.
+///
+/// `x` must have `a.n_cols()` entries and `y` must have `a.n_rows()`.
+pub fn spmv_serial(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.n_cols(), "x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "y length mismatch");
+    spmv_rows(a, x, y, 0..a.nb_rows());
+}
+
+fn spmv_rows(a: &BcrsMatrix, x: &[f64], y: &mut [f64], rows: Range<usize>) {
+    let y_base = rows.start * BLOCK_DIM;
+    for bi in rows {
+        let (cols, blocks) = a.block_row(bi);
+        let mut acc = [0.0f64; BLOCK_DIM];
+        for (c, b) in cols.iter().zip(blocks) {
+            let xc = &x[*c as usize * BLOCK_DIM..*c as usize * BLOCK_DIM + BLOCK_DIM];
+            let v = b.mul_vec([xc[0], xc[1], xc[2]]);
+            acc[0] += v[0];
+            acc[1] += v[1];
+            acc[2] += v[2];
+        }
+        let yo = bi * BLOCK_DIM - y_base;
+        y[yo..yo + BLOCK_DIM].copy_from_slice(&acc);
+    }
+}
+
+/// Serial GSPMV: `Y = A·X` with `X`, `Y` row-major multivectors.
+///
+/// Dispatches to a monomorphized kernel when `X.m()` is in
+/// [`SPECIALIZED_M`], otherwise uses the generic any-`m` kernel.
+pub fn gspmv_serial(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    check_shapes(a, x, y);
+    let m = x.m();
+    let rows = 0..a.nb_rows();
+    dispatch_rows(a, x.as_slice(), y.as_mut_slice(), m, rows);
+}
+
+/// Serial GSPMV that always uses the generic (non-unrolled) kernel.
+/// Exists for the unrolled-vs-generic ablation bench.
+pub fn gspmv_serial_generic(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    check_shapes(a, x, y);
+    gspmv_rows_generic(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
+}
+
+/// Parallel GSPMV: block rows are chunked with balanced non-zero counts
+/// (the paper's thread blocking) and chunks run on the rayon pool.
+pub fn gspmv(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    check_shapes(a, x, y);
+    let m = x.m();
+    let nthreads = rayon::current_num_threads();
+    if nthreads <= 1 || a.nnz_blocks() < 1 << 14 {
+        dispatch_rows(a, x.as_slice(), y.as_mut_slice(), m, 0..a.nb_rows());
+        return;
+    }
+    let chunks = balanced_row_chunks(a, nthreads * 4);
+    // Slice Y into disjoint per-chunk windows.
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::with_capacity(chunks.len());
+    let mut rest = y.as_mut_slice();
+    let mut consumed = 0usize;
+    for r in &chunks {
+        let len = (r.end - r.start) * BLOCK_DIM * m;
+        debug_assert_eq!(r.start * BLOCK_DIM * m, consumed);
+        let (head, tail) = rest.split_at_mut(len);
+        jobs.push((r.clone(), head));
+        rest = tail;
+        consumed += len;
+    }
+    let xs = x.as_slice();
+    rayon::scope(|s| {
+        for (rows, yslice) in jobs {
+            s.spawn(move |_| dispatch_rows(a, xs, yslice, m, rows));
+        }
+    });
+}
+
+/// Parallel single-vector SPMV.
+pub fn spmv(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.n_cols());
+    assert_eq!(y.len(), a.n_rows());
+    let nthreads = rayon::current_num_threads();
+    if nthreads <= 1 || a.nnz_blocks() < 1 << 14 {
+        spmv_rows(a, x, y, 0..a.nb_rows());
+        return;
+    }
+    let chunks = balanced_row_chunks(a, nthreads * 4);
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::with_capacity(chunks.len());
+    let mut rest = y;
+    for r in &chunks {
+        let len = (r.end - r.start) * BLOCK_DIM;
+        let (head, tail) = rest.split_at_mut(len);
+        jobs.push((r.clone(), head));
+        rest = tail;
+    }
+    rayon::scope(|s| {
+        for (rows, yslice) in jobs {
+            s.spawn(move |_| spmv_rows(a, x, yslice, rows));
+        }
+    });
+}
+
+/// Splits the block rows of `a` into at most `nchunks` contiguous ranges
+/// with approximately equal stored-block counts. Every block row appears
+/// in exactly one range.
+#[allow(clippy::single_range_in_vec_init)]
+pub fn balanced_row_chunks(a: &BcrsMatrix, nchunks: usize) -> Vec<Range<usize>> {
+    let nb = a.nb_rows();
+    let nnzb = a.nnz_blocks();
+    if nb == 0 || nchunks <= 1 {
+        return vec![0..nb];
+    }
+    let target = (nnzb / nchunks).max(1);
+    let row_ptr = a.row_ptr();
+    let mut chunks = Vec::with_capacity(nchunks);
+    let mut start = 0usize;
+    let mut next_cut = target;
+    for bi in 0..nb {
+        if row_ptr[bi + 1] >= next_cut && bi + 1 > start && chunks.len() + 1 < nchunks {
+            chunks.push(start..bi + 1);
+            start = bi + 1;
+            next_cut = row_ptr[bi + 1] + target;
+        }
+    }
+    if start < nb || chunks.is_empty() {
+        chunks.push(start..nb);
+    }
+    chunks
+}
+
+fn check_shapes(a: &BcrsMatrix, x: &MultiVec, y: &MultiVec) {
+    assert_eq!(x.n(), a.n_cols(), "X row count must equal matrix columns");
+    assert_eq!(y.n(), a.n_rows(), "Y row count must equal matrix rows");
+    assert_eq!(x.m(), y.m(), "X and Y must have the same number of columns");
+}
+
+/// Row-range kernel dispatch: monomorphized when possible.
+pub(crate) fn dispatch_rows(
+    a: &BcrsMatrix,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    rows: Range<usize>,
+) {
+    match m {
+        1 => gspmv_rows_fixed::<1>(a, x, y, rows),
+        2 => gspmv_rows_fixed::<2>(a, x, y, rows),
+        4 => gspmv_rows_fixed::<4>(a, x, y, rows),
+        8 => gspmv_rows_fixed::<8>(a, x, y, rows),
+        12 => gspmv_rows_fixed::<12>(a, x, y, rows),
+        16 => gspmv_rows_fixed::<16>(a, x, y, rows),
+        24 => gspmv_rows_fixed::<24>(a, x, y, rows),
+        32 => gspmv_rows_fixed::<32>(a, x, y, rows),
+        42 => gspmv_rows_fixed::<42>(a, x, y, rows),
+        48 => gspmv_rows_fixed::<48>(a, x, y, rows),
+        _ => gspmv_rows_generic(a, x, y, m, rows),
+    }
+}
+
+/// The monomorphized basic kernel: each 3×3 block multiplies a 3×M slab.
+/// `y` is the slice for `rows` only (disjoint output windows in the
+/// parallel driver).
+fn gspmv_rows_fixed<const M: usize>(
+    a: &BcrsMatrix,
+    x: &[f64],
+    y: &mut [f64],
+    rows: Range<usize>,
+) {
+    let y_base = rows.start * BLOCK_DIM * M;
+    for bi in rows {
+        let (cols, blocks) = a.block_row(bi);
+        let mut acc = [[0.0f64; M]; BLOCK_DIM];
+        for (c, b) in cols.iter().zip(blocks) {
+            let xoff = *c as usize * BLOCK_DIM * M;
+            let xs = &x[xoff..xoff + BLOCK_DIM * M];
+            let x0: &[f64; M] = xs[..M].try_into().unwrap();
+            let x1: &[f64; M] = xs[M..2 * M].try_into().unwrap();
+            let x2: &[f64; M] = xs[2 * M..].try_into().unwrap();
+            // One fused M-wide pass per output row: three broadcasts,
+            // three FMAs per element, everything at compile-time trip
+            // counts — the shape the paper's generated SIMD kernels had.
+            for i in 0..BLOCK_DIM {
+                let (a0, a1, a2) = (b.get(i, 0), b.get(i, 1), b.get(i, 2));
+                let acc_i = &mut acc[i];
+                for j in 0..M {
+                    acc_i[j] += a0 * x0[j] + a1 * x1[j] + a2 * x2[j];
+                }
+            }
+        }
+        let yo = bi * BLOCK_DIM * M - y_base;
+        for i in 0..BLOCK_DIM {
+            y[yo + i * M..yo + (i + 1) * M].copy_from_slice(&acc[i]);
+        }
+    }
+}
+
+/// Generic any-`m` kernel. Columns are strip-mined in fixed-width
+/// groups of 8 and 4 (with a scalar remainder) so the hot inner loops
+/// have compile-time trip counts and autovectorize even though `m` is a
+/// runtime value; only the final `m mod 4` columns take the scalar
+/// path. The naive fully-runtime loop lives on in
+/// [`gspmv_rows_naive`] as the ablation baseline.
+fn gspmv_rows_generic(
+    a: &BcrsMatrix,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    rows: Range<usize>,
+) {
+    let y_base = rows.start * BLOCK_DIM * m;
+    let mut acc = vec![0.0f64; BLOCK_DIM * m];
+    for bi in rows {
+        let (cols, blocks) = a.block_row(bi);
+        acc.fill(0.0);
+        for (c, b) in cols.iter().zip(blocks) {
+            let xoff = *c as usize * BLOCK_DIM * m;
+            let xs = &x[xoff..xoff + BLOCK_DIM * m];
+            for i in 0..BLOCK_DIM {
+                let ai = [b.get(i, 0), b.get(i, 1), b.get(i, 2)];
+                let acc_i = &mut acc[i * m..(i + 1) * m];
+                for cc in 0..BLOCK_DIM {
+                    let av = ai[cc];
+                    let xr = &xs[cc * m..cc * m + m];
+                    // 8-wide strips, then 4-wide, then scalar tail.
+                    let mut j = 0;
+                    while j + 8 <= m {
+                        let xw: &[f64; 8] = xr[j..j + 8].try_into().unwrap();
+                        let aw: &mut [f64] = &mut acc_i[j..j + 8];
+                        for (a8, x8) in aw.iter_mut().zip(xw) {
+                            *a8 += av * x8;
+                        }
+                        j += 8;
+                    }
+                    while j + 4 <= m {
+                        let xw: &[f64; 4] = xr[j..j + 4].try_into().unwrap();
+                        let aw: &mut [f64] = &mut acc_i[j..j + 4];
+                        for (a4, x4) in aw.iter_mut().zip(xw) {
+                            *a4 += av * x4;
+                        }
+                        j += 4;
+                    }
+                    while j < m {
+                        acc_i[j] += av * xr[j];
+                        j += 1;
+                    }
+                }
+            }
+        }
+        let yo = bi * BLOCK_DIM * m - y_base;
+        y[yo..yo + BLOCK_DIM * m].copy_from_slice(&acc);
+    }
+}
+
+/// The fully-runtime-loop kernel: what GSPMV looks like with no
+/// unrolling help at all. Kept (and exposed through
+/// [`gspmv_serial_naive`]) purely as the ablation baseline.
+fn gspmv_rows_naive(
+    a: &BcrsMatrix,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    rows: Range<usize>,
+) {
+    let y_base = rows.start * BLOCK_DIM * m;
+    let mut acc = vec![0.0f64; BLOCK_DIM * m];
+    for bi in rows {
+        let (cols, blocks) = a.block_row(bi);
+        acc.fill(0.0);
+        for (c, b) in cols.iter().zip(blocks) {
+            let xoff = *c as usize * BLOCK_DIM * m;
+            let xs = &x[xoff..xoff + BLOCK_DIM * m];
+            for i in 0..BLOCK_DIM {
+                for cc in 0..BLOCK_DIM {
+                    let av = b.get(i, cc);
+                    for j in 0..m {
+                        acc[i * m + j] += av * xs[cc * m + j];
+                    }
+                }
+            }
+        }
+        let yo = bi * BLOCK_DIM * m - y_base;
+        y[yo..yo + BLOCK_DIM * m].copy_from_slice(&acc);
+    }
+}
+
+/// Serial GSPMV through the naive kernel (ablation baseline).
+pub fn gspmv_serial_naive(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    check_shapes(a, x, y);
+    gspmv_rows_naive(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block3;
+    use crate::triplet::BlockTripletBuilder;
+
+    /// Deterministic pseudo-random sparse SPD-ish test matrix.
+    fn test_matrix(nb: usize, bandwidth: usize) -> BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for bi in 0..nb {
+            t.add(bi, bi, Block3::scaled_identity(10.0));
+            for d in 1..=bandwidth {
+                if bi + d < nb {
+                    let mut b = Block3::ZERO;
+                    for v in b.0.iter_mut() {
+                        *v = rng();
+                    }
+                    t.add_symmetric_pair(bi, bi + d, b);
+                }
+            }
+        }
+        t.build()
+    }
+
+    /// Approximate multivector equality: the fused and sequential
+    /// kernels associate the three per-block FMAs differently, so
+    /// results differ at the last bit.
+    fn assert_close(a: &MultiVec, b: &MultiVec, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}");
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(
+                (u - v).abs() <= 1e-12 * u.abs().max(v.abs()).max(1.0),
+                "{ctx}: {u} vs {v}"
+            );
+        }
+    }
+
+    fn dense_mat_vec(dense: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| dense[i * n + j] * x[j]).sum())
+            .collect()
+    }
+
+    fn pseudo_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = test_matrix(7, 2);
+        let n = a.n_rows();
+        let dense = a.to_dense();
+        let x = pseudo_vec(n, 42);
+        let mut y = vec![0.0; n];
+        spmv_serial(&a, &x, &mut y);
+        let want = dense_mat_vec(&dense, n, &x);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gspmv_each_column_matches_spmv() {
+        let a = test_matrix(9, 3);
+        let n = a.n_rows();
+        for &m in &[1usize, 2, 3, 4, 5, 8, 12, 16, 17, 24, 32, 33] {
+            let mut x = MultiVec::zeros(n, m);
+            for j in 0..m {
+                x.set_column(j, &pseudo_vec(n, 1000 + j as u64));
+            }
+            let mut y = MultiVec::zeros(n, m);
+            gspmv_serial(&a, &x, &mut y);
+            for j in 0..m {
+                let mut yj = vec![0.0; n];
+                spmv_serial(&a, &x.column(j), &mut yj);
+                let got = y.column(j);
+                for (g, w) in got.iter().zip(&yj) {
+                    assert!((g - w).abs() < 1e-12, "m={m} col={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generic_and_specialized_kernels_agree() {
+        let a = test_matrix(11, 4);
+        let n = a.n_rows();
+        for &m in SPECIALIZED_M {
+            let mut x = MultiVec::zeros(n, m);
+            for j in 0..m {
+                x.set_column(j, &pseudo_vec(n, 7 + j as u64));
+            }
+            let mut y1 = MultiVec::zeros(n, m);
+            let mut y2 = MultiVec::zeros(n, m);
+            gspmv_serial(&a, &x, &mut y1);
+            gspmv_serial_generic(&a, &x, &mut y2);
+            assert_close(&y1, &y2, &format!("m={m}"));
+        }
+    }
+
+    #[test]
+    fn naive_strip_mined_and_specialized_all_agree() {
+        let a = test_matrix(9, 3);
+        let n = a.n_rows();
+        // Sizes exercising every strip combination: 8s, 4s, and tails.
+        for m in [1usize, 3, 5, 6, 7, 9, 11, 13, 15, 17, 20, 23] {
+            let mut x = MultiVec::zeros(n, m);
+            for j in 0..m {
+                x.set_column(j, &pseudo_vec(n, 31 + j as u64));
+            }
+            let mut y1 = MultiVec::zeros(n, m);
+            let mut y2 = MultiVec::zeros(n, m);
+            let mut y3 = MultiVec::zeros(n, m);
+            gspmv_serial(&a, &x, &mut y1);
+            gspmv_serial_generic(&a, &x, &mut y2);
+            gspmv_serial_naive(&a, &x, &mut y3);
+            assert_close(&y1, &y2, &format!("m={m} generic"));
+            assert_close(&y1, &y3, &format!("m={m} naive"));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = test_matrix(500, 6);
+        let n = a.n_rows();
+        let m = 8;
+        let mut x = MultiVec::zeros(n, m);
+        for j in 0..m {
+            x.set_column(j, &pseudo_vec(n, 99 + j as u64));
+        }
+        let mut y1 = MultiVec::zeros(n, m);
+        let mut y2 = MultiVec::zeros(n, m);
+        gspmv_serial(&a, &x, &mut y1);
+        gspmv(&a, &x, &mut y2);
+        assert_eq!(y1, y2);
+
+        let xv = pseudo_vec(n, 5);
+        let mut z1 = vec![0.0; n];
+        let mut z2 = vec![0.0; n];
+        spmv_serial(&a, &xv, &mut z1);
+        spmv(&a, &xv, &mut z2);
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn gspmv_overwrites_stale_output() {
+        let a = test_matrix(4, 1);
+        let n = a.n_rows();
+        let x = MultiVec::zeros(n, 4);
+        let mut y = MultiVec::zeros(n, 4);
+        y.fill(123.0);
+        gspmv_serial(&a, &x, &mut y);
+        assert_eq!(y.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn balanced_chunks_cover_all_rows_exactly_once() {
+        let a = test_matrix(103, 5);
+        for &nc in &[1usize, 2, 3, 7, 16, 200] {
+            let chunks = balanced_row_chunks(&a, nc);
+            let mut next = 0;
+            for c in &chunks {
+                assert_eq!(c.start, next);
+                assert!(c.end > c.start || chunks.len() == 1);
+                next = c.end;
+            }
+            assert_eq!(next, a.nb_rows());
+            assert!(chunks.len() <= nc.max(1));
+        }
+    }
+
+    #[test]
+    fn balanced_chunks_have_balanced_nnz() {
+        let a = test_matrix(400, 8);
+        let chunks = balanced_row_chunks(&a, 4);
+        let nnz: Vec<usize> = chunks
+            .iter()
+            .map(|r| a.row_ptr()[r.end] - a.row_ptr()[r.start])
+            .collect();
+        let avg = a.nnz_blocks() as f64 / nnz.len() as f64;
+        for v in &nnz {
+            assert!((*v as f64) < 1.8 * avg, "imbalanced: {nnz:?}");
+        }
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        // A matrix with some completely empty block rows.
+        let mut t = BlockTripletBuilder::square(5);
+        t.add(0, 0, Block3::IDENTITY);
+        t.add(4, 4, Block3::scaled_identity(2.0));
+        let a = t.build();
+        let x = MultiVec::from_flat(15, 2, vec![1.0; 30]);
+        let mut y = MultiVec::zeros(15, 2);
+        gspmv_serial(&a, &x, &mut y);
+        assert_eq!(y.get(0, 0), 1.0);
+        assert_eq!(y.get(3, 0), 0.0); // empty row 1
+        assert_eq!(y.get(12, 1), 2.0);
+    }
+
+    #[test]
+    fn rectangular_gspmv() {
+        let mut t = BlockTripletBuilder::new(2, 3);
+        t.add(0, 2, Block3::IDENTITY);
+        t.add(1, 0, Block3::scaled_identity(3.0));
+        let a = t.build();
+        let x = MultiVec::from_flat(9, 1, (1..=9).map(|v| v as f64).collect());
+        let mut y = MultiVec::zeros(6, 1);
+        gspmv_serial(&a, &x, &mut y);
+        assert_eq!(y.column(0), vec![7.0, 8.0, 9.0, 3.0, 6.0, 9.0]);
+    }
+}

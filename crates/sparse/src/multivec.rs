@@ -1,0 +1,551 @@
+//! Row-major multivectors: a block of `m` vectors of scalar length `n`.
+//!
+//! The paper stores the `m` right-hand-side vectors row-major — all `m`
+//! values belonging to one scalar row are contiguous — so that the GSPMV
+//! inner loop streams unit-stride through both `X` and `Y` (§IV-A1).
+
+use std::ops::Range;
+
+/// Dispatches a const-generic helper on the common square column counts
+/// (the same set the GSPMV kernels specialize), yielding `Some(result)`
+/// or `None` for other sizes.
+macro_rules! dispatch_square_m {
+    ($m:expr, $f:ident, ($($args:expr),*)) => {
+        match $m {
+            1 => Some($f::<1>($($args),*)),
+            2 => Some($f::<2>($($args),*)),
+            4 => Some($f::<4>($($args),*)),
+            8 => Some($f::<8>($($args),*)),
+            12 => Some($f::<12>($($args),*)),
+            16 => Some($f::<16>($($args),*)),
+            24 => Some($f::<24>($($args),*)),
+            32 => Some($f::<32>($($args),*)),
+            42 => Some($f::<42>($($args),*)),
+            48 => Some($f::<48>($($args),*)),
+            _ => None,
+        }
+    };
+}
+
+/// Monomorphized Gram kernel: fixed-width inner loops, accumulators in a
+/// stack tile.
+fn gram_fixed<const M: usize>(a: &MultiVec, b: &MultiVec) -> Vec<f64> {
+    let mut g = vec![0.0f64; M * M];
+    for (srow, orow) in
+        a.data.chunks_exact(M).zip(b.data.chunks_exact(M))
+    {
+        let o: &[f64; M] = orow.try_into().unwrap();
+        for i in 0..M {
+            let s = srow[i];
+            let gi: &mut [f64] = &mut g[i * M..(i + 1) * M];
+            for j in 0..M {
+                gi[j] += s * o[j];
+            }
+        }
+    }
+    g
+}
+
+/// Monomorphized `X += P·C` kernel.
+fn add_mul_fixed<const M: usize>(x: &mut MultiVec, p: &MultiVec, c: &[f64]) {
+    for (drow, orow) in
+        x.data.chunks_exact_mut(M).zip(p.data.chunks_exact(M))
+    {
+        let d: &mut [f64; M] = drow.try_into().unwrap();
+        for k in 0..M {
+            let s = orow[k];
+            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
+            for j in 0..M {
+                d[j] += s * crow[j];
+            }
+        }
+    }
+}
+
+/// Monomorphized `P ← R + P·C` kernel.
+fn assign_add_mul_fixed<const M: usize>(
+    p: &mut MultiVec,
+    r: &MultiVec,
+    c: &[f64],
+) {
+    for (drow, orow) in
+        p.data.chunks_exact_mut(M).zip(r.data.chunks_exact(M))
+    {
+        let d: &mut [f64; M] = drow.try_into().unwrap();
+        let mut tmp: [f64; M] = *TryInto::<&[f64; M]>::try_into(orow).unwrap();
+        for k in 0..M {
+            let s = d[k];
+            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
+            for j in 0..M {
+                tmp[j] += s * crow[j];
+            }
+        }
+        *d = tmp;
+    }
+}
+
+/// Monomorphized fused `R −= Q·C; G = RᵀR` kernel.
+fn sub_mul_then_gram_fixed<const M: usize>(
+    r: &mut MultiVec,
+    q: &MultiVec,
+    c: &[f64],
+) -> Vec<f64> {
+    let mut g = vec![0.0f64; M * M];
+    for (drow, orow) in
+        r.data.chunks_exact_mut(M).zip(q.data.chunks_exact(M))
+    {
+        let d: &mut [f64; M] = drow.try_into().unwrap();
+        for k in 0..M {
+            let s = orow[k];
+            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
+            for j in 0..M {
+                d[j] -= s * crow[j];
+            }
+        }
+        for i in 0..M {
+            let s = d[i];
+            let gi: &mut [f64] = &mut g[i * M..(i + 1) * M];
+            for j in 0..M {
+                gi[j] += s * d[j];
+            }
+        }
+    }
+    g
+}
+
+/// `m` column vectors of length `n`, stored row-major: entry `(row, col)`
+/// lives at `row * m + col`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiVec {
+    n: usize,
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVec {
+    /// An `n × m` zero multivector.
+    pub fn zeros(n: usize, m: usize) -> Self {
+        MultiVec { n, m, data: vec![0.0; n * m] }
+    }
+
+    /// Builds from a flat row-major buffer of length `n·m`.
+    pub fn from_flat(n: usize, m: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * m, "flat buffer length mismatch");
+        MultiVec { n, m, data }
+    }
+
+    /// Builds an `n × m` multivector from `m` column slices.
+    pub fn from_columns(columns: &[&[f64]]) -> Self {
+        let m = columns.len();
+        assert!(m > 0, "at least one column required");
+        let n = columns[0].len();
+        assert!(columns.iter().all(|c| c.len() == n), "column length mismatch");
+        let mut mv = MultiVec::zeros(n, m);
+        for (j, col) in columns.iter().enumerate() {
+            mv.set_column(j, col);
+        }
+        mv
+    }
+
+    /// Builds a single-column multivector from a vector.
+    pub fn from_vec(v: Vec<f64>) -> Self {
+        let n = v.len();
+        MultiVec { n, m: 1, data: v }
+    }
+
+    /// Scalar length of each column.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.n && col < self.m);
+        self.data[row * self.m + col]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut f64 {
+        debug_assert!(row < self.n && col < self.m);
+        &mut self.data[row * self.m + col]
+    }
+
+    /// The `m` values of scalar row `row`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        &self.data[row * self.m..(row + 1) * self.m]
+    }
+
+    /// Mutable row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        &mut self.data[row * self.m..(row + 1) * self.m]
+    }
+
+    /// Copies column `col` out to a new vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.m);
+        (0..self.n).map(|r| self.data[r * self.m + col]).collect()
+    }
+
+    /// Overwrites column `col` from a slice.
+    pub fn set_column(&mut self, col: usize, values: &[f64]) {
+        assert!(col < self.m);
+        assert_eq!(values.len(), self.n);
+        for (r, v) in values.iter().enumerate() {
+            self.data[r * self.m + col] = *v;
+        }
+    }
+
+    /// Fills every entry with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// `self ← self + alpha[j] · other` column-wise: each column `j` is
+    /// scaled by its own coefficient. Shapes must match.
+    pub fn axpy_columns(&mut self, alpha: &[f64], other: &MultiVec) {
+        assert_eq!(self.shape(), other.shape());
+        assert_eq!(alpha.len(), self.m);
+        let m = self.m;
+        for (drow, orow) in
+            self.data.chunks_exact_mut(m).zip(other.data.chunks_exact(m))
+        {
+            for j in 0..m {
+                drow[j] += alpha[j] * orow[j];
+            }
+        }
+    }
+
+    /// `self ← self + alpha · other` with one scalar for all columns.
+    pub fn axpy(&mut self, alpha: f64, other: &MultiVec) {
+        assert_eq!(self.shape(), other.shape());
+        for (d, o) in self.data.iter_mut().zip(other.data.iter()) {
+            *d += alpha * o;
+        }
+    }
+
+    /// Scales each column `j` by `alpha[j]`.
+    pub fn scale_columns(&mut self, alpha: &[f64]) {
+        assert_eq!(alpha.len(), self.m);
+        let m = self.m;
+        for row in self.data.chunks_exact_mut(m) {
+            for j in 0..m {
+                row[j] *= alpha[j];
+            }
+        }
+    }
+
+    /// Scales every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for d in self.data.iter_mut() {
+            *d *= alpha;
+        }
+    }
+
+    /// Column-wise dot products: returns `[Σ_r self[r,j]·other[r,j]; m]`.
+    pub fn dot_columns(&self, other: &MultiVec) -> Vec<f64> {
+        assert_eq!(self.shape(), other.shape());
+        let m = self.m;
+        let mut dots = vec![0.0; m];
+        for (srow, orow) in
+            self.data.chunks_exact(m).zip(other.data.chunks_exact(m))
+        {
+            for j in 0..m {
+                dots[j] += srow[j] * orow[j];
+            }
+        }
+        dots
+    }
+
+    /// Column-wise Euclidean norms.
+    pub fn norms(&self) -> Vec<f64> {
+        self.dot_columns(self).into_iter().map(f64::sqrt).collect()
+    }
+
+    /// The Gram matrix `selfᵀ · other` as a row-major `m×m'` dense array.
+    /// This is the small dense reduction inside block CG; its inner loop
+    /// is strip-mined to fixed widths so it vectorizes (it runs
+    /// `n·m·m'` multiply-adds — at `m = 16` that rivals the GSPMV cost,
+    /// so it must run at vector rate).
+    pub fn gram(&self, other: &MultiVec) -> Vec<f64> {
+        assert_eq!(self.n, other.n);
+        let (ma, mb) = (self.m, other.m);
+        if ma == mb {
+            if let Some(g) = dispatch_square_m!(ma, gram_fixed, (self, other)) {
+                return g;
+            }
+        }
+        let mut g = vec![0.0; ma * mb];
+        for (srow, orow) in
+            self.data.chunks_exact(ma).zip(other.data.chunks_exact(mb))
+        {
+            for i in 0..ma {
+                let s = srow[i];
+                axpy_strips(&mut g[i * mb..(i + 1) * mb], s, orow);
+            }
+        }
+        g
+    }
+
+    /// `self ← self + other · C` where `C` is a row-major `m'×m` dense
+    /// coefficient matrix (the block-CG update `X ← X + P·α`).
+    pub fn add_mul_dense(&mut self, other: &MultiVec, c: &[f64]) {
+        assert_eq!(self.n, other.n);
+        assert_eq!(c.len(), other.m * self.m);
+        let (m, mo) = (self.m, other.m);
+        if m == mo
+            && dispatch_square_m!(m, add_mul_fixed, (self, other, c)).is_some()
+        {
+            return;
+        }
+        for (drow, orow) in
+            self.data.chunks_exact_mut(m).zip(other.data.chunks_exact(mo))
+        {
+            for k in 0..mo {
+                let s = orow[k];
+                if s != 0.0 {
+                    axpy_strips(drow, s, &c[k * m..(k + 1) * m]);
+                }
+            }
+        }
+    }
+
+    /// Fused block-CG residual update: `self ← self − other·C`, returning
+    /// the Gram matrix `selfᵀ·self` of the *updated* residual — one pass
+    /// over memory instead of two (the update and the reduction both
+    /// stream `n×m` data, so fusing halves the dominant traffic).
+    pub fn sub_mul_dense_then_gram(
+        &mut self,
+        other: &MultiVec,
+        c: &[f64],
+    ) -> Vec<f64> {
+        assert_eq!(self.shape(), other.shape());
+        let m = self.m;
+        assert_eq!(c.len(), m * m);
+        if let Some(g) =
+            dispatch_square_m!(m, sub_mul_then_gram_fixed, (self, other, c))
+        {
+            return g;
+        }
+        let mut g = vec![0.0; m * m];
+        for (drow, orow) in
+            self.data.chunks_exact_mut(m).zip(other.data.chunks_exact(m))
+        {
+            for k in 0..m {
+                let s = orow[k];
+                if s != 0.0 {
+                    for (d, cv) in drow.iter_mut().zip(&c[k * m..(k + 1) * m]) {
+                        *d -= s * cv;
+                    }
+                }
+            }
+            for i in 0..m {
+                let s = drow[i];
+                axpy_strips(&mut g[i * m..(i + 1) * m], s, drow);
+            }
+        }
+        g
+    }
+
+    /// `self ← other + self · C` in-place variant used for the block-CG
+    /// search-direction update `P ← R + P·β`.
+    pub fn assign_add_mul_dense(&mut self, other: &MultiVec, c: &[f64]) {
+        assert_eq!(self.shape(), other.shape());
+        let m = self.m;
+        assert_eq!(c.len(), m * m);
+        if dispatch_square_m!(m, assign_add_mul_fixed, (self, other, c)).is_some() {
+            return;
+        }
+        let mut tmp = vec![0.0; m];
+        for (drow, orow) in
+            self.data.chunks_exact_mut(m).zip(other.data.chunks_exact(m))
+        {
+            tmp.copy_from_slice(orow);
+            for k in 0..m {
+                let s = drow[k];
+                if s != 0.0 {
+                    axpy_strips(&mut tmp, s, &c[k * m..(k + 1) * m]);
+                }
+            }
+            drow.copy_from_slice(&tmp);
+        }
+    }
+
+    /// Gathers the scalar-row range `rows` into a packed multivector
+    /// (distributed halo exchange helper).
+    pub fn gather_rows(&self, rows: Range<usize>) -> MultiVec {
+        assert!(rows.end <= self.n);
+        MultiVec {
+            n: rows.len(),
+            m: self.m,
+            data: self.data[rows.start * self.m..rows.end * self.m].to_vec(),
+        }
+    }
+
+    /// Gathers an arbitrary list of scalar rows into a packed multivector.
+    pub fn gather_row_list(&self, rows: &[usize]) -> MultiVec {
+        let mut out = MultiVec::zeros(rows.len(), self.m);
+        for (dst, &src) in rows.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// `(n, m)` shape tuple.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |a, v| a.max(v.abs()))
+    }
+}
+
+/// `dst += s·src` with fixed-width 8/4 strips plus a scalar tail so the
+/// loop autovectorizes despite the runtime length — the workhorse of
+/// [`MultiVec::gram`] and the dense block updates.
+#[inline]
+fn axpy_strips(dst: &mut [f64], s: f64, src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut j = 0;
+    let m = dst.len();
+    while j + 8 <= m {
+        let sw: &[f64; 8] = src[j..j + 8].try_into().unwrap();
+        let dw = &mut dst[j..j + 8];
+        for (d, x) in dw.iter_mut().zip(sw) {
+            *d += s * x;
+        }
+        j += 8;
+    }
+    while j + 4 <= m {
+        let sw: &[f64; 4] = src[j..j + 4].try_into().unwrap();
+        let dw = &mut dst[j..j + 4];
+        for (d, x) in dw.iter_mut().zip(sw) {
+            *d += s * x;
+        }
+        j += 4;
+    }
+    while j < m {
+        dst[j] += s * src[j];
+        j += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_layout() {
+        let mv = MultiVec::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(mv.row(0), &[1., 2., 3.]);
+        assert_eq!(mv.row(1), &[4., 5., 6.]);
+        assert_eq!(mv.get(1, 2), 6.0);
+        assert_eq!(mv.column(1), vec![2., 5.]);
+    }
+
+    #[test]
+    fn from_columns_round_trip() {
+        let c0 = [1.0, 2.0, 3.0];
+        let c1 = [4.0, 5.0, 6.0];
+        let mv = MultiVec::from_columns(&[&c0, &c1]);
+        assert_eq!(mv.column(0), c0.to_vec());
+        assert_eq!(mv.column(1), c1.to_vec());
+    }
+
+    #[test]
+    fn dot_columns_matches_per_column() {
+        let a = MultiVec::from_columns(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = MultiVec::from_columns(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.dot_columns(&b), vec![11.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_columns_per_column_coefficients() {
+        let mut a = MultiVec::from_columns(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let b = MultiVec::from_columns(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        a.axpy_columns(&[10.0, -1.0], &b);
+        assert_eq!(a.column(0), vec![11.0, 1.0]);
+        assert_eq!(a.column(1), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn gram_is_transpose_times_other() {
+        let a = MultiVec::from_columns(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0]]);
+        let g = a.gram(&a);
+        // columns: a0 = (1,0,2), a1 = (0,1,1)
+        assert_eq!(g, vec![5.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn add_mul_dense_matches_manual() {
+        // X (3×2) += P (3×2) · C (2×2)
+        let mut x = MultiVec::zeros(3, 2);
+        let p = MultiVec::from_columns(&[&[1.0, 0.0, 1.0], &[0.0, 2.0, 0.0]]);
+        let c = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+        x.add_mul_dense(&p, &c);
+        // col0 = 1*p0 + 3*p1, col1 = 2*p0 + 4*p1
+        assert_eq!(x.column(0), vec![1.0, 6.0, 1.0]);
+        assert_eq!(x.column(1), vec![2.0, 8.0, 2.0]);
+    }
+
+    #[test]
+    fn assign_add_mul_dense_matches_manual() {
+        // P ← R + P·β
+        let mut p = MultiVec::from_columns(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let r = MultiVec::from_columns(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let beta = vec![2.0, 0.0, 0.0, 3.0];
+        p.assign_add_mul_dense(&r, &beta);
+        assert_eq!(p.column(0), vec![3.0, 1.0]);
+        assert_eq!(p.column(1), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_rows_packs_contiguously() {
+        let mv = MultiVec::from_flat(4, 2, (0..8).map(|v| v as f64).collect());
+        let g = mv.gather_rows(1..3);
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_row_list_arbitrary_order() {
+        let mv = MultiVec::from_flat(3, 1, vec![10.0, 20.0, 30.0]);
+        let g = mv.gather_row_list(&[2, 0]);
+        assert_eq!(g.as_slice(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn norms_and_scale() {
+        let mut mv = MultiVec::from_columns(&[&[3.0, 4.0], &[0.0, 2.0]]);
+        assert_eq!(mv.norms(), vec![5.0, 2.0]);
+        mv.scale_columns(&[2.0, 0.5]);
+        assert_eq!(mv.norms(), vec![10.0, 1.0]);
+        mv.scale(0.0);
+        assert_eq!(mv.max_abs(), 0.0);
+    }
+}

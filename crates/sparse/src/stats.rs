@@ -1,0 +1,64 @@
+//! Matrix summary statistics — the quantities of the paper's Table I.
+
+/// The structural statistics the paper reports for its SD matrices.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MatrixStats {
+    /// Scalar dimension `n`.
+    pub n: usize,
+    /// Block rows `nb = n/3`.
+    pub nb: usize,
+    /// Stored scalars `nnz`.
+    pub nnz: usize,
+    /// Stored blocks `nnzb`.
+    pub nnzb: usize,
+}
+
+impl MatrixStats {
+    /// Average stored blocks per block row, the density parameter of the
+    /// performance model.
+    pub fn blocks_per_row(&self) -> f64 {
+        if self.nb == 0 {
+            0.0
+        } else {
+            self.nnzb as f64 / self.nb as f64
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} nb={} nnz={} nnzb={} nnzb/nb={:.1}",
+            self.n,
+            self.nb,
+            self.nnz,
+            self.nnzb,
+            self.blocks_per_row()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_ratio() {
+        let s = MatrixStats { n: 900, nb: 300, nnz: 9 * 1700, nnzb: 1700 };
+        assert!((s.blocks_per_row() - 1700.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_density_is_zero() {
+        let s = MatrixStats { n: 0, nb: 0, nnz: 0, nnzb: 0 };
+        assert_eq!(s.blocks_per_row(), 0.0);
+    }
+
+    #[test]
+    fn display_formats_all_fields() {
+        let s = MatrixStats { n: 9, nb: 3, nnz: 18, nnzb: 2 };
+        let out = format!("{s}");
+        assert!(out.contains("n=9") && out.contains("nnzb=2"));
+    }
+}

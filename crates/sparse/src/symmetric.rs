@@ -1,0 +1,271 @@
+//! Symmetric-storage GSPMV — beyond the paper.
+//!
+//! The paper's kernels "do not exploit any symmetry in the matrices"
+//! (§IV) even though SD resistance matrices are symmetric. Storing only
+//! the diagonal and strictly-upper blocks halves the dominant memory
+//! stream, moving the bandwidth bound of Eq. 8 accordingly: each stored
+//! off-diagonal block now contributes to two output rows (`y_i += A·x_j`
+//! and `y_j += Aᵀ·x_i`). The cost is scattered writes into `y`, which
+//! serializes the kernel (no disjoint output windows), so this is an
+//! ablation/extension rather than the default path.
+
+use crate::bcrs::BcrsMatrix;
+use crate::block::Block3;
+use crate::multivec::MultiVec;
+use crate::BLOCK_DIM;
+
+/// A symmetric block matrix storing the diagonal plus the strictly
+/// upper triangle in block-CSR layout.
+#[derive(Clone, Debug)]
+pub struct SymmetricBcrs {
+    nb: usize,
+    /// Diagonal blocks, one per block row.
+    diag: Vec<Block3>,
+    /// CSR structure of the strictly-upper blocks.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    blocks: Vec<Block3>,
+}
+
+impl SymmetricBcrs {
+    /// Builds from a full symmetric matrix, verifying symmetry within
+    /// `tol`. Returns `None` if `a` is not symmetric.
+    pub fn from_full(a: &BcrsMatrix, tol: f64) -> Option<Self> {
+        if a.nb_rows() != a.nb_cols() || !a.is_symmetric_within(tol) {
+            return None;
+        }
+        let nb = a.nb_rows();
+        let mut diag = vec![Block3::ZERO; nb];
+        let mut row_ptr = vec![0usize; nb + 1];
+        let mut col_idx = Vec::new();
+        let mut blocks = Vec::new();
+        for bi in 0..nb {
+            let (cols, blks) = a.block_row(bi);
+            for (c, b) in cols.iter().zip(blks) {
+                let bj = *c as usize;
+                if bj == bi {
+                    diag[bi] = *b;
+                } else if bj > bi {
+                    col_idx.push(*c);
+                    blocks.push(*b);
+                }
+            }
+            row_ptr[bi + 1] = blocks.len();
+        }
+        Some(SymmetricBcrs { nb, diag, row_ptr, col_idx, blocks })
+    }
+
+    /// Block rows.
+    pub fn nb_rows(&self) -> usize {
+        self.nb
+    }
+
+    /// Stored blocks (diagonal + upper triangle).
+    pub fn stored_blocks(&self) -> usize {
+        self.nb + self.blocks.len()
+    }
+
+    /// Bytes streamed per multiply — roughly half the full-storage
+    /// figure for matrices with many off-diagonal blocks.
+    pub fn stream_bytes(&self) -> usize {
+        self.stored_blocks() * 72 + self.blocks.len() * 4 + 4 * self.nb
+    }
+
+    /// `y = A·x` using symmetric storage.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nb * BLOCK_DIM);
+        assert_eq!(y.len(), self.nb * BLOCK_DIM);
+        // diagonal pass
+        for (bi, d) in self.diag.iter().enumerate() {
+            let xb = [x[3 * bi], x[3 * bi + 1], x[3 * bi + 2]];
+            let v = d.mul_vec(xb);
+            y[3 * bi..3 * bi + 3].copy_from_slice(&v);
+        }
+        // upper blocks: forward and transposed contribution
+        for bi in 0..self.nb {
+            let xb = [x[3 * bi], x[3 * bi + 1], x[3 * bi + 2]];
+            let mut acc = [0.0f64; 3];
+            for k in self.row_ptr[bi]..self.row_ptr[bi + 1] {
+                let bj = self.col_idx[k] as usize;
+                let b = &self.blocks[k];
+                let xj = [x[3 * bj], x[3 * bj + 1], x[3 * bj + 2]];
+                let f = b.mul_vec(xj);
+                acc[0] += f[0];
+                acc[1] += f[1];
+                acc[2] += f[2];
+                let t = b.transpose().mul_vec(xb);
+                y[3 * bj] += t[0];
+                y[3 * bj + 1] += t[1];
+                y[3 * bj + 2] += t[2];
+            }
+            y[3 * bi] += acc[0];
+            y[3 * bi + 1] += acc[1];
+            y[3 * bi + 2] += acc[2];
+        }
+    }
+
+    /// `Y = A·X` on row-major multivectors using symmetric storage.
+    pub fn gspmv(&self, x: &MultiVec, y: &mut MultiVec) {
+        let m = x.m();
+        assert_eq!(x.n(), self.nb * BLOCK_DIM);
+        assert_eq!(y.shape(), x.shape());
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        // diagonal pass writes, off-diagonal passes accumulate
+        for (bi, d) in self.diag.iter().enumerate() {
+            block_mul_slab(d, &xs[3 * bi * m..], &mut ys[3 * bi * m..], m, true);
+        }
+        for bi in 0..self.nb {
+            for k in self.row_ptr[bi]..self.row_ptr[bi + 1] {
+                let bj = self.col_idx[k] as usize;
+                let b = &self.blocks[k];
+                // Strictly-upper storage guarantees bj > bi, so the two
+                // output slabs can be split without overlap.
+                debug_assert!(bj > bi);
+                let (head, tail) = ys.split_at_mut(3 * bj * m);
+                let yi = &mut head[3 * bi * m..(3 * bi + 3) * m];
+                let yj = &mut tail[..3 * m];
+                let xi = &xs[3 * bi * m..(3 * bi + 3) * m];
+                let xj = &xs[3 * bj * m..(3 * bj + 3) * m];
+                accumulate_block(b, xj, yi, m, false); // y_i += B·x_j
+                accumulate_block(b, xi, yj, m, true); //  y_j += Bᵀ·x_i
+            }
+        }
+    }
+}
+
+/// `y_slab (3×m) (+)= B·x_slab`, writing when `overwrite`.
+fn block_mul_slab(b: &Block3, x: &[f64], y: &mut [f64], m: usize, overwrite: bool) {
+    for i in 0..BLOCK_DIM {
+        for j in 0..m {
+            let mut acc = 0.0;
+            for c in 0..BLOCK_DIM {
+                acc += b.get(i, c) * x[c * m + j];
+            }
+            if overwrite {
+                y[i * m + j] = acc;
+            } else {
+                y[i * m + j] += acc;
+            }
+        }
+    }
+}
+
+/// `y_slab += B·x_slab` (or `Bᵀ·x_slab` when `transpose`).
+fn accumulate_block(b: &Block3, x: &[f64], y: &mut [f64], m: usize, transpose: bool) {
+    for i in 0..BLOCK_DIM {
+        for c in 0..BLOCK_DIM {
+            let a = if transpose { b.get(c, i) } else { b.get(i, c) };
+            if a != 0.0 {
+                let xr = &x[c * m..c * m + m];
+                let yr = &mut y[i * m..i * m + m];
+                for (yv, xv) in yr.iter_mut().zip(xr) {
+                    *yv += a * xv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gspmv::{gspmv_serial, spmv_serial};
+    use crate::triplet::BlockTripletBuilder;
+
+    fn random_symmetric(nb: usize, seed: u64) -> BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..nb {
+            let mut d = Block3::ZERO;
+            for v in d.0.iter_mut() {
+                *v = next();
+            }
+            t.add(i, i, (d + d.transpose()) * 0.5 + Block3::scaled_identity(4.0));
+            for off in 1..4 {
+                if i + off < nb && next() > 0.0 {
+                    let mut b = Block3::ZERO;
+                    for v in b.0.iter_mut() {
+                        *v = next();
+                    }
+                    t.add_symmetric_pair(i, i + off, b);
+                }
+            }
+        }
+        t.build()
+    }
+
+    #[test]
+    fn rejects_asymmetric_matrix() {
+        let mut t = BlockTripletBuilder::square(2);
+        t.add(0, 0, Block3::IDENTITY);
+        t.add(1, 1, Block3::IDENTITY);
+        t.add(0, 1, Block3::scaled_identity(2.0)); // no transpose partner
+        let a = t.build();
+        assert!(SymmetricBcrs::from_full(&a, 1e-12).is_none());
+    }
+
+    #[test]
+    fn stores_about_half_the_blocks() {
+        let a = random_symmetric(40, 3);
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        let full = a.nnz_blocks();
+        let half = s.stored_blocks();
+        // exactly the diagonal plus half of the off-diagonal blocks
+        assert_eq!(half, (full + a.nb_rows()) / 2, "{half} vs {full}");
+        assert!(s.stream_bytes() < a.stream_bytes());
+    }
+
+    #[test]
+    fn spmv_matches_full_storage() {
+        let a = random_symmetric(30, 7);
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        spmv_serial(&a, &x, &mut y1);
+        s.spmv(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() <= 1e-10 * u.abs().max(1.0), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn gspmv_matches_full_storage() {
+        let a = random_symmetric(25, 11);
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        let n = a.n_rows();
+        for m in [1usize, 3, 8] {
+            let x = MultiVec::from_flat(
+                n,
+                m,
+                (0..n * m).map(|v| ((v * 7 % 23) as f64) - 11.0).collect(),
+            );
+            let mut y1 = MultiVec::zeros(n, m);
+            let mut y2 = MultiVec::zeros(n, m);
+            gspmv_serial(&a, &x, &mut y1);
+            s.gspmv(&x, &mut y2);
+            for (u, v) in y1.as_slice().iter().zip(y2.as_slice()) {
+                assert!((u - v).abs() <= 1e-10 * u.abs().max(1.0), "m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_round_trip() {
+        let a = BcrsMatrix::scaled_identity(6, 3.0);
+        let s = SymmetricBcrs::from_full(&a, 0.0).unwrap();
+        assert_eq!(s.stored_blocks(), 6);
+        let x = vec![2.0; 18];
+        let mut y = vec![0.0; 18];
+        s.spmv(&x, &mut y);
+        assert!(y.iter().all(|&v| (v - 6.0).abs() < 1e-14));
+    }
+}

@@ -1,0 +1,164 @@
+//! Block-coordinate (triplet) assembly of BCRS matrices.
+//!
+//! Resistance-matrix assembly walks particle pairs and emits one 3×3
+//! block per pair plus diagonal contributions; duplicate coordinates are
+//! summed, matching the usual finite-element / particle assembly idiom.
+
+use crate::bcrs::BcrsMatrix;
+use crate::block::Block3;
+
+/// An incremental builder accumulating `(block_row, block_col, Block3)`
+/// triplets. Duplicates are summed when [`BlockTripletBuilder::build`] is
+/// called.
+#[derive(Clone, Debug)]
+pub struct BlockTripletBuilder {
+    nb_rows: usize,
+    nb_cols: usize,
+    entries: Vec<(u32, u32, Block3)>,
+}
+
+impl BlockTripletBuilder {
+    /// Creates a builder for an `nb_rows × nb_cols` **block** matrix
+    /// (scalar dimension is three times larger).
+    pub fn new(nb_rows: usize, nb_cols: usize) -> Self {
+        assert!(nb_rows <= u32::MAX as usize && nb_cols <= u32::MAX as usize);
+        BlockTripletBuilder { nb_rows, nb_cols, entries: Vec::new() }
+    }
+
+    /// Creates a square builder.
+    pub fn square(nb: usize) -> Self {
+        Self::new(nb, nb)
+    }
+
+    /// Number of block rows.
+    pub fn nb_rows(&self) -> usize {
+        self.nb_rows
+    }
+
+    /// Number of block columns.
+    pub fn nb_cols(&self) -> usize {
+        self.nb_cols
+    }
+
+    /// Number of triplets pushed so far (duplicates not yet merged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pre-allocates capacity for `n` additional triplets.
+    pub fn reserve(&mut self, n: usize) {
+        self.entries.reserve(n);
+    }
+
+    /// Adds `block` at `(bi, bj)`; contributions to the same coordinate
+    /// accumulate.
+    #[inline]
+    pub fn add(&mut self, bi: usize, bj: usize, block: Block3) {
+        debug_assert!(bi < self.nb_rows, "block row {bi} out of range {}", self.nb_rows);
+        debug_assert!(bj < self.nb_cols, "block col {bj} out of range {}", self.nb_cols);
+        self.entries.push((bi as u32, bj as u32, block));
+    }
+
+    /// Adds a symmetric pair contribution: `block` at `(bi, bj)` and its
+    /// transpose at `(bj, bi)`.
+    #[inline]
+    pub fn add_symmetric_pair(&mut self, bi: usize, bj: usize, block: Block3) {
+        self.add(bi, bj, block);
+        self.add(bj, bi, block.transpose());
+    }
+
+    /// Sorts, merges duplicates, and produces the BCRS matrix.
+    pub fn build(mut self) -> BcrsMatrix {
+        // Sort by (row, col) so each block row is contiguous and ordered.
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+
+        let mut row_ptr = vec![0usize; self.nb_rows + 1];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut blocks: Vec<Block3> = Vec::new();
+
+        let mut iter = self.entries.into_iter().peekable();
+        while let Some((r, c, b)) = iter.next() {
+            let mut acc = b;
+            while let Some(&(r2, c2, b2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    acc += b2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            col_idx.push(c);
+            blocks.push(acc);
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.nb_rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+
+        BcrsMatrix::from_parts(self.nb_rows, self.nb_cols, row_ptr, col_idx, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = BlockTripletBuilder::square(2);
+        t.add(0, 0, Block3::scaled_identity(1.0));
+        t.add(0, 0, Block3::scaled_identity(2.0));
+        t.add(1, 0, Block3::IDENTITY);
+        let m = t.build();
+        assert_eq!(m.nnz_blocks(), 2);
+        assert_eq!(m.block_at(0, 0).unwrap().get(0, 0), 3.0);
+        assert_eq!(m.block_at(1, 0).unwrap().get(2, 2), 1.0);
+        assert!(m.block_at(0, 1).is_none());
+    }
+
+    #[test]
+    fn rows_sorted_by_column() {
+        let mut t = BlockTripletBuilder::square(1);
+        t.add(0, 0, Block3::IDENTITY);
+        let mut t2 = BlockTripletBuilder::square(3);
+        t2.add(0, 2, Block3::IDENTITY);
+        t2.add(0, 0, Block3::IDENTITY);
+        t2.add(0, 1, Block3::IDENTITY);
+        let m = t2.build();
+        let (cols, _) = m.block_row(0);
+        assert_eq!(cols, &[0, 1, 2]);
+        drop(t);
+    }
+
+    #[test]
+    fn symmetric_pair_adds_transpose() {
+        let b = Block3::from_rows([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0], [2.0, 0.0, 0.0]]);
+        let mut t = BlockTripletBuilder::square(2);
+        t.add_symmetric_pair(0, 1, b);
+        let m = t.build();
+        assert_eq!(*m.block_at(0, 1).unwrap(), b);
+        assert_eq!(*m.block_at(1, 0).unwrap(), b.transpose());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_matrix() {
+        let m = BlockTripletBuilder::square(4).build();
+        assert_eq!(m.nnz_blocks(), 0);
+        assert_eq!(m.nb_rows(), 4);
+    }
+
+    #[test]
+    fn rectangular_shape_is_preserved() {
+        let mut t = BlockTripletBuilder::new(2, 5);
+        t.add(1, 4, Block3::IDENTITY);
+        let m = t.build();
+        assert_eq!(m.nb_rows(), 2);
+        assert_eq!(m.nb_cols(), 5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests of the sparse substrate: storage round trips,
+//! kernel agreement, adjointness, and permutation invariants.
+
+use mrhs_sparse::gspmv::gspmv_serial_generic;
+use mrhs_sparse::partition::{contiguous_partition, Partition};
+use mrhs_sparse::reorder::{permute_symmetric, reverse_cuthill_mckee};
+use mrhs_sparse::{
+    gspmv_serial, spmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random square block matrix with a symmetric pattern plus
+/// full diagonal, `nb` block rows.
+fn arb_matrix(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
+    (2usize..=max_nb)
+        .prop_flat_map(|nb| {
+            let pairs = proptest::collection::vec(
+                ((0..nb), (0..nb), proptest::array::uniform9(-2.0f64..2.0)),
+                0..3 * nb,
+            );
+            let diag =
+                proptest::collection::vec(proptest::array::uniform9(-1.0f64..1.0), nb);
+            (Just(nb), pairs, diag)
+        })
+        .prop_map(|(nb, pairs, diag)| {
+            let mut t = BlockTripletBuilder::square(nb);
+            for (i, d) in diag.into_iter().enumerate() {
+                // symmetrized diagonal block with a dominant shift
+                let raw = Block3(d);
+                let b = (raw + raw.transpose()) * 0.5
+                    + Block3::scaled_identity(5.0);
+                t.add(i, i, b);
+            }
+            for (i, j, v) in pairs {
+                if i != j {
+                    t.add_symmetric_pair(i, j, Block3(v));
+                }
+            }
+            t.build()
+        })
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gspmv_columns_match_spmv(a in arb_matrix(12), m in 1usize..10) {
+        let n = a.n_rows();
+        let x = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v * 37 % 19) as f64) - 9.0).collect());
+        let mut y = MultiVec::zeros(n, m);
+        gspmv_serial(&a, &x, &mut y);
+        for j in 0..m {
+            let mut yj = vec![0.0; n];
+            spmv_serial(&a, &x.column(j), &mut yj);
+            for (u, v) in y.column(j).iter().zip(&yj) {
+                prop_assert!(close(*u, *v), "col {j}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_and_generic_kernels_agree(a in arb_matrix(10), m in 1usize..34) {
+        let n = a.n_rows();
+        let x = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v % 11) as f64) * 0.3 - 1.5).collect());
+        let mut y1 = MultiVec::zeros(n, m);
+        let mut y2 = MultiVec::zeros(n, m);
+        gspmv_serial(&a, &x, &mut y1);
+        gspmv_serial_generic(&a, &x, &mut y2);
+        for (u, v) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!(close(*u, *v));
+        }
+    }
+
+    #[test]
+    fn spmv_is_adjoint_consistent(a in arb_matrix(10)) {
+        // (A x, y) == (x, Aᵀ y)
+        let n = a.n_rows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) - 5.0).collect();
+        let at = a.transpose();
+        let mut ax = vec![0.0; n];
+        let mut aty = vec![0.0; n];
+        spmv_serial(&a, &x, &mut ax);
+        spmv_serial(&at, &y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(u, v)| u * v).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(u, v)| u * v).sum();
+        prop_assert!(close(lhs, rhs), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn symmetric_pattern_matrices_are_symmetric(a in arb_matrix(10)) {
+        prop_assert!(a.is_symmetric_within(1e-12));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_matrix(10)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gershgorin_brackets_rayleigh_quotients(a in arb_matrix(10)) {
+        let n = a.n_rows();
+        let lo = a.gershgorin_lower_bound();
+        let hi = a.gershgorin_upper_bound();
+        for seed in 1u64..4 {
+            let mut state = seed;
+            let v: Vec<f64> = (0..n).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            }).collect();
+            let mut av = vec![0.0; n];
+            spmv_serial(&a, &v, &mut av);
+            let num: f64 = v.iter().zip(&av).map(|(u, w)| u * w).sum();
+            let den: f64 = v.iter().map(|u| u * u).sum();
+            let q = num / den;
+            prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9, "{q} not in [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn rcm_permutation_preserves_action(a in arb_matrix(10)) {
+        let n = a.n_rows();
+        let perm = reverse_cuthill_mckee(&a);
+        let b = permute_symmetric(&a, &perm);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut xb = vec![0.0; n];
+        for (new, &old) in perm.iter().enumerate() {
+            xb[3 * new..3 * new + 3].copy_from_slice(&x[3 * old..3 * old + 3]);
+        }
+        let mut y = vec![0.0; n];
+        let mut yb = vec![0.0; n];
+        spmv_serial(&a, &x, &mut y);
+        spmv_serial(&b, &xb, &mut yb);
+        for (new, &old) in perm.iter().enumerate() {
+            for k in 0..3 {
+                prop_assert!(close(yb[3 * new + k], y[3 * old + k]));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_rows_exactly_once(a in arb_matrix(16), p in 1usize..6) {
+        let part = contiguous_partition(&a, p);
+        let mut seen = vec![false; a.nb_rows()];
+        for rows in part.parts() {
+            for r in rows {
+                prop_assert!(!seen[r], "row {r} in two parts");
+                seen[r] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn communication_volume_zero_iff_single_part(a in arb_matrix(12)) {
+        let single = Partition::from_assignment(1, vec![0; a.nb_rows()]);
+        prop_assert_eq!(single.communication_volume(&a), 0);
+    }
+
+    #[test]
+    fn gram_matches_naive(n in 1usize..20, ma in 1usize..6, mb in 1usize..6) {
+        let a = MultiVec::from_flat(
+            n, ma, (0..n * ma).map(|v| ((v * 13 % 7) as f64) - 3.0).collect());
+        let b = MultiVec::from_flat(
+            n, mb, (0..n * mb).map(|v| ((v * 11 % 5) as f64) - 2.0).collect());
+        let g = a.gram(&b);
+        for i in 0..ma {
+            for j in 0..mb {
+                let want: f64 = (0..n).map(|r| a.get(r, i) * b.get(r, j)).sum();
+                prop_assert!(close(g[i * mb + j], want));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_of_square_sizes_matches_naive(n in 1usize..16, msel in 0usize..5) {
+        // exercise the monomorphized square dispatch path
+        let m = [1usize, 4, 8, 16, 32][msel];
+        let a = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v * 3 % 17) as f64) * 0.25 - 2.0).collect());
+        let g = a.gram(&a);
+        for i in 0..m {
+            for j in 0..m {
+                let want: f64 = (0..n).map(|r| a.get(r, i) * a.get(r, j)).sum();
+                prop_assert!(close(g[i * m + j], want));
+                prop_assert!(close(g[i * m + j], g[j * m + i]));
+            }
+        }
+    }
+
+    #[test]
+    fn add_mul_dense_matches_naive(n in 1usize..12, m in 1usize..9) {
+        let mut x = MultiVec::zeros(n, m);
+        let p = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v % 9) as f64) - 4.0).collect());
+        let c: Vec<f64> = (0..m * m).map(|v| ((v % 5) as f64) * 0.5 - 1.0).collect();
+        x.add_mul_dense(&p, &c);
+        for r in 0..n {
+            for j in 0..m {
+                let want: f64 = (0..m).map(|k| p.get(r, k) * c[k * m + j]).sum();
+                prop_assert!(close(x.get(r, j), want));
+            }
+        }
+    }
+
+    #[test]
+    fn assign_add_mul_dense_matches_naive(n in 1usize..12, m in 1usize..9) {
+        let mut p = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v % 7) as f64) - 3.0).collect());
+        let orig = p.clone();
+        let r = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v % 4) as f64) - 1.5).collect());
+        let c: Vec<f64> = (0..m * m).map(|v| ((v % 3) as f64) - 1.0).collect();
+        p.assign_add_mul_dense(&r, &c);
+        for row in 0..n {
+            for j in 0..m {
+                let want: f64 = r.get(row, j)
+                    + (0..m).map(|k| orig.get(row, k) * c[k * m + j]).sum::<f64>();
+                prop_assert!(close(p.get(row, j), want));
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic inter-particle forces `f_P`.
+//!
+//! The paper's experiments use `f_P = 0` but §II-A names the extension:
+//! "bonded forces for simulating long-chain molecules as a bonded chain
+//! of particles". This module provides harmonic bonds (and chains built
+//! from them) that plug into the MRHS driver through
+//! [`mrhs_core::ResistanceSystem::add_external_forces`].
+
+use crate::particle::ParticleSystem;
+
+/// A harmonic bond `U = ½·k·(r − r₀)²` between two particles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HarmonicBond {
+    /// First particle.
+    pub i: usize,
+    /// Second particle.
+    pub j: usize,
+    /// Rest length `r₀` (Å).
+    pub rest_length: f64,
+    /// Stiffness `k` (force per length).
+    pub stiffness: f64,
+}
+
+impl HarmonicBond {
+    /// Builds a bond; rest length and stiffness must be positive.
+    pub fn new(i: usize, j: usize, rest_length: f64, stiffness: f64) -> Self {
+        assert_ne!(i, j, "bond endpoints must differ");
+        assert!(rest_length > 0.0 && stiffness > 0.0);
+        HarmonicBond { i, j, rest_length, stiffness }
+    }
+}
+
+/// Connects consecutive particles of `indices` into a chain, with rest
+/// length `slack · (a_i + a_j)` so bonded neighbors sit near contact.
+pub fn chain_bonds(
+    system: &ParticleSystem,
+    indices: &[usize],
+    slack: f64,
+    stiffness: f64,
+) -> Vec<HarmonicBond> {
+    assert!(slack > 0.0);
+    indices
+        .windows(2)
+        .map(|w| {
+            let (i, j) = (w[0], w[1]);
+            HarmonicBond::new(
+                i,
+                j,
+                slack * (system.radii()[i] + system.radii()[j]),
+                stiffness,
+            )
+        })
+        .collect()
+}
+
+/// Accumulates the bond forces at the current configuration into `out`
+/// (`3n` scalars, xyz per particle). Periodic minimum-image convention.
+pub fn add_bond_forces(
+    system: &ParticleSystem,
+    bonds: &[HarmonicBond],
+    out: &mut [f64],
+) {
+    assert_eq!(out.len(), 3 * system.len());
+    for bond in bonds {
+        let d = system.minimum_image(bond.i, bond.j); // r_j − r_i
+        let dist = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        if dist < 1e-12 {
+            continue; // coincident: force direction undefined
+        }
+        // F on i points toward j when stretched (dist > r₀).
+        let magnitude = bond.stiffness * (dist - bond.rest_length);
+        for k in 0..3 {
+            let f = magnitude * d[k] / dist;
+            out[3 * bond.i + k] += f;
+            out[3 * bond.j + k] -= f;
+        }
+    }
+}
+
+/// Total potential energy of the bonds (test/diagnostic helper).
+pub fn bond_energy(system: &ParticleSystem, bonds: &[HarmonicBond]) -> f64 {
+    bonds
+        .iter()
+        .map(|b| {
+            let dist = system.distance(b.i, b.j);
+            0.5 * b.stiffness * (dist - b.rest_length) * (dist - b.rest_length)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_system(separation: f64) -> ParticleSystem {
+        ParticleSystem::new(
+            vec![[10.0, 10.0, 10.0], [10.0 + separation, 10.0, 10.0]],
+            vec![1.0, 1.0],
+            [40.0; 3],
+        )
+    }
+
+    #[test]
+    fn stretched_bond_pulls_together() {
+        let s = pair_system(5.0);
+        let bonds = [HarmonicBond::new(0, 1, 3.0, 2.0)];
+        let mut f = vec![0.0; 6];
+        add_bond_forces(&s, &bonds, &mut f);
+        // stretched by 2: force magnitude 4 on each, opposite signs
+        assert!((f[0] - 4.0).abs() < 1e-12, "{f:?}");
+        assert!((f[3] + 4.0).abs() < 1e-12);
+        // Newton's third law exactly
+        for k in 0..3 {
+            assert!((f[k] + f[3 + k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compressed_bond_pushes_apart() {
+        let s = pair_system(2.0);
+        let bonds = [HarmonicBond::new(0, 1, 3.0, 2.0)];
+        let mut f = vec![0.0; 6];
+        add_bond_forces(&s, &bonds, &mut f);
+        assert!(f[0] < 0.0 && f[3] > 0.0, "{f:?}");
+    }
+
+    #[test]
+    fn at_rest_length_no_force() {
+        let s = pair_system(3.0);
+        let bonds = [HarmonicBond::new(0, 1, 3.0, 2.0)];
+        let mut f = vec![0.0; 6];
+        add_bond_forces(&s, &bonds, &mut f);
+        assert!(f.iter().all(|v| v.abs() < 1e-12));
+        assert!(bond_energy(&s, &bonds) < 1e-24);
+    }
+
+    #[test]
+    fn bond_respects_periodic_images() {
+        // Shortest path across the boundary: force acts through it.
+        let s = ParticleSystem::new(
+            vec![[1.0, 5.0, 5.0], [39.0, 5.0, 5.0]],
+            vec![1.0, 1.0],
+            [40.0; 3],
+        );
+        let bonds = [HarmonicBond::new(0, 1, 1.0, 1.0)];
+        let mut f = vec![0.0; 6];
+        add_bond_forces(&s, &bonds, &mut f);
+        // min-image distance is 2, stretched by 1; i is pulled in −x
+        // (toward the boundary image of j).
+        assert!(f[0] < 0.0, "{f:?}");
+    }
+
+    #[test]
+    fn chain_builder_links_consecutive_particles() {
+        let s = ParticleSystem::new(
+            vec![[0.0; 3], [5.0, 0.0, 0.0], [10.0, 0.0, 0.0]],
+            vec![1.0, 2.0, 1.5],
+            [50.0; 3],
+        );
+        let bonds = chain_bonds(&s, &[0, 1, 2], 1.0, 3.0);
+        assert_eq!(bonds.len(), 2);
+        assert_eq!(bonds[0].rest_length, 3.0);
+        assert_eq!(bonds[1].rest_length, 3.5);
+    }
+
+    #[test]
+    fn energy_decreases_under_force_descent() {
+        // Moving along the bond force must reduce the energy.
+        let mut s = pair_system(5.0);
+        let bonds = [HarmonicBond::new(0, 1, 3.0, 2.0)];
+        let e0 = bond_energy(&s, &bonds);
+        let mut f = vec![0.0; 6];
+        add_bond_forces(&s, &bonds, &mut f);
+        let eta = 0.05;
+        s.displace(0, [eta * f[0], eta * f[1], eta * f[2]]);
+        s.displace(1, [eta * f[3], eta * f[4], eta * f[5]]);
+        assert!(bond_energy(&s, &bonds) < e0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Near-field lubrication resistance for unequal spheres.
+//!
+//! Two nearly touching spheres resist relative motion with a force that
+//! diverges as the surface gap closes: squeezing flow along the line of
+//! centers diverges as `1/ξ`, shearing motion as `log(1/ξ)`, where `ξ`
+//! is the dimensionless gap. The scalar resistance functions use the
+//! leading Jeffrey & Onishi (1984) coefficients for radius ratio
+//! `β = b/a`:
+//!
+//! ```text
+//!   X^A(ξ) = g₁(β)/ξ + g₂(β)·ln(1 + 1/ξ)        (squeeze)
+//!   Y^A(ξ) = g₂ʸ(β)·ln(1 + 1/ξ)                 (shear)
+//!   g₁  = 2β²/(1+β)³
+//!   g₂  = β(1 + 7β + β²)/(5(1+β)³)
+//!   g₂ʸ = 4β(2 + β + 2β²)/(15(1+β)³)
+//! ```
+//!
+//! `ln(1 + 1/ξ)` is used instead of `ln(1/ξ)` so the functions stay
+//! positive and decay smoothly for `ξ ≥ 1`, giving a well-defined
+//! (positive semidefinite) tail out to the assembly cutoff. The gap is
+//! floored at `ξ_min` to bound the condition number, the standard
+//! regularization in SD codes.
+//!
+//! Following Cichocki et al. (1999) as adopted by the paper, the pair
+//! tensor is projected onto *relative* motion: the 6×6 pair block is
+//! `[[A, −A], [−A, A]]` with `A = 6πη·a_eff·(X^A·d⊗d + Y^A·(I − d⊗d))`,
+//! so collective rigid motion of the pair feels no lubrication force
+//! and `R_lub` is symmetric positive semidefinite by construction.
+
+use mrhs_sparse::Block3;
+
+/// Scalar lubrication resistance functions for a sphere pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairScalars {
+    /// Squeeze (along line of centers) resistance `X^A`, dimensionless.
+    pub x_a: f64,
+    /// Shear (transverse) resistance `Y^A`, dimensionless.
+    pub y_a: f64,
+}
+
+/// Leading Jeffrey–Onishi coefficients for radius ratio `beta = b/a`.
+pub fn jo_coefficients(beta: f64) -> (f64, f64, f64) {
+    assert!(beta > 0.0);
+    let d = (1.0 + beta).powi(3);
+    let g1 = 2.0 * beta * beta / d;
+    let g2 = beta * (1.0 + 7.0 * beta + beta * beta) / (5.0 * d);
+    let g2y = 4.0 * beta * (2.0 + beta + 2.0 * beta * beta) / (15.0 * d);
+    (g1, g2, g2y)
+}
+
+/// Evaluates the scalar resistance functions at dimensionless gap
+/// `xi = 2·gap/(a + b)`, floored at `xi_min`.
+pub fn pair_scalars(a: f64, b: f64, xi: f64, xi_min: f64) -> PairScalars {
+    assert!(a > 0.0 && b > 0.0);
+    assert!(xi_min > 0.0);
+    let beta = b / a;
+    let (g1, g2, g2y) = jo_coefficients(beta);
+    let xi = xi.max(xi_min);
+    let log_term = (1.0 + 1.0 / xi).ln();
+    PairScalars { x_a: g1 / xi + g2 * log_term, y_a: g2y * log_term }
+}
+
+/// The 3×3 relative-motion lubrication block `A` for a pair with unit
+/// separation vector `d` (pointing from particle `i` to `j`), radii
+/// `(a, b)`, solvent viscosity `eta`, gap `xi`, floored at `xi_min`.
+///
+/// The full pair contribution to `R_lub` is `+A` on both diagonal
+/// blocks and `−A` on both off-diagonal blocks.
+pub fn pair_block(
+    d: [f64; 3],
+    a: f64,
+    b: f64,
+    eta: f64,
+    xi: f64,
+    xi_min: f64,
+) -> Block3 {
+    let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    assert!(norm > 0.0, "coincident particle centers");
+    let e = [d[0] / norm, d[1] / norm, d[2] / norm];
+    let s = pair_scalars(a, b, xi, xi_min);
+    // Reduced radius sets the force scale for unequal spheres.
+    let a_eff = 2.0 * a * b / (a + b);
+    let scale = 6.0 * std::f64::consts::PI * eta * a_eff;
+    let dd = Block3::outer(e, e);
+    // X^A on the parallel projector, Y^A on the perpendicular one.
+    let mut block = Block3::ZERO;
+    for idx in 0..9 {
+        let i = idx / 3;
+        let j = idx % 3;
+        let par = dd.get(i, j);
+        let perp = if i == j { 1.0 - par } else { -par };
+        block.0[idx] = scale * (s.x_a * par + s.y_a * perp);
+    }
+    block
+}
+
+/// Dimensionless gap `ξ = 2·(r − a − b)/(a + b)` from the
+/// center-to-center distance `r`.
+pub fn dimensionless_gap(r: f64, a: f64, b: f64) -> f64 {
+    2.0 * (r - a - b) / (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_for_equal_spheres() {
+        let (g1, g2, g2y) = jo_coefficients(1.0);
+        assert!((g1 - 0.25).abs() < 1e-15);
+        assert!((g2 - 9.0 / 40.0).abs() < 1e-15);
+        assert!((g2y - 4.0 * 5.0 / (15.0 * 8.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn squeeze_diverges_as_inverse_gap() {
+        let near = pair_scalars(1.0, 1.0, 1e-4, 1e-6);
+        let far = pair_scalars(1.0, 1.0, 1e-2, 1e-6);
+        assert!(near.x_a > 50.0 * far.x_a);
+        // 1/ξ dominance: ratio ≈ 100
+        assert!((near.x_a / far.x_a) > 80.0);
+    }
+
+    #[test]
+    fn shear_diverges_logarithmically() {
+        let near = pair_scalars(1.0, 1.0, 1e-6, 1e-8);
+        let far = pair_scalars(1.0, 1.0, 1e-2, 1e-8);
+        let ratio = near.y_a / far.y_a;
+        assert!(ratio > 2.0 && ratio < 4.0, "log growth, got {ratio}");
+    }
+
+    #[test]
+    fn gap_floor_clamps() {
+        let floored = pair_scalars(1.0, 1.0, 1e-12, 1e-4);
+        let at_floor = pair_scalars(1.0, 1.0, 1e-4, 1e-4);
+        assert_eq!(floored, at_floor);
+    }
+
+    #[test]
+    fn scalars_positive_beyond_contact() {
+        for &xi in &[1e-4, 0.1, 1.0, 5.0, 50.0] {
+            let s = pair_scalars(2.0, 0.5, xi, 1e-6);
+            assert!(s.x_a > 0.0 && s.y_a > 0.0, "xi={xi}");
+        }
+    }
+
+    #[test]
+    fn scalars_decay_with_distance() {
+        let mut last = f64::INFINITY;
+        for &xi in &[0.01, 0.1, 1.0, 10.0] {
+            let s = pair_scalars(1.0, 1.0, xi, 1e-8);
+            assert!(s.x_a < last);
+            last = s.x_a;
+        }
+    }
+
+    #[test]
+    fn block_eigenstructure_along_axis() {
+        // With d = x̂: block = scale·diag(X^A, Y^A, Y^A).
+        let b = pair_block([1.0, 0.0, 0.0], 1.0, 1.0, 1.0, 0.01, 1e-6);
+        let s = pair_scalars(1.0, 1.0, 0.01, 1e-6);
+        let scale = 6.0 * std::f64::consts::PI;
+        assert!((b.get(0, 0) - scale * s.x_a).abs() < 1e-9);
+        assert!((b.get(1, 1) - scale * s.y_a).abs() < 1e-9);
+        assert!((b.get(2, 2) - scale * s.y_a).abs() < 1e-9);
+        assert!(b.get(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_is_symmetric_and_positive_definite() {
+        let b = pair_block([1.0, 2.0, -0.5], 1.5, 0.7, 1.0, 0.05, 1e-6);
+        assert!(b.is_symmetric_within(1e-12));
+        // positive definite: check v·B·v for a few directions
+        for v in [[1.0, 0.0, 0.0], [0.3, -1.0, 0.4], [1.0, 1.0, 1.0]] {
+            let bv = b.mul_vec(v);
+            let q: f64 = v.iter().zip(&bv).map(|(x, y)| x * y).sum();
+            assert!(q > 0.0, "v={v:?} q={q}");
+        }
+    }
+
+    #[test]
+    fn block_invariant_under_direction_sign() {
+        // A depends on d⊗d only, so flipping d changes nothing.
+        let b1 = pair_block([0.6, -0.8, 0.0], 1.0, 2.0, 1.0, 0.02, 1e-6);
+        let b2 = pair_block([-0.6, 0.8, 0.0], 1.0, 2.0, 1.0, 0.02, 1e-6);
+        for k in 0..9 {
+            assert!((b1.0[k] - b2.0[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unequal_spheres_scale_like_reduced_radius() {
+        // Doubling both radii doubles a_eff and thus the block scale
+        // (at equal dimensionless gap).
+        let b1 = pair_block([1.0, 0.0, 0.0], 1.0, 1.0, 1.0, 0.05, 1e-6);
+        let b2 = pair_block([1.0, 0.0, 0.0], 2.0, 2.0, 1.0, 0.05, 1e-6);
+        assert!((b2.get(0, 0) / b1.get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimensionless_gap_formula() {
+        assert!((dimensionless_gap(2.2, 1.0, 1.0) - 0.2).abs() < 1e-15);
+        assert!(dimensionless_gap(1.9, 1.0, 1.0) < 0.0); // overlap
+    }
+}

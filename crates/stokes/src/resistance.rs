@@ -1,0 +1,222 @@
+//! Assembly of the sparse resistance matrix `R = μ_F·D + R_lub`.
+//!
+//! Following the paper's sparse approximation (Torres & Gilbert 1996):
+//! the dense far field `(M^∞)⁻¹` is replaced by a far-field effective
+//! viscosity acting on each particle's Stokes drag, adjusted for the
+//! particle's own radius (the paper's "slight modification … to account
+//! for different particle radii"); the near field is the pairwise
+//! lubrication matrix in relative-motion form. The result is a BCRS
+//! matrix with 3×3 blocks — one diagonal block per particle plus one
+//! off-diagonal block per interacting pair — and it is symmetric
+//! positive definite by construction: `R ⪰ μ_F·D ≻ 0`.
+
+use crate::lubrication::{dimensionless_gap, pair_block};
+use crate::particle::ParticleSystem;
+use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder};
+
+/// Parameters of resistance assembly.
+#[derive(Clone, Copy, Debug)]
+pub struct ResistanceConfig {
+    /// Solvent viscosity `η` (reduced units; 1.0 by default).
+    pub eta: f64,
+    /// Pair interaction cutoff in scaled separation: particles interact
+    /// when `s = 2r/(a_i + a_j) < s_cut`. The paper varies this cutoff
+    /// to generate matrices of different density (Table I).
+    pub s_cut: f64,
+    /// Floor on the dimensionless gap `ξ`, bounding the lubrication
+    /// singularity and hence the condition number.
+    pub xi_min: f64,
+}
+
+impl Default for ResistanceConfig {
+    fn default() -> Self {
+        ResistanceConfig { eta: 1.0, s_cut: 3.0, xi_min: 1e-3 }
+    }
+}
+
+/// Far-field effective viscosity `μ_F(φ)`: the paper chooses it by the
+/// particle volume fraction (after Torres & Gilbert); we use the
+/// Einstein–Batchelor expansion, adequate for a scalar effective medium.
+pub fn mu_f(volume_fraction: f64) -> f64 {
+    let phi = volume_fraction.clamp(0.0, 0.64);
+    1.0 + 2.5 * phi + 5.2 * phi * phi
+}
+
+/// Assembles the resistance matrix for the current configuration.
+pub fn assemble_resistance(
+    system: &ParticleSystem,
+    cfg: &ResistanceConfig,
+) -> BcrsMatrix {
+    let n = system.len();
+    let mut t = BlockTripletBuilder::square(n);
+    let mu = mu_f(system.volume_fraction());
+    let radii = system.radii();
+
+    // Far-field drag: 6πη·a_i·μ_F on each particle's diagonal.
+    for (i, &a) in radii.iter().enumerate() {
+        let drag = 6.0 * std::f64::consts::PI * cfg.eta * a * mu;
+        t.add(i, i, Block3::scaled_identity(drag));
+    }
+
+    if n > 1 {
+        // Size-classed pair search: each pair interacts when its scaled
+        // separation 2r/(a_i+a_j) is below s_cut.
+        crate::cell_list::for_each_scaled_pair(system, cfg.s_cut, |i, j, dist| {
+            let (ai, aj) = (radii[i], radii[j]);
+            let d = system.minimum_image(i, j);
+            let xi = dimensionless_gap(dist, ai, aj);
+            let a_blk = pair_block(d, ai, aj, cfg.eta, xi, cfg.xi_min);
+            // Relative-motion form: +A on both diagonals, −A off-diagonal.
+            t.add(i, i, a_blk);
+            t.add(j, j, a_blk);
+            t.add(i, j, -a_blk);
+            t.add(j, i, -a_blk);
+        });
+    }
+    t.build()
+}
+
+/// An exact lower bound on the spectrum of the assembled matrix:
+/// `R ⪰ μ_F·D`, so `λ_min(R) ≥ min_i 6πη·a_i·μ_F`.
+pub fn spectrum_lower_bound(system: &ParticleSystem, cfg: &ResistanceConfig) -> f64 {
+    let mu = mu_f(system.volume_fraction());
+    system
+        .radii()
+        .iter()
+        .map(|&a| 6.0 * std::f64::consts::PI * cfg.eta * a * mu)
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packing::pack_ecoli;
+    use mrhs_solvers::LinearOperator;
+
+    fn small_system(fraction: f64, seed: u64) -> ParticleSystem {
+        pack_ecoli(60, fraction, seed)
+    }
+
+    #[test]
+    fn matrix_has_one_block_row_per_particle() {
+        let s = small_system(0.3, 1);
+        let r = assemble_resistance(&s, &ResistanceConfig::default());
+        assert_eq!(r.nb_rows(), 60);
+        assert_eq!(r.n_rows(), 180);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let s = small_system(0.4, 2);
+        let r = assemble_resistance(&s, &ResistanceConfig::default());
+        assert!(r.is_symmetric_within(1e-9));
+    }
+
+    #[test]
+    fn matrix_is_positive_definite() {
+        let s = small_system(0.5, 3);
+        let cfg = ResistanceConfig::default();
+        let r = assemble_resistance(&s, &cfg);
+        // Rayleigh quotients for several pseudo-random vectors must
+        // exceed the exact lower bound.
+        let lb = spectrum_lower_bound(&s, &cfg);
+        assert!(lb > 0.0);
+        let n = r.n_rows();
+        let mut state = 99u64;
+        for _ in 0..5 {
+            let v: Vec<f64> = (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                })
+                .collect();
+            let mut rv = vec![0.0; n];
+            r.apply(&v, &mut rv);
+            let num: f64 = v.iter().zip(&rv).map(|(a, b)| a * b).sum();
+            let den: f64 = v.iter().map(|a| a * a).sum();
+            assert!(num / den >= lb * (1.0 - 1e-9), "{} < {lb}", num / den);
+        }
+    }
+
+    #[test]
+    fn density_grows_with_cutoff() {
+        // The paper generated mat1..mat3 by changing the cutoff radius.
+        let s = small_system(0.5, 4);
+        let narrow = assemble_resistance(
+            &s,
+            &ResistanceConfig { s_cut: 2.2, ..Default::default() },
+        );
+        let wide = assemble_resistance(
+            &s,
+            &ResistanceConfig { s_cut: 4.0, ..Default::default() },
+        );
+        assert!(wide.nnz_blocks() > narrow.nnz_blocks());
+        assert!(wide.blocks_per_row() > narrow.blocks_per_row());
+    }
+
+    #[test]
+    fn density_grows_with_occupancy() {
+        let cfg = ResistanceConfig::default();
+        let dilute = assemble_resistance(&small_system(0.1, 5), &cfg);
+        let dense = assemble_resistance(&small_system(0.5, 5), &cfg);
+        assert!(dense.blocks_per_row() > dilute.blocks_per_row());
+    }
+
+    #[test]
+    fn isolated_particles_yield_pure_drag() {
+        // Two far-apart particles: R is exactly the diagonal drag.
+        let s = ParticleSystem::new(
+            vec![[10.0, 10.0, 10.0], [60.0, 60.0, 60.0]],
+            vec![1.0, 2.0],
+            [100.0; 3],
+        );
+        let cfg = ResistanceConfig::default();
+        let r = assemble_resistance(&s, &cfg);
+        assert_eq!(r.nnz_blocks(), 2);
+        let mu = mu_f(s.volume_fraction());
+        let want0 = 6.0 * std::f64::consts::PI * mu;
+        assert!((r.block_at(0, 0).unwrap().get(0, 0) - want0).abs() < 1e-9);
+        assert!((r.block_at(1, 1).unwrap().get(1, 1) - 2.0 * want0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn touching_pair_dominated_by_lubrication() {
+        let s = ParticleSystem::new(
+            vec![[10.0, 10.0, 10.0], [12.05, 10.0, 10.0]],
+            vec![1.0, 1.0],
+            [50.0; 3],
+        );
+        let cfg = ResistanceConfig::default();
+        let r = assemble_resistance(&s, &cfg);
+        assert_eq!(r.nnz_blocks(), 4);
+        // Squeeze resistance along x should dwarf the bare drag.
+        let diag = r.block_at(0, 0).unwrap().get(0, 0);
+        let drag = 6.0 * std::f64::consts::PI * mu_f(s.volume_fraction());
+        assert!(diag > 3.0 * drag, "diag {diag} vs drag {drag}");
+        // Off-diagonal block is the negated pair block.
+        let off = r.block_at(0, 1).unwrap();
+        let d00 = r.block_at(0, 0).unwrap().get(0, 0);
+        assert!((off.get(0, 0) + (d00 - drag)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mu_f_increases_with_occupancy() {
+        assert!(mu_f(0.0) == 1.0);
+        assert!(mu_f(0.3) > mu_f(0.1));
+        assert!(mu_f(0.5) > 2.0);
+    }
+
+    #[test]
+    fn gershgorin_lower_bound_respects_exact_bound() {
+        let s = small_system(0.5, 6);
+        let cfg = ResistanceConfig::default();
+        let r = assemble_resistance(&s, &cfg);
+        // Gershgorin may be loose (even negative), but the exact bound
+        // must be positive and below the Gershgorin upper bound.
+        let lb = spectrum_lower_bound(&s, &cfg);
+        assert!(lb > 0.0);
+        assert!(r.gershgorin_upper_bound() > lb);
+    }
+}

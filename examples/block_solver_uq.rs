@@ -1,0 +1,84 @@
+//! Block solvers for uncertainty quantification — the "natural" MRHS
+//! use case from the paper's introduction: many perturbed right-hand
+//! sides available simultaneously, solved together so every iteration's
+//! matrix pass is amortized over all of them (GSPMV).
+//!
+//! Compares block CG against m independent CG solves on the same SD
+//! resistance matrix and prints iteration and matrix-pass counts.
+//!
+//! ```text
+//! cargo run --release --example block_solver_uq
+//! ```
+
+use mrhs::solvers::{block_cg, cg, CountingOperator, SolveConfig};
+use mrhs::sparse::MultiVec;
+use mrhs::stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // One resistance matrix, m right-hand sides: a nominal force vector
+    // plus small random perturbations (the UQ ensemble).
+    let system = SystemBuilder::new(600).volume_fraction(0.4).seed(3).build();
+    let a = assemble_resistance(system.particles(), &ResistanceConfig::default());
+    let n = a.n_rows();
+    let m = 8;
+    println!(
+        "resistance matrix: n = {n}, nnzb/nb = {:.1}; ensemble of {m} RHS",
+        a.blocks_per_row()
+    );
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let nominal: Vec<f64> =
+        (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let mut b = MultiVec::zeros(n, m);
+    for j in 0..m {
+        let perturbed: Vec<f64> = nominal
+            .iter()
+            .map(|v| v + 0.05 * (rng.random::<f64>() - 0.5))
+            .collect();
+        b.set_column(j, &perturbed);
+    }
+
+    let cfg = SolveConfig { tol: 1e-8, max_iter: 2000 };
+
+    // Block CG: one GSPMV per iteration, all m columns at once.
+    let counter = CountingOperator::new(&a);
+    let mut x_block = MultiVec::zeros(n, m);
+    let block = block_cg(&counter, &b, &mut x_block, &cfg);
+    println!(
+        "\nblock CG : {} iterations, {} GSPMV calls ({} matrix passes)",
+        block.iterations,
+        counter.multi_applies(),
+        counter.multi_applies()
+    );
+
+    // Independent CG solves: one SPMV per iteration per column.
+    let counter2 = CountingOperator::new(&a);
+    let mut total_iters = 0;
+    for j in 0..m {
+        let mut x = vec![0.0; n];
+        let r = cg(&counter2, &b.column(j), &mut x, &cfg);
+        assert!(r.converged);
+        total_iters += r.iterations;
+        // solutions must agree
+        for (u, v) in x.iter().zip(&x_block.column(j)) {
+            assert!((u - v).abs() < 1e-5, "column {j} disagrees");
+        }
+    }
+    println!(
+        "m x CG   : {total_iters} total iterations, {} SPMV calls ({} matrix passes)",
+        counter2.single_applies(),
+        counter2.single_applies()
+    );
+
+    let passes_block = counter.multi_applies() as f64;
+    let passes_single = counter2.single_applies() as f64;
+    println!(
+        "\nmatrix is streamed from memory {passes_single:.0} times for the \
+         independent solves,\nbut only {passes_block:.0} times for the block \
+         solve — a {:.1}x reduction in matrix traffic\n(each GSPMV pass costs \
+         barely more than an SPMV pass: the paper's Fig. 2)",
+        passes_single / passes_block
+    );
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate re-exporting the MRHS workspace.
+//!
+//! This is the crate downstream users depend on; it re-exports the
+//! public APIs of every subsystem so `use mrhs::...` reaches everything:
+//!
+//! * [`sparse`] — BCRS matrices, multivectors, SPMV/GSPMV kernels.
+//! * [`solvers`] — CG, block CG, Chebyshev matrix square root.
+//! * [`core`] — the MRHS algorithm and the [`core::ResistanceSystem`] trait.
+//! * [`stokes`] — the Stokesian dynamics application.
+//! * [`perfmodel`] — the GSPMV and MRHS performance models.
+//! * [`cluster`] — distributed GSPMV execution and time modeling.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use mrhs_cluster as cluster;
+pub use mrhs_core as core;
+pub use mrhs_perfmodel as perfmodel;
+pub use mrhs_solvers as solvers;
+pub use mrhs_sparse as sparse;
+pub use mrhs_stokes as stokes;

@@ -1,0 +1,149 @@
+//! Integration tests of the paper's §III toolbox for *sequences* of
+//! slowly-varying systems, exercised on genuinely evolving Stokesian
+//! dynamics matrices:
+//!
+//! 1. a reusable preconditioner (block-Jacobi, possibly stale),
+//! 2. Krylov recycling (deflated CG with harvested Ritz vectors),
+//! 3. previous-solution initial guesses (the technique MRHS builds on).
+
+use mrhs::core::{MrhsConfig, NoiseSource, ResistanceSystem};
+use mrhs::solvers::{
+    cg, pcg, recycled_cg, BlockJacobi, RecycleSpace, SolveConfig,
+};
+use mrhs::stokes::{GaussianNoise, SystemBuilder};
+
+/// Evolves the system a few Brownian steps and returns the matrix
+/// sequence (R_0, R_1, …) the solvers see.
+fn matrix_sequence(
+    n: usize,
+    steps: usize,
+) -> Vec<mrhs::sparse::BcrsMatrix> {
+    let (mut system, mut noise) = SystemBuilder::new(n)
+        .volume_fraction(0.4)
+        .seed(31)
+        .build_with_noise();
+    let cfg = MrhsConfig { m: 2, ..Default::default() };
+    let mut out = vec![system.assemble()];
+    for _ in 0..steps {
+        // one cheap chunk of motion
+        let mut cache = None;
+        mrhs::core::run_original_step(&mut system, &mut noise, &cfg, &mut cache);
+        out.push(system.assemble());
+    }
+    out
+}
+
+fn rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut noise = GaussianNoise::seed_from_u64(seed);
+    let mut b = vec![0.0; n];
+    noise.fill_standard_normal(&mut b);
+    b
+}
+
+#[test]
+fn stale_block_jacobi_keeps_working_across_steps() {
+    let seq = matrix_sequence(60, 3);
+    let n = seq[0].n_rows();
+    let cfg = SolveConfig { tol: 1e-8, max_iter: 4000 };
+    // Preconditioner built once, from R_0.
+    let pc = BlockJacobi::new(&seq[0]).expect("SPD diagonal blocks");
+    for (k, a) in seq.iter().enumerate() {
+        let b = rhs(n, 100 + k as u64);
+        let mut x_pc = vec![0.0; n];
+        let with = pcg(a, &pc, &b, &mut x_pc, &cfg);
+        assert!(with.converged, "step {k}: {with:?}");
+
+        let mut x_plain = vec![0.0; n];
+        let plain = cg(a, &b, &mut x_plain, &cfg);
+        assert!(plain.converged);
+        // Block-Jacobi must keep paying even when stale (lubrication
+        // blocks dominate the diagonal).
+        assert!(
+            with.iterations <= plain.iterations,
+            "step {k}: pcg {} vs cg {}",
+            with.iterations,
+            plain.iterations
+        );
+    }
+}
+
+#[test]
+fn recycled_space_transfers_to_the_drifted_matrix() {
+    let seq = matrix_sequence(60, 2);
+    let n = seq[0].n_rows();
+    let cfg = SolveConfig { tol: 1e-8, max_iter: 4000 };
+
+    // Harvest on R_0 …
+    let b0 = rhs(n, 1);
+    let mut x0 = vec![0.0; n];
+    let first = recycled_cg(&seq[0], None, &b0, &mut x0, &cfg, 10);
+    assert!(first.result.converged);
+
+    // … and deflate the solve on the drifted R_2 with a fresh RHS.
+    let a_new = &seq[2];
+    let space = RecycleSpace::from_vectors(a_new, &first.harvested)
+        .expect("harvested Ritz vectors survive");
+    let b1 = rhs(n, 2);
+    let mut x_plain = vec![0.0; n];
+    let plain = recycled_cg(a_new, None, &b1, &mut x_plain, &cfg, 0);
+    let mut x_rec = vec![0.0; n];
+    let rec = recycled_cg(a_new, Some(&space), &b1, &mut x_rec, &cfg, 0);
+    assert!(plain.result.converged && rec.result.converged);
+    // Deflation must never slow the solve on a drifted matrix, and the
+    // answers must agree.
+    assert!(
+        rec.result.iterations <= plain.result.iterations,
+        "recycled {} vs plain {}",
+        rec.result.iterations,
+        plain.result.iterations
+    );
+    for (u, v) in x_rec.iter().zip(&x_plain) {
+        assert!((u - v).abs() <= 1e-4 * u.abs().max(1.0));
+    }
+}
+
+#[test]
+fn previous_solution_guess_beats_cold_start_across_steps() {
+    let seq = matrix_sequence(60, 2);
+    let n = seq[0].n_rows();
+    let cfg = SolveConfig::default();
+    // Same physical RHS solved against consecutive matrices — the
+    // pattern of the paper's midpoint solve (step 5 of Alg. 1).
+    let b = rhs(n, 9);
+    let mut u_prev = vec![0.0; n];
+    let cold0 = cg(&seq[0], &b, &mut u_prev, &cfg);
+    assert!(cold0.converged);
+
+    let mut warm_x = u_prev.clone();
+    let warm = cg(&seq[1], &b, &mut warm_x, &cfg);
+    let mut cold_x = vec![0.0; n];
+    let cold = cg(&seq[1], &b, &mut cold_x, &cfg);
+    assert!(warm.converged && cold.converged);
+    assert!(
+        warm.iterations < cold.iterations,
+        "warm {} vs cold {}",
+        warm.iterations,
+        cold.iterations
+    );
+}
+
+#[test]
+fn noise_source_trait_object_compatible() {
+    // The drivers take generic NoiseSource; make sure the trait is
+    // usable through &mut dyn as well (API ergonomics guard).
+    fn fill(src: &mut dyn NoiseSource, out: &mut [f64]) {
+        src.fill_standard_normal(out);
+    }
+    let mut g = GaussianNoise::seed_from_u64(3);
+    let mut buf = [0.0; 8];
+    fill(&mut g, &mut buf);
+    assert!(buf.iter().any(|v| *v != 0.0));
+}
+
+#[test]
+fn resistance_system_dim_consistent_with_assemble() {
+    let system = SystemBuilder::new(30).volume_fraction(0.3).seed(5).build();
+    let a = system.assemble();
+    assert_eq!(a.n_rows(), system.dim());
+    assert_eq!(a.n_cols(), system.dim());
+}
