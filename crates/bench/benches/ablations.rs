@@ -6,14 +6,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrhs_sparse::gspmv::{gspmv_serial_generic, gspmv_serial_naive};
 use mrhs_sparse::reorder::{permute_symmetric, reverse_cuthill_mckee};
-use mrhs_sparse::{gspmv_serial, BcrsMatrix, CsrMatrix, MultiVec, SymmetricBcrs};
+use mrhs_sparse::{
+    gspmv, gspmv_serial, BcrsMatrix, CsrMatrix, MultiVec, SymmetricBcrs,
+};
 use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
 
 fn sd_matrix(n: usize) -> BcrsMatrix {
-    let sys = SystemBuilder::new(n)
-        .volume_fraction(0.5)
-        .seed(20120521)
-        .build();
+    let sys = SystemBuilder::new(n).volume_fraction(0.5).seed(20120521).build();
     assemble_resistance(sys.particles(), &ResistanceConfig::default())
 }
 
@@ -86,19 +85,30 @@ fn bench_ordering(c: &mut Criterion) {
 }
 
 /// Symmetric (half) storage vs full storage — the symmetry the paper
-/// leaves unexploited. Halves the matrix stream at the cost of
-/// scattered writes.
+/// leaves unexploited. Three-way ablation across the Fig. 2 vector
+/// counts: the full-storage parallel driver, the symmetric serial
+/// kernel, and the symmetric parallel (slab + reduce) driver. On a
+/// multi-core host (`RAYON_NUM_THREADS >= 2`) symmetric-parallel should
+/// beat symmetric-serial from m = 8 on; on one core both symmetric
+/// variants win on the halved matrix stream alone.
 fn bench_symmetric_storage(c: &mut Criterion) {
     let a = sd_matrix(2000);
     let s = SymmetricBcrs::from_full(&a, 1e-9).expect("SD matrices are symmetric");
     let n = a.n_rows();
-    let mut group = c.benchmark_group("symmetry_m8");
-    group.sample_size(20);
-    let x = MultiVec::from_flat(n, 8, vec![1.0; n * 8]);
-    let mut y = MultiVec::zeros(n, 8);
-    group.bench_function("full", |b| b.iter(|| gspmv_serial(&a, &x, &mut y)));
-    group.bench_function("half", |b| b.iter(|| s.gspmv(&x, &mut y)));
-    group.finish();
+    let nthreads = rayon::current_num_threads().max(2);
+    for m in [1usize, 8, 16, 32] {
+        let mut group = c.benchmark_group(format!("symmetry_m{m}"));
+        group.sample_size(20);
+        let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+        let mut y = MultiVec::zeros(n, m);
+        group.bench_function("full_parallel", |b| b.iter(|| gspmv(&a, &x, &mut y)));
+        group
+            .bench_function("symmetric_serial", |b| b.iter(|| s.gspmv(&x, &mut y)));
+        group.bench_function("symmetric_parallel", |b| {
+            b.iter(|| s.gspmv_threaded(&x, &mut y, nthreads))
+        });
+        group.finish();
+    }
 }
 
 /// Assembly cost vs particle count (the per-step `Construct R_k` cost).
@@ -106,10 +116,7 @@ fn bench_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("assembly");
     group.sample_size(10);
     for &n in &[500usize, 1000, 2000] {
-        let sys = SystemBuilder::new(n)
-            .volume_fraction(0.5)
-            .seed(20120521)
-            .build();
+        let sys = SystemBuilder::new(n).volume_fraction(0.5).seed(20120521).build();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 assemble_resistance(sys.particles(), &ResistanceConfig::default())

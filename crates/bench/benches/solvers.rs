@@ -8,10 +8,7 @@ use mrhs_sparse::{BcrsMatrix, MultiVec};
 use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
 
 fn sd_matrix(n: usize) -> BcrsMatrix {
-    let sys = SystemBuilder::new(n)
-        .volume_fraction(0.4)
-        .seed(20120521)
-        .build();
+    let sys = SystemBuilder::new(n).volume_fraction(0.4).seed(20120521).build();
     assemble_resistance(sys.particles(), &ResistanceConfig::default())
 }
 

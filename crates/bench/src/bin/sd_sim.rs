@@ -112,10 +112,7 @@ fn main() {
                 total_second += s.second_solve_iterations;
             }
             steps_done += report.steps.len();
-            msd.record(
-                system.particles(),
-                report.steps.len() as f64 * system.dt(),
-            );
+            msd.record(system.particles(), report.steps.len() as f64 * system.dt());
             println!(
                 "  chunk done: block {} it, msd {:.4} A^2",
                 report.block_iterations,

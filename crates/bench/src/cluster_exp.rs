@@ -10,11 +10,7 @@ use mrhs_cluster::{ClusterGspmvModel, ClusterMrhsModel, DistributedMatrix};
 use mrhs_perfmodel::mrhs_model::SolveCounts;
 use mrhs_sparse::partition::coordinate_partition;
 
-fn distribute(
-    opts: &Options,
-    s_cut: f64,
-    nodes: usize,
-) -> DistributedMatrix {
+fn distribute(opts: &Options, s_cut: f64, nodes: usize) -> DistributedMatrix {
     let (system, a) = sd_system_and_matrix(opts.particles, s_cut, opts.seed);
     let part = coordinate_partition(
         &a,
@@ -39,10 +35,8 @@ pub fn fig3(opts: &Options) {
         section(&format!("Fig. 3: relative time r(m, p) for {name}"));
         let node_counts = [1usize, 4, 16, 64];
         let scale = paper_scale(opts);
-        let dms: Vec<DistributedMatrix> = node_counts
-            .iter()
-            .map(|&p| distribute(opts, s_cut, p))
-            .collect();
+        let dms: Vec<DistributedMatrix> =
+            node_counts.iter().map(|&p| distribute(opts, s_cut, p)).collect();
         print!("{:>4}", "m");
         for p in node_counts {
             print!(" {:>9}", format!("p={p}"));
@@ -98,10 +92,7 @@ pub fn table3(opts: &Options) {
         for &m in &ms {
             print!(" {:>7.0}%", 100.0 * model.comm_fraction_scaled(&dm, m, scale));
         }
-        println!(
-            "   ({}%/{}%/{}%)",
-            paper[row][0], paper[row][1], paper[row][2]
-        );
+        println!("   ({}%/{}%/{}%)", paper[row][0], paper[row][1], paper[row][2]);
     }
 }
 
@@ -129,7 +120,9 @@ pub fn cluster_mrhs(opts: &Options) {
             s
         );
     }
-    println!("(the paper defers distributed SD; this composes its two validated models)");
+    println!(
+        "(the paper defers distributed SD; this composes its two validated models)"
+    );
 }
 
 /// Functional check printed alongside the model: the distributed

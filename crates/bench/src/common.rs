@@ -15,11 +15,15 @@ pub struct Options {
     pub reps: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Run the symmetric-storage variant of an experiment (currently
+    /// `fig2`): curves measured on [`mrhs_sparse::SymmetricBcrs`]
+    /// instead of full storage.
+    pub symmetric: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { particles: 2000, reps: 5, seed: 20120521 }
+        Options { particles: 2000, reps: 5, seed: 20120521, symmetric: false }
     }
 }
 
@@ -51,6 +55,7 @@ impl Options {
                         .expect("--seed needs a number");
                 }
                 "--full" => o.particles = 300_000,
+                "--symmetric" => o.symmetric = true,
                 _ => {}
             }
         }
@@ -116,11 +121,8 @@ pub fn sd_system_and_matrix(
     s_cut: f64,
     seed: u64,
 ) -> (mrhs_stokes::StokesianSystem, BcrsMatrix) {
-    let system = SystemBuilder::new(n)
-        .volume_fraction(0.5)
-        .s_cut(s_cut)
-        .seed(seed)
-        .build();
+    let system =
+        SystemBuilder::new(n).volume_fraction(0.5).s_cut(s_cut).seed(seed).build();
     let m = assemble_resistance(
         system.particles(),
         &ResistanceConfig { s_cut, ..Default::default() },

@@ -1,10 +1,14 @@
 //! Kernel-level experiments: Table I, Table II, Fig. 1, Fig. 2.
 
-use crate::common::{f, kernel_particles, sd_matrix, section, Options, TABLE1_CUTOFFS};
+use crate::common::{
+    f, kernel_particles, sd_matrix, section, Options, TABLE1_CUTOFFS,
+};
 use mrhs_perfmodel::measure::{
-    host_profile, measured_relative_curve, stream_bandwidth, time_gspmv,
+    host_profile, measured_relative_curve, measured_symmetric_relative_curve,
+    stream_bandwidth, time_gspmv,
 };
 use mrhs_perfmodel::{GspmvModel, MachineProfile};
+use mrhs_sparse::SymmetricBcrs;
 
 /// Table I: statistics of the three SD matrices. The paper builds them
 /// by changing the SD cutoff radius; so do we. Absolute sizes scale
@@ -49,8 +53,7 @@ pub fn table2(opts: &Options) {
     for (i, (name, s_cut, _)) in TABLE1_CUTOFFS.iter().enumerate() {
         let a = sd_matrix(n, *s_cut, opts.seed);
         let t = time_gspmv(&a, 1, opts.reps);
-        let bytes = a.stream_bytes() as f64
-            + (a.n_rows() * 3 * 8) as f64; // x read, y write (+alloc)
+        let bytes = a.stream_bytes() as f64 + (a.n_rows() * 3 * 8) as f64; // x read, y write (+alloc)
         let gbps = bytes / t / 1e9;
         let gflops = 18.0 * a.nnz_blocks() as f64 / t / 1e9;
         // paper: mat1 77%, mat2 80% of WSM STREAM; mat3 97% of SNB
@@ -71,8 +74,7 @@ pub fn table2(opts: &Options) {
 pub fn fig1(_opts: &Options) {
     section("Fig. 1: vectors within 2x single-vector time (model, k = 0)");
     let densities: Vec<f64> = (0..14).map(|i| 6.0 + 6.0 * i as f64).collect();
-    let bfs: Vec<f64> =
-        vec![0.02, 0.06, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let bfs: Vec<f64> = vec![0.02, 0.06, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
     let grid = GspmvModel::fig1_grid(&densities, &bfs);
     print!("{:>6} |", "B/F");
     for d in &densities {
@@ -107,7 +109,10 @@ pub fn fig2(opts: &Options) {
     let a2 = sd_matrix(n, TABLE1_CUTOFFS[1].1, opts.seed);
     let measured = measured_relative_curve(&a2, &ms, opts.reps);
     let model = GspmvModel::new(&a2.stats(), host);
-    println!("{:>4} {:>10} {:>10} {:>10} {:>10}", "m", "measured", "model", "bw-bound", "comp-bound");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10}",
+        "m", "measured", "model", "bw-bound", "comp-bound"
+    );
     let t1 = model.time_bandwidth(1);
     for (m, r) in &measured {
         println!(
@@ -148,6 +153,57 @@ pub fn fig2(opts: &Options) {
         let paper = [8, 12, 16][k];
         println!("{name}: ~{at2} vectors at 2x (paper: {paper})");
     }
+}
+
+/// Fig. 2 on the symmetric-storage path (`repro fig2 --symmetric`):
+/// measured r(m) of the full kernel vs the symmetric kernel (serial and
+/// auto-parallel), all normalized by the full single-vector time, next
+/// to the Eq. 8 prediction whose matrix term uses the assembled
+/// matrix's exact `SymmetricBcrs::stream_bytes()`.
+pub fn fig2_symmetric(opts: &Options) {
+    section("Fig. 2 (symmetric storage): r(m) vs full, measured + model");
+    let host = host_profile();
+    let n = kernel_particles(opts);
+    let a2 = sd_matrix(n, TABLE1_CUTOFFS[1].1, opts.seed);
+    let s2 = SymmetricBcrs::from_full(&a2, 1e-9)
+        .expect("SD resistance matrices are symmetric");
+    println!(
+        "matrix: nb = {}, stored blocks {} -> {} ({:.0}% of the stream)",
+        a2.nb_rows(),
+        a2.nnz_blocks(),
+        s2.stored_blocks(),
+        100.0 * s2.stream_bytes() as f64 / a2.stream_bytes() as f64
+    );
+    println!(
+        "rayon threads: {} (set RAYON_NUM_THREADS to vary)",
+        rayon::current_num_threads()
+    );
+    let ms: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 24, 32, 42];
+    let full = measured_relative_curve(&a2, &ms, opts.reps);
+    let sym_serial =
+        measured_symmetric_relative_curve(&a2, &s2, &ms, opts.reps, false);
+    let sym_par = measured_symmetric_relative_curve(&a2, &s2, &ms, opts.reps, true);
+    let model = GspmvModel::new(&a2.stats(), host);
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "m", "full", "sym-serial", "sym-par", "model(full)", "model(sym)"
+    );
+    for (i, m) in ms.iter().enumerate() {
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            m,
+            f(full[i].1),
+            f(sym_serial[i].1),
+            f(sym_par[i].1),
+            f(model.relative_time(*m)),
+            f(model.symmetric_relative_time_exact(&s2, *m))
+        );
+    }
+    println!(
+        "model switch points: full m_s = {:?}, symmetric m_s = {:?}",
+        model.switch_point(),
+        model.symmetric_switch_point()
+    );
 }
 
 /// A WSM/SNB model replay of Fig. 2 at the paper's exact parameters —

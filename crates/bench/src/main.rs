@@ -3,7 +3,10 @@
 //! Usage:
 //! ```text
 //! repro <experiment> [--particles N] [--reps N] [--seed N] [--full]
+//!       [--symmetric]
 //! ```
+//! `--symmetric` switches `fig2` to the symmetric-storage kernels
+//! (`repro fig2 --symmetric`).
 //! where `<experiment>` is one of `table1 table2 table3 table4 table5
 //! table6 table7 table8 fig1 fig2 fig2-model fig3 fig4 fig5 fig6 fig7
 //! fig8 verify-exchange all quick`.
@@ -29,7 +32,13 @@ fn main() {
         "table1" => kernels::table1(&opts),
         "table2" => kernels::table2(&opts),
         "fig1" => kernels::fig1(&opts),
-        "fig2" => kernels::fig2(&opts),
+        "fig2" => {
+            if opts.symmetric {
+                kernels::fig2_symmetric(&opts)
+            } else {
+                kernels::fig2(&opts)
+            }
+        }
         "fig2-model" => kernels::fig2_paper_model(&opts),
         "fig3" => cluster_exp::fig3(&opts),
         "fig4" => cluster_exp::fig4(&opts),
@@ -79,7 +88,7 @@ fn main() {
                 "usage: repro <table1|table2|table3|table4|table5|table6|table7|\
                  table8|fig1|fig2|fig2-model|fig3|fig4|fig5|fig6|fig7|fig8|\
                  verify-exchange|cluster-mrhs|all|quick> [--particles N] [--reps N] \
-                 [--seed N] [--full]"
+                 [--seed N] [--full] [--symmetric]"
             );
             std::process::exit(2);
         }

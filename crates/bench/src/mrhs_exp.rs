@@ -95,10 +95,7 @@ fn print_breakdown_pair(
     }
     print!("{:<14}", "Speedup");
     for (mrhs, orig) in pairs {
-        print!(
-            " {:>23}x",
-            f(orig.average_per_step() / mrhs.average_per_step())
-        );
+        print!(" {:>23}x", f(orig.average_per_step() / mrhs.average_per_step()));
     }
     println!("   (paper: 1.1x-1.4x)");
 }
@@ -133,7 +130,11 @@ fn block_iteration_overhead(n_scalar: usize, m: usize, reps: usize) -> f64 {
 /// plus the dense block-CG terms) — the procedure §V-B3 prescribes,
 /// with the implementation overhead priced in. A short probe chunk
 /// supplies the iteration counts.
-fn pick_m(n: usize, phi: f64, opts: &Options) -> (usize, Vec<(usize, f64)>, IterationCounts) {
+fn pick_m(
+    n: usize,
+    phi: f64,
+    opts: &Options,
+) -> (usize, Vec<(usize, f64)>, IterationCounts) {
     let (sys, _) = build(n, phi, opts.seed);
     let a = assemble_resistance(sys.particles(), &ResistanceConfig::default());
     let n_scalar = a.n_rows();
@@ -190,12 +191,11 @@ pub fn table6(opts: &Options) {
     for &n in &sizes {
         let (m, costs, probe_counts) = pick_m(n, 0.5, opts);
         let (mrhs, orig, counts) = run_both(n, 0.5, opts.seed, m, 2);
-        println!("\n-- {n} particles (m={m}, N={}, N1={}, N2={}) --",
-            counts.cold, counts.warm_first, counts.warm_second);
-        print_breakdown_pair(
-            &[format!("{n} particles")],
-            &[(mrhs, orig)],
+        println!(
+            "\n-- {n} particles (m={m}, N={}, N1={}, N2={}) --",
+            counts.cold, counts.warm_first, counts.warm_second
         );
+        print_breakdown_pair(&[format!("{n} particles")], &[(mrhs, orig)]);
         println!(
             "Eq.9 speedup from measured counts + cost curve: {:.2}x",
             eq9_speedup(&costs, &probe_counts, m)
@@ -213,8 +213,10 @@ pub fn table7(opts: &Options) {
     for phi in [0.1, 0.3, 0.5] {
         let (m, costs, probe_counts) = pick_m(n, phi, opts);
         let (mrhs, orig, counts) = run_both(n, phi, opts.seed, m, 2);
-        println!("\n-- occupancy {phi} (m={m}, N={}, N1={}, N2={}) --",
-            counts.cold, counts.warm_first, counts.warm_second);
+        println!(
+            "\n-- occupancy {phi} (m={m}, N={}, N1={}, N2={}) --",
+            counts.cold, counts.warm_first, counts.warm_second
+        );
         print_breakdown_pair(&[format!("phi={phi}")], &[(mrhs, orig)]);
         println!(
             "Eq.9 speedup from measured counts + cost curve: {:.2}x",
@@ -311,10 +313,8 @@ pub fn table8(opts: &Options) {
         let ms_model = gspmv.switch_point();
 
         let mvals = [1usize, 2, 4, 8, 12, 16, 24, 32];
-        let costs: Vec<(usize, f64)> = mvals
-            .iter()
-            .map(|&m| (m, time_gspmv(&a, m, opts.reps)))
-            .collect();
+        let costs: Vec<(usize, f64)> =
+            mvals.iter().map(|&m| (m, time_gspmv(&a, m, opts.reps))).collect();
         let curve: Vec<(usize, f64)> =
             costs.iter().map(|&(m, t)| (m, t / costs[0].1)).collect();
         let ms_measured = detect_switch_point(&curve);

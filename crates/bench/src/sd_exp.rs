@@ -14,7 +14,11 @@ pub fn table4(_opts: &Options) {
     }
 }
 
-fn build(n: usize, phi: f64, seed: u64) -> (mrhs_stokes::StokesianSystem, GaussianNoise) {
+fn build(
+    n: usize,
+    phi: f64,
+    seed: u64,
+) -> (mrhs_stokes::StokesianSystem, GaussianNoise) {
     SystemBuilder::new(n).volume_fraction(phi).seed(seed).build_with_noise()
 }
 
@@ -39,10 +43,7 @@ pub fn fig5(opts: &Options) {
         println!("{k:>6} {e:>14.6} {c:>12.6}");
     }
     let mean_c = consts.iter().sum::<f64>() / consts.len() as f64;
-    let spread = consts
-        .iter()
-        .map(|c| (c - mean_c).abs())
-        .fold(0.0f64, f64::max);
+    let spread = consts.iter().map(|c| (c - mean_c).abs()).fold(0.0f64, f64::max);
     println!(
         "sqrt-law constant c = {mean_c:.6} (max dev {:.1}% — paper: c ≈ 0.006, \
          constant in k)",
@@ -106,10 +107,7 @@ pub fn table5(opts: &Options) {
         let cfg = MrhsConfig { m, ..Default::default() };
         let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
         with_guess.push(
-            report.steps[1..]
-                .iter()
-                .map(|s| s.first_solve_iterations)
-                .collect(),
+            report.steps[1..].iter().map(|s| s.first_solve_iterations).collect(),
         );
 
         // Identical system and noise stream, original algorithm.
@@ -139,8 +137,8 @@ pub fn table5(opts: &Options) {
         );
     }
     for (i, phi) in phis.iter().enumerate() {
-        let w: f64 = with_guess[i].iter().sum::<usize>() as f64
-            / with_guess[i].len() as f64;
+        let w: f64 =
+            with_guess[i].iter().sum::<usize>() as f64 / with_guess[i].len() as f64;
         let wo: f64 =
             without[i].iter().sum::<usize>() as f64 / without[i].len() as f64;
         println!(

@@ -159,7 +159,8 @@ fn build_node(permuted: &BcrsMatrix, rows: Range<usize>) -> NodeMatrix {
         }
         row_ptr[bi + 1] = col_idx.len();
     }
-    let local = BcrsMatrix::from_parts(own, own + halo.len(), row_ptr, col_idx, blocks);
+    let local =
+        BcrsMatrix::from_parts(own, own + halo.len(), row_ptr, col_idx, blocks);
     NodeMatrix { rows, local, halo, nnzb_local, nnzb_remote }
 }
 
@@ -198,8 +199,7 @@ mod tests {
         let a = chain(20);
         let part = contiguous_partition(&a, 3);
         let dm = DistributedMatrix::new(&a, &part);
-        let total: usize =
-            dm.nodes().iter().map(|n| n.local.nnz_blocks()).sum();
+        let total: usize = dm.nodes().iter().map(|n| n.local.nnz_blocks()).sum();
         assert_eq!(total, a.nnz_blocks());
         for n in dm.nodes() {
             assert_eq!(n.nnzb_local + n.nnzb_remote, n.local.nnz_blocks());

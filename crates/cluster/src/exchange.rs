@@ -75,10 +75,7 @@ pub fn execute(dm: &DistributedMatrix, x: &MultiVec) -> (MultiVec, CommStats) {
         .collect();
 
     let mut y_parts: Vec<Option<MultiVec>> = (0..p).map(|_| None).collect();
-    let mut stats = CommStats {
-        recv_bytes: vec![0; p],
-        recv_messages: vec![0; p],
-    };
+    let mut stats = CommStats { recv_bytes: vec![0; p], recv_messages: vec![0; p] };
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);

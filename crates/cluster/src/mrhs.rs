@@ -26,12 +26,7 @@ pub struct ClusterMrhsModel {
 impl ClusterMrhsModel {
     /// Average per-step time of the MRHS algorithm on `dm`'s partition
     /// layout with `m` right-hand sides.
-    pub fn tmrhs(
-        &self,
-        dm: &DistributedMatrix,
-        m: usize,
-        scale: f64,
-    ) -> f64 {
+    pub fn tmrhs(&self, dm: &DistributedMatrix, m: usize, scale: f64) -> f64 {
         assert!(m >= 1);
         let t1 = self.gspmv.time_scaled(dm, 1, scale);
         let t_m = self.gspmv.time_scaled(dm, m, scale);
@@ -40,9 +35,7 @@ impl ClusterMrhsModel {
         let (n1, n2, cmax) =
             (c.warm_first as f64, c.warm_second as f64, c.cheb_order as f64);
         let mf = m as f64;
-        ((block + cmax) * t_m
-            + (mf * n1 + mf * n2 + (mf - 1.0) * cmax) * t1)
-            / mf
+        ((block + cmax) * t_m + (mf * n1 + mf * n2 + (mf - 1.0) * cmax) * t1) / mf
     }
 
     /// Average per-step time of the original algorithm on the cluster.
@@ -66,10 +59,7 @@ impl ClusterMrhsModel {
                     .unwrap()
             })
             .unwrap();
-        (
-            m_best,
-            self.toriginal(dm, scale) / self.tmrhs(dm, m_best, scale),
-        )
+        (m_best, self.toriginal(dm, scale) / self.tmrhs(dm, m_best, scale))
     }
 }
 

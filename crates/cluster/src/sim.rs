@@ -127,7 +127,12 @@ impl ClusterGspmvModel {
     }
 
     /// Models node `p`'s share of one GSPMV with `m` vectors.
-    pub fn node_time(&self, dm: &DistributedMatrix, p: usize, m: usize) -> NodeTime {
+    pub fn node_time(
+        &self,
+        dm: &DistributedMatrix,
+        p: usize,
+        m: usize,
+    ) -> NodeTime {
         self.node_time_shape(&NodeShape::of(dm, p), m)
     }
 
@@ -148,11 +153,8 @@ impl ClusterGspmvModel {
             machine: self.machine,
         };
         let compute_local = local_model.time(m);
-        let compute_remote = if shape.nnzb_remote == 0.0 {
-            0.0
-        } else {
-            remote_model.time(m)
-        };
+        let compute_remote =
+            if shape.nnzb_remote == 0.0 { 0.0 } else { remote_model.time(m) };
 
         let message_bytes: Vec<usize> = shape
             .message_rows
@@ -184,11 +186,15 @@ impl ClusterGspmvModel {
 
     /// Like [`Self::time`], with every node projected to a problem
     /// `factor` times larger (see [`NodeShape::scaled`]).
-    pub fn time_scaled(&self, dm: &DistributedMatrix, m: usize, factor: f64) -> f64 {
+    pub fn time_scaled(
+        &self,
+        dm: &DistributedMatrix,
+        m: usize,
+        factor: f64,
+    ) -> f64 {
         (0..dm.n_nodes())
             .map(|p| {
-                self.node_time_shape(&NodeShape::of(dm, p).scaled(factor), m)
-                    .total
+                self.node_time_shape(&NodeShape::of(dm, p).scaled(factor), m).total
             })
             .fold(0.0, f64::max)
     }
@@ -324,8 +330,7 @@ mod tests {
         for p in 0..8 {
             let t = model.node_time(&d, p, 4);
             assert!(
-                (t.total - (t.comm.max(t.compute_local) + t.compute_remote))
-                    .abs()
+                (t.total - (t.comm.max(t.compute_local) + t.compute_remote)).abs()
                     < 1e-15
             );
         }

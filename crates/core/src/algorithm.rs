@@ -5,9 +5,9 @@
 use crate::system::{NoiseSource, ResistanceSystem};
 use crate::timing::StepTimings;
 use mrhs_solvers::{
-    block_cg, cg, spectral_bounds, ChebyshevSqrt, SolveConfig,
+    block_cg, cg, spectral_bounds, ChebyshevSqrt, LinearOperator, SolveConfig,
 };
-use mrhs_sparse::MultiVec;
+use mrhs_sparse::{BcrsMatrix, MultiVec, SymmetricBcrs};
 use std::time::Instant;
 
 /// Parameters of both drivers.
@@ -36,6 +36,14 @@ pub struct MrhsConfig {
     /// Record `‖u_k − u'_k‖/‖u_k‖` per step (Fig. 5). Costs one vector
     /// copy per solve.
     pub record_guess_errors: bool,
+    /// Run every solve on symmetric (diagonal + strictly-upper) storage,
+    /// halving the matrix bytes streamed per iteration. The assembled
+    /// matrix is converted after the spectral-bound estimate; if it is
+    /// not symmetric within [`MrhsConfig::symmetry_tol`] the step falls
+    /// back to full storage.
+    pub symmetric_storage: bool,
+    /// Relative symmetry tolerance for the conversion above.
+    pub symmetry_tol: f64,
 }
 
 impl Default for MrhsConfig {
@@ -48,6 +56,54 @@ impl Default for MrhsConfig {
             lanczos_steps: 20,
             bounds_margin: 1.15,
             record_guess_errors: true,
+            symmetric_storage: false,
+            symmetry_tol: 1e-10,
+        }
+    }
+}
+
+/// The operator a step's solves run against: full BCRS, or symmetric
+/// storage when [`MrhsConfig::symmetric_storage`] is set and the
+/// assembled matrix passed the symmetry check.
+enum StepOperator {
+    Full(BcrsMatrix),
+    Symmetric(SymmetricBcrs),
+}
+
+impl StepOperator {
+    fn build(a: BcrsMatrix, cfg: &MrhsConfig) -> Self {
+        if cfg.symmetric_storage {
+            if let Some(s) = SymmetricBcrs::from_full(&a, cfg.symmetry_tol) {
+                return StepOperator::Symmetric(s);
+            }
+        }
+        StepOperator::Full(a)
+    }
+
+    fn empty() -> Self {
+        StepOperator::Full(BcrsMatrix::zero(0))
+    }
+}
+
+impl LinearOperator for StepOperator {
+    fn dim(&self) -> usize {
+        match self {
+            StepOperator::Full(a) => a.dim(),
+            StepOperator::Symmetric(s) => s.dim(),
+        }
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            StepOperator::Full(a) => a.apply(x, y),
+            StepOperator::Symmetric(s) => s.apply(x, y),
+        }
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        match self {
+            StepOperator::Full(a) => a.apply_multi(x, y),
+            StepOperator::Symmetric(s) => s.apply_multi(x, y),
         }
     }
 }
@@ -102,10 +158,11 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
     // -- Alg. 2 step 1: construct R_0 ---------------------------------
     let mut timings0 = StepTimings::default();
     let t = Instant::now();
-    let mut r0 = system.assemble();
+    let r0 = system.assemble();
     timings0.assemble += t.elapsed();
 
-    // Spectral interval for the whole chunk.
+    // Spectral interval for the whole chunk (Gershgorin needs the full
+    // storage, so bounds are estimated before any conversion).
     let g = (r0.gershgorin_lower_bound(), r0.gershgorin_upper_bound());
     let b = spectral_bounds(&r0, cfg.lanczos_steps, Some(g));
     let cheb = ChebyshevSqrt::new(
@@ -114,12 +171,17 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
         cfg.cheb_order,
     );
 
+    // Optionally drop to symmetric storage for every apply/solve below.
+    let t = Instant::now();
+    let mut op0 = StepOperator::build(r0, cfg);
+    timings0.assemble += t.elapsed();
+
     // -- Alg. 2 step 2: F_B = S(R_0)·Z with all m noise vectors --------
     let mut z = MultiVec::zeros(n, m);
     noise.fill_standard_normal(z.as_mut_slice());
     let t = Instant::now();
     let mut rhs = MultiVec::zeros(n, m);
-    cheb.apply_multi(&r0, &z, &mut rhs);
+    cheb.apply_multi(&op0, &z, &mut rhs);
     rhs.scale(-1.0); // solve R·u = −(f_B + f_P)
     timings0.cheb_vectors += t.elapsed();
     let mut f_ext = vec![0.0; n];
@@ -137,10 +199,14 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
     let t = Instant::now();
     let mut u = MultiVec::zeros(n, m);
     let guess_cfg = SolveConfig { tol: cfg.guess_tol, ..cfg.solve };
-    let block = block_cg(&r0, &rhs, &mut u, &guess_cfg);
+    let block = block_cg(&op0, &rhs, &mut u, &guess_cfg);
     timings0.calc_guesses += t.elapsed();
 
     let mut steps = Vec::with_capacity(m);
+
+    // Reused per-step column buffers (no per-iteration allocation).
+    let mut zk = vec![0.0; n];
+    let mut uk = vec![0.0; n];
 
     // -- Alg. 2 steps 4–14: every step warm-starts from its column ----
     for k in 0..m {
@@ -152,10 +218,10 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
 
         // R_k (the chunk head reuses R_0, already assembled).
         let rk = if k == 0 {
-            std::mem::replace(&mut r0, mrhs_sparse::BcrsMatrix::zero(0))
+            std::mem::replace(&mut op0, StepOperator::empty())
         } else {
             let t = Instant::now();
-            let rk = system.assemble();
+            let rk = StepOperator::build(system.assemble(), cfg);
             timings.assemble += t.elapsed();
             rk
         };
@@ -164,7 +230,7 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
         let fbk = if k == 0 {
             rhs.column(0)
         } else {
-            let zk = z.column(k);
+            z.copy_column_into(k, &mut zk);
             let t = Instant::now();
             let mut fbk = vec![0.0; n];
             cheb.apply(&rk, &zk, &mut fbk);
@@ -178,9 +244,8 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
         };
 
         // First solve, warm-started from the auxiliary solution u'_k.
-        let mut uk = u.column(k);
-        let guess =
-            (k > 0 && cfg.record_guess_errors).then(|| uk.clone());
+        u.copy_column_into(k, &mut uk);
+        let guess = (k > 0 && cfg.record_guess_errors).then(|| uk.clone());
         let t = Instant::now();
         let res1 = cg(&rk, &fbk, &mut uk, &cfg.solve);
         timings.first_solve += t.elapsed();
@@ -211,18 +276,23 @@ pub fn run_original_step<S: ResistanceSystem, N: NoiseSource>(
     let mut timings = StepTimings::default();
 
     let t = Instant::now();
-    let rk = system.assemble();
+    let rk_full = system.assemble();
     timings.assemble += t.elapsed();
 
     let cheb = cheb_cache.get_or_insert_with(|| {
-        let g = (rk.gershgorin_lower_bound(), rk.gershgorin_upper_bound());
-        let b = spectral_bounds(&rk, cfg.lanczos_steps, Some(g));
+        let g =
+            (rk_full.gershgorin_lower_bound(), rk_full.gershgorin_upper_bound());
+        let b = spectral_bounds(&rk_full, cfg.lanczos_steps, Some(g));
         ChebyshevSqrt::new(
             b.lo / cfg.bounds_margin,
             b.hi * cfg.bounds_margin,
             cfg.cheb_order,
         )
     });
+
+    let t = Instant::now();
+    let rk = StepOperator::build(rk_full, cfg);
+    timings.assemble += t.elapsed();
 
     let mut zk = vec![0.0; n];
     noise.fill_standard_normal(&mut zk);
@@ -268,7 +338,7 @@ fn midpoint_second_half<S: ResistanceSystem>(
     system.advance(u_first, 0.5 * dt);
 
     let t = Instant::now();
-    let r_mid = system.assemble();
+    let r_mid = StepOperator::build(system.assemble(), cfg);
     timings.assemble += t.elapsed();
 
     let mut u_mid = u_first.to_vec(); // warm start from the first solve
@@ -378,6 +448,70 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_storage_matches_full_storage_trajectory() {
+        // Same system, same noise stream: the symmetric-storage chunk
+        // must reproduce the full-storage trajectory (the operator is
+        // mathematically identical, only its layout changes).
+        let mut sys_full = LineSystem::new(24);
+        let mut noise_full = XorShiftNoise::new(77);
+        let cfg_full = MrhsConfig { m: 4, ..Default::default() };
+        run_mrhs_chunk(&mut sys_full, &mut noise_full, &cfg_full);
+
+        let mut sys_sym = LineSystem::new(24);
+        let mut noise_sym = XorShiftNoise::new(77);
+        let cfg_sym =
+            MrhsConfig { m: 4, symmetric_storage: true, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys_sym, &mut noise_sym, &cfg_sym);
+
+        assert_eq!(report.steps.len(), 4);
+        for (a, b) in sys_full.positions.iter().zip(&sys_sym.positions) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "trajectories diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_storage_falls_back_on_asymmetric_matrix() {
+        // A system whose matrix is *not* symmetric: the switch must fall
+        // back to full storage instead of corrupting the solve.
+        struct Skew(LineSystem);
+        impl ResistanceSystem for Skew {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn assemble(&self) -> BcrsMatrix {
+                let mut a = self.0.assemble();
+                // perturb one off-diagonal block asymmetrically
+                if a.nnz_blocks() > 1 {
+                    a.blocks_mut()[1].0[1] += 0.01;
+                }
+                a
+            }
+            fn advance(&mut self, u: &[f64], dt: f64) {
+                self.0.advance(u, dt)
+            }
+            fn dt(&self) -> f64 {
+                self.0.dt()
+            }
+            fn save_state(&self) -> Vec<f64> {
+                self.0.save_state()
+            }
+            fn restore_state(&mut self, state: &[f64]) {
+                self.0.restore_state(state)
+            }
+        }
+        let mut sys = Skew(LineSystem::new(10));
+        let mut noise = XorShiftNoise::new(13);
+        let cfg =
+            MrhsConfig { m: 2, symmetric_storage: true, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        assert_eq!(report.steps.len(), 2);
+        assert!(report.steps.iter().all(|s| s.second_solve_iterations > 0));
+    }
+
+    #[test]
     fn guesses_cut_iterations_versus_baseline() {
         // Same system, same noise stream: warm-started steps of the MRHS
         // chunk should need fewer first-solve iterations than the cold
@@ -404,10 +538,7 @@ mod tests {
             / (report.steps.len() - 1) as f64;
         let cold: f64 = cold_iters[1..].iter().map(|&v| v as f64).sum::<f64>()
             / (cold_iters.len() - 1) as f64;
-        assert!(
-            warm < cold,
-            "warm-start mean {warm} should beat cold mean {cold}"
-        );
+        assert!(warm < cold, "warm-start mean {warm} should beat cold mean {cold}");
     }
 
     #[test]
@@ -416,11 +547,8 @@ mod tests {
         let mut noise = XorShiftNoise::new(5);
         let cfg = MrhsConfig { m: 8, ..Default::default() };
         let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
-        let errs: Vec<f64> = report
-            .steps
-            .iter()
-            .filter_map(|s| s.guess_relative_error)
-            .collect();
+        let errs: Vec<f64> =
+            report.steps.iter().filter_map(|s| s.guess_relative_error).collect();
         assert_eq!(errs.len(), 7);
         // √t-like growth: the last error should exceed the first.
         assert!(errs.last().unwrap() >= errs.first().unwrap());

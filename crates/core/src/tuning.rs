@@ -40,7 +40,10 @@ pub fn tmrhs(m: usize, t_m: f64, t_1: f64, it: &IterationCounts) -> f64 {
         it.cheb_order as f64,
     );
     let mf = m as f64;
-    ((n + cmax) * t_m + (mf - 1.0) * n1 * t_1 + mf * n2 * t_1 + (mf - 1.0) * cmax * t_1)
+    ((n + cmax) * t_m
+        + (mf - 1.0) * n1 * t_1
+        + mf * n2 * t_1
+        + (mf - 1.0) * cmax * t_1)
         / mf
 }
 
@@ -53,10 +56,7 @@ pub fn toriginal(t_1: f64, it: &IterationCounts) -> f64 {
 
 /// Given a measured GSPMV cost curve `costs = [(m, T(m)); …]` (must
 /// contain `m = 1`), returns the `m` minimizing Eq. 9.
-pub fn optimal_m_from_costs(
-    costs: &[(usize, f64)],
-    it: &IterationCounts,
-) -> usize {
+pub fn optimal_m_from_costs(costs: &[(usize, f64)], it: &IterationCounts) -> usize {
     let t1 = costs
         .iter()
         .find(|(m, _)| *m == 1)
@@ -107,7 +107,12 @@ mod tests {
 
     fn counts() -> IterationCounts {
         // The paper's Fig. 7 parameters.
-        IterationCounts { cold: 162, warm_first: 80, warm_second: 63, cheb_order: 30 }
+        IterationCounts {
+            cold: 162,
+            warm_first: 80,
+            warm_second: 63,
+            cheb_order: 30,
+        }
     }
 
     /// A synthetic cost curve: bandwidth-bound (slowly growing) until
@@ -117,9 +122,7 @@ mod tests {
         // and calibrated to cross the bandwidth bound exactly at m = ms.
         let bw = |m: usize| 1.0 + 0.05 * (m - 1) as f64;
         let comp_slope = bw(ms) / ms as f64;
-        (1..=max_m)
-            .map(|m| (m, bw(m).max(comp_slope * m as f64)))
-            .collect()
+        (1..=max_m).map(|m| (m, bw(m).max(comp_slope * m as f64))).collect()
     }
 
     #[test]
@@ -138,10 +141,7 @@ mod tests {
         for ms in [5usize, 10, 15] {
             let costs = synthetic_costs(ms, 40);
             let mo = optimal_m_from_costs(&costs, &it);
-            assert!(
-                mo.abs_diff(ms) <= 3,
-                "m_optimal {mo} should be near m_s {ms}"
-            );
+            assert!(mo.abs_diff(ms) <= 3, "m_optimal {mo} should be near m_s {ms}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! host this code actually runs on.
 
 /// Bandwidth/compute parameters of one machine (or one node).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MachineProfile {
     /// Achievable memory bandwidth `B` in bytes/second.
     pub bandwidth: f64,

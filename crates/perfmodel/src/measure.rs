@@ -9,7 +9,9 @@
 
 use crate::machine::MachineProfile;
 use crate::model::FA_FLOPS;
-use mrhs_sparse::{gspmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec};
+use mrhs_sparse::{
+    gspmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec, SymmetricBcrs,
+};
 use std::time::Instant;
 
 /// Measures streaming bandwidth (bytes/second) with a triad
@@ -85,6 +87,54 @@ pub fn measured_relative_curve(
     ms.iter().map(|&m| (m, time_gspmv(a, m, reps) / t1)).collect()
 }
 
+/// Times one symmetric-storage GSPMV with `m` vectors: the serial
+/// kernel, or the auto-threaded driver when `parallel` (which honors
+/// `RAYON_NUM_THREADS` and falls back to serial below its stored-block
+/// threshold). Minimum over `reps` runs, in seconds.
+pub fn time_symmetric_gspmv(
+    s: &SymmetricBcrs,
+    m: usize,
+    reps: usize,
+    parallel: bool,
+) -> f64 {
+    let n = s.n_rows();
+    let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+    let mut y = MultiVec::zeros(n, m);
+    let run = |y: &mut MultiVec| {
+        if parallel {
+            s.gspmv_parallel(&x, y);
+        } else {
+            s.gspmv(&x, y);
+        }
+    };
+    run(&mut y); // warm-up
+    (0..reps.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            run(&mut y);
+            std::hint::black_box(&y);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measured symmetric-storage `r(m)`, normalized by the *full-storage*
+/// single-vector time so the curve is directly comparable with
+/// [`measured_relative_curve`] (and with the model's
+/// `symmetric_relative_time`).
+pub fn measured_symmetric_relative_curve(
+    a: &BcrsMatrix,
+    s: &SymmetricBcrs,
+    ms: &[usize],
+    reps: usize,
+    parallel: bool,
+) -> Vec<(usize, f64)> {
+    let t1 = time_gspmv(a, 1, reps);
+    ms.iter()
+        .map(|&m| (m, time_symmetric_gspmv(s, m, reps, parallel) / t1))
+        .collect()
+}
+
 /// Builds a host [`MachineProfile`]: measured bandwidth and compute
 /// rate (averaged over several `m`, excluding `m = 1` as the paper
 /// does), with the paper's typical `k = 3`.
@@ -112,8 +162,7 @@ pub fn estimate_k(
     let nb = stats.nb as f64;
     let fixed = 4.0 * nb + stats.nnzb as f64 * (4.0 + crate::model::SA_BYTES);
     let vector_bytes = measured_time * bandwidth - fixed;
-    let k =
-        vector_bytes / (m as f64 * nb * crate::model::SX_BYTES) - 3.0;
+    let k = vector_bytes / (m as f64 * nb * crate::model::SX_BYTES) - 3.0;
     k.is_finite().then_some(k)
 }
 
@@ -171,7 +220,8 @@ mod tests {
             nnzb: 250_000,
         };
         for k_true in [-1.0, 0.0, 3.0, 7.5] {
-            let machine = MachineProfile { bandwidth: 20e9, flops: 1e18, k: k_true };
+            let machine =
+                MachineProfile { bandwidth: 20e9, flops: 1e18, k: k_true };
             let model = GspmvModel::new(&stats, machine);
             for m in [1usize, 8, 16] {
                 let t = model.time_bandwidth(m);
@@ -186,6 +236,18 @@ mod tests {
         let p = host_profile();
         assert!(p.bandwidth > 0.0 && p.flops > 0.0);
         assert!(p.byte_per_flop() > 0.0);
+    }
+
+    #[test]
+    fn symmetric_curve_is_finite_and_comparable() {
+        let a = in_cache_matrix();
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        for parallel in [false, true] {
+            let curve =
+                measured_symmetric_relative_curve(&a, &s, &[1, 8], 5, parallel);
+            assert_eq!(curve.len(), 2);
+            assert!(curve.iter().all(|(_, r)| r.is_finite() && *r > 0.0));
+        }
     }
 
     #[test]

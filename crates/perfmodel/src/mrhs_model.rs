@@ -108,8 +108,7 @@ mod tests {
     /// The paper's Fig. 7 system: 300k particles, 50% occupancy
     /// (mat2-like density ≈ 25), dual-socket server with 19.4 GB/s.
     fn fig7_model() -> MrhsModel {
-        let gspmv =
-            GspmvModel::from_density(24.9, MachineProfile::sd_server());
+        let gspmv = GspmvModel::from_density(24.9, MachineProfile::sd_server());
         MrhsModel { gspmv, counts: SolveCounts::fig7() }
     }
 
@@ -128,10 +127,7 @@ mod tests {
         let m = fig7_model();
         let ms = m.gspmv.switch_point().expect("switches");
         let mo = m.m_optimal(40);
-        assert!(
-            mo.abs_diff(ms) <= 3,
-            "m_optimal {mo} should be near m_s {ms}"
-        );
+        assert!(mo.abs_diff(ms) <= 3, "m_optimal {mo} should be near m_s {ms}");
     }
 
     #[test]
@@ -163,7 +159,9 @@ mod tests {
         // The achieved curve is bounded below by both estimates at the
         // crossover region.
         for v in [2usize, 8, 16, 32] {
-            assert!(m.tmrhs(v) + 1e-15 >= m.tmrhs_bandwidth(v).min(m.tmrhs_compute(v)));
+            assert!(
+                m.tmrhs(v) + 1e-15 >= m.tmrhs_bandwidth(v).min(m.tmrhs_compute(v))
+            );
         }
     }
 

@@ -113,8 +113,7 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         rho = rho_new;
     }
 
-    let converged =
-        !broke_down && column_converged_at.iter().all(Option::is_some);
+    let converged = !broke_down && column_converged_at.iter().all(Option::is_some);
     BlockCgResult {
         iterations,
         converged,

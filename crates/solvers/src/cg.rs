@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn exact_convergence_in_at_most_n_iterations() {
         // CG is exact after n steps in exact arithmetic; use a tiny dense SPD.
-        let a = DenseOperator::new(3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let a = DenseOperator::new(
+            3,
+            vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0],
+        );
         let b = vec![1.0, 2.0, 3.0];
         let mut x = vec![0.0; 3];
         let res = cg(&a, &b, &mut x, &SolveConfig { tol: 1e-12, max_iter: 10 });

@@ -38,7 +38,8 @@ impl ChebyshevSqrt {
         // Values of √λ at the Chebyshev nodes of the interval.
         let node_vals: Vec<f64> = (0..k_pts)
             .map(|j| {
-                let t = (std::f64::consts::PI * (j as f64 + 0.5) / k_pts as f64).cos();
+                let t =
+                    (std::f64::consts::PI * (j as f64 + 0.5) / k_pts as f64).cos();
                 (mid + half * t).sqrt()
             })
             .collect();
@@ -216,8 +217,7 @@ mod tests {
     fn squaring_recovers_matrix_action() {
         // S(A)·S(A)·z ≈ A·z when the spectrum is inside the interval.
         let n = 3;
-        let dense =
-            vec![2.0, 0.3, 0.0, 0.3, 1.5, 0.2, 0.0, 0.2, 2.5];
+        let dense = vec![2.0, 0.3, 0.0, 0.3, 1.5, 0.2, 0.0, 0.2, 2.5];
         let a = DenseOperator::new(n, dense.clone());
         let cheb = ChebyshevSqrt::new(0.8, 3.5, 40);
         let z = vec![1.0, 2.0, -1.0];

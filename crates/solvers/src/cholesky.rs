@@ -157,7 +157,8 @@ mod tests {
         let chol = DenseCholesky::factor_bcrs(&a).unwrap();
         let mut mv = MultiVec::zeros(n, 2);
         for j in 0..2 {
-            let col: Vec<f64> = (0..n).map(|i| ((i * (j + 2)) as f64).cos()).collect();
+            let col: Vec<f64> =
+                (0..n).map(|i| ((i * (j + 2)) as f64).cos()).collect();
             mv.set_column(j, &col);
         }
         let reference: Vec<Vec<f64>> = (0..2)

@@ -86,10 +86,7 @@ pub fn lanczos_extremes<A: LinearOperator + ?Sized>(
     }
     let m = alpha.len();
     let beta = &beta[..m.saturating_sub(1)];
-    (
-        tridiag_extreme(&alpha, beta, true),
-        tridiag_extreme(&alpha, beta, false),
-    )
+    (tridiag_extreme(&alpha, beta, true), tridiag_extreme(&alpha, beta, false))
 }
 
 /// Combined estimator: Lanczos Ritz values widened by a safety margin,

@@ -6,7 +6,7 @@
 //! (whose operator spans partitions) and lets tests count kernel
 //! invocations via [`CountingOperator`].
 
-use mrhs_sparse::{gspmv, spmv, BcrsMatrix, MultiVec};
+use mrhs_sparse::{gspmv, spmv, BcrsMatrix, MultiVec, SymmetricBcrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A square linear operator `y = A·x` of scalar dimension `dim`.
@@ -22,9 +22,11 @@ pub trait LinearOperator: Sync {
     fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
         assert_eq!(x.shape(), y.shape());
         assert_eq!(x.n(), self.dim());
+        let mut xj = vec![0.0; self.dim()];
         let mut yj = vec![0.0; self.dim()];
         for j in 0..x.m() {
-            self.apply(&x.column(j), &mut yj);
+            x.copy_column_into(j, &mut xj);
+            self.apply(&xj, &mut yj);
             y.set_column(j, &yj);
         }
     }
@@ -42,6 +44,20 @@ impl LinearOperator for BcrsMatrix {
 
     fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
         gspmv(self, x, y);
+    }
+}
+
+impl LinearOperator for SymmetricBcrs {
+    fn dim(&self) -> usize {
+        self.n_rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_parallel(x, y);
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.gspmv_parallel(x, y);
     }
 }
 
@@ -172,6 +188,52 @@ mod tests {
         a.apply_multi(&x, &mut y);
         assert_eq!(y.column(0), vec![1.0, 3.0]);
         assert_eq!(y.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn symmetric_storage_runs_through_cg_and_block_cg() {
+        use crate::block_cg::block_cg;
+        use crate::cg::{cg, SolveConfig};
+
+        // SPD by diagonal dominance.
+        let nb = 12;
+        let mut t = BlockTripletBuilder::square(nb);
+        for i in 0..nb {
+            t.add(i, i, Block3::scaled_identity(6.0));
+            if i + 1 < nb {
+                t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+            }
+        }
+        let a = t.build();
+        let s = mrhs_sparse::SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        let n = a.n_rows();
+        let cfg = SolveConfig { tol: 1e-10, max_iter: 500 };
+
+        // Single vector: CG on symmetric storage matches CG on full.
+        let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut x_full = vec![0.0; n];
+        let mut x_sym = vec![0.0; n];
+        assert!(cg(&a, &b, &mut x_full, &cfg).converged);
+        assert!(cg(&s, &b, &mut x_sym, &cfg).converged);
+        for (u, v) in x_full.iter().zip(&x_sym) {
+            assert!((u - v).abs() <= 1e-8 * u.abs().max(1.0));
+        }
+
+        // Multivector: block CG on symmetric storage matches full.
+        let m = 4;
+        let mut bm = MultiVec::zeros(n, m);
+        for j in 0..m {
+            let col: Vec<f64> =
+                (0..n).map(|i| (((i + 3 * j) % 5) as f64) - 2.0).collect();
+            bm.set_column(j, &col);
+        }
+        let mut xm_full = MultiVec::zeros(n, m);
+        let mut xm_sym = MultiVec::zeros(n, m);
+        assert!(block_cg(&a, &bm, &mut xm_full, &cfg).converged);
+        assert!(block_cg(&s, &bm, &mut xm_sym, &cfg).converged);
+        for (u, v) in xm_full.as_slice().iter().zip(xm_sym.as_slice()) {
+            assert!((u - v).abs() <= 1e-8 * u.abs().max(1.0));
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! preconditioner: invert each 3×3 diagonal block once, reuse across
 //! steps until convergence degrades, then rebuild.
 
-use crate::cg::SolveConfig;
 use crate::cg::CgResult;
+use crate::cg::SolveConfig;
 use crate::operator::LinearOperator;
 use mrhs_sparse::{BcrsMatrix, Block3};
 
@@ -199,7 +199,8 @@ mod tests {
 
     #[test]
     fn invert3_round_trip() {
-        let b = Block3::from_rows([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]]);
+        let b =
+            Block3::from_rows([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]]);
         let inv = invert3(&b).unwrap();
         let prod = b * inv;
         for i in 0..3 {
@@ -212,7 +213,8 @@ mod tests {
 
     #[test]
     fn invert3_rejects_singular() {
-        let b = Block3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]]);
+        let b =
+            Block3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]]);
         assert!(invert3(&b).is_none());
     }
 

@@ -116,7 +116,8 @@ impl RecycleSpace {
     /// `out −= W·y`.
     fn subtract_w(&self, y: &[f64], out: &mut [f64]) {
         for (c, yc) in y.iter().enumerate() {
-            for (o, wv) in out.iter_mut().zip(&self.w[c * self.n..(c + 1) * self.n]) {
+            for (o, wv) in out.iter_mut().zip(&self.w[c * self.n..(c + 1) * self.n])
+            {
                 *o -= yc * wv;
             }
         }
@@ -125,7 +126,8 @@ impl RecycleSpace {
     /// `out += W·y`.
     fn add_w(&self, y: &[f64], out: &mut [f64]) {
         for (c, yc) in y.iter().enumerate() {
-            for (o, wv) in out.iter_mut().zip(&self.w[c * self.n..(c + 1) * self.n]) {
+            for (o, wv) in out.iter_mut().zip(&self.w[c * self.n..(c + 1) * self.n])
+            {
                 *o += yc * wv;
             }
         }
@@ -477,12 +479,8 @@ mod tests {
         assert!(res.result.converged);
         let mut ax = vec![0.0; n];
         a.apply(&x, &mut ax);
-        let rn: f64 = b2
-            .iter()
-            .zip(&ax)
-            .map(|(u, v)| (u - v) * (u - v))
-            .sum::<f64>()
-            .sqrt();
+        let rn: f64 =
+            b2.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
         let bn: f64 = b2.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(rn <= 2e-9 * bn, "{rn} vs {bn}");
     }

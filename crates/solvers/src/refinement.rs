@@ -40,7 +40,11 @@ pub fn iterative_refinement<A: LinearOperator + ?Sized>(
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if b_norm == 0.0 {
         x.fill(0.0);
-        return RefinementResult { iterations: 0, converged: true, residual_norm: 0.0 };
+        return RefinementResult {
+            iterations: 0,
+            converged: true,
+            residual_norm: 0.0,
+        };
     }
     let threshold = cfg.tol * b_norm;
 
@@ -99,8 +103,7 @@ mod tests {
         let f = DenseCholesky::factor_bcrs(&a).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
         let mut x = vec![0.0; n];
-        let res =
-            iterative_refinement(&a, &f, &b, &mut x, &SolveConfig::default());
+        let res = iterative_refinement(&a, &f, &b, &mut x, &SolveConfig::default());
         assert!(res.converged);
         assert!(res.iterations <= 2, "{res:?}");
     }

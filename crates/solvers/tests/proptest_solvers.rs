@@ -14,11 +14,7 @@ use proptest::prelude::*;
 fn arb_spd(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
     (2usize..=max_n)
         .prop_flat_map(|n| {
-            (
-                Just(n),
-                proptest::collection::vec(-1.0f64..1.0, n * n),
-                0.5f64..3.0,
-            )
+            (Just(n), proptest::collection::vec(-1.0f64..1.0, n * n), 0.5f64..3.0)
         })
         .prop_map(|(n, b, shift)| {
             let bt = dense::transpose(&b, n, n);
@@ -32,11 +28,7 @@ fn arb_spd(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
 
 fn residual_norm(a: &[f64], n: usize, x: &[f64], b: &[f64]) -> f64 {
     let ax = dense::matmul(a, n, n, x, 1);
-    ax.iter()
-        .zip(b)
-        .map(|(u, v)| (u - v) * (u - v))
-        .sum::<f64>()
-        .sqrt()
+    ax.iter().zip(b).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt()
 }
 
 proptest! {

@@ -40,15 +40,25 @@ impl BcrsMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), nb_rows + 1, "row_ptr length mismatch");
         assert_eq!(col_idx.len(), blocks.len(), "col_idx/blocks length mismatch");
-        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr tail mismatch");
+        assert_eq!(
+            *row_ptr.last().unwrap_or(&0),
+            col_idx.len(),
+            "row_ptr tail mismatch"
+        );
         for i in 0..nb_rows {
-            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr not monotone at row {i}");
+            assert!(
+                row_ptr[i] <= row_ptr[i + 1],
+                "row_ptr not monotone at row {i}"
+            );
             let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
             for w in cols.windows(2) {
                 assert!(w[0] < w[1], "columns not strictly increasing in row {i}");
             }
             if let Some(&last) = cols.last() {
-                assert!((last as usize) < nb_cols, "column out of range in row {i}");
+                assert!(
+                    (last as usize) < nb_cols,
+                    "column out of range in row {i}"
+                );
             }
         }
         BcrsMatrix { nb_rows, nb_cols, row_ptr, col_idx, blocks }
@@ -365,7 +375,8 @@ mod tests {
     fn sample() -> BcrsMatrix {
         // [ 2I  B  ]
         // [ Bt  3I ]  with B = upper-triangular test block
-        let b = Block3::from_rows([[0.0, 1.0, 0.0], [0.0, 0.0, 2.0], [0.0, 0.0, 0.0]]);
+        let b =
+            Block3::from_rows([[0.0, 1.0, 0.0], [0.0, 0.0, 2.0], [0.0, 0.0, 0.0]]);
         let mut t = BlockTripletBuilder::square(2);
         t.add(0, 0, Block3::scaled_identity(2.0));
         t.add(1, 1, Block3::scaled_identity(3.0));

@@ -7,7 +7,7 @@
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub};
 
 /// A dense 3×3 block stored row-major: entry `(i, j)` lives at `3*i + j`.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Block3(pub [f64; 9]);
 
 impl Block3 {
@@ -225,13 +225,15 @@ mod tests {
 
     #[test]
     fn transpose_involution() {
-        let b = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let b =
+            Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
         assert_eq!(b.transpose().transpose(), b);
     }
 
     #[test]
     fn transpose_swaps_entries() {
-        let b = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let b =
+            Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
         let t = b.transpose();
         for i in 0..3 {
             for j in 0..3 {
@@ -251,8 +253,10 @@ mod tests {
 
     #[test]
     fn block_matmul_matches_manual() {
-        let a = Block3::from_rows([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]]);
-        let b = Block3::from_rows([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0], [1.0, 0.0, 1.0]]);
+        let a =
+            Block3::from_rows([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0], [4.0, 0.0, 5.0]]);
+        let b =
+            Block3::from_rows([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0], [1.0, 0.0, 1.0]]);
         let c = a * b;
         // row 0: [1+2, 1, 2]
         assert_eq!(c.get(0, 0), 3.0);
@@ -271,14 +275,19 @@ mod tests {
 
     #[test]
     fn add_sub_roundtrip() {
-        let a = Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let a =
+            Block3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
         let b = Block3::scaled_identity(0.5);
         assert_eq!((a + b) - b, a);
     }
 
     #[test]
     fn row_abs_sums_with_negatives() {
-        let b = Block3::from_rows([[-1.0, 2.0, -3.0], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]);
+        let b = Block3::from_rows([
+            [-1.0, 2.0, -3.0],
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+        ]);
         assert_eq!(b.row_abs_sums(), [6.0, 0.0, 3.0]);
     }
 
@@ -289,7 +298,11 @@ mod tests {
 
     #[test]
     fn neg_negates_every_entry() {
-        let b = Block3::from_rows([[1.0, -2.0, 3.0], [0.0, 4.0, 0.0], [5.0, 0.0, -6.0]]);
+        let b = Block3::from_rows([
+            [1.0, -2.0, 3.0],
+            [0.0, 4.0, 0.0],
+            [5.0, 0.0, -6.0],
+        ]);
         let n = -b;
         for i in 0..9 {
             assert_eq!(n.0[i], -b.0[i]);

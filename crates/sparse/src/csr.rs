@@ -179,7 +179,8 @@ mod tests {
         let m = 4;
         let mut x = MultiVec::zeros(n, m);
         for j in 0..m {
-            let col: Vec<f64> = (0..n).map(|r| (r * (j + 1)) as f64 * 0.1).collect();
+            let col: Vec<f64> =
+                (0..n).map(|r| (r * (j + 1)) as f64 * 0.1).collect();
             x.set_column(j, &col);
         }
         let mut y1 = MultiVec::zeros(n, m);

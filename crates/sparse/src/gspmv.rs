@@ -37,7 +37,8 @@ fn spmv_rows(a: &BcrsMatrix, x: &[f64], y: &mut [f64], rows: Range<usize>) {
         let (cols, blocks) = a.block_row(bi);
         let mut acc = [0.0f64; BLOCK_DIM];
         for (c, b) in cols.iter().zip(blocks) {
-            let xc = &x[*c as usize * BLOCK_DIM..*c as usize * BLOCK_DIM + BLOCK_DIM];
+            let xc =
+                &x[*c as usize * BLOCK_DIM..*c as usize * BLOCK_DIM + BLOCK_DIM];
             let v = b.mul_vec([xc[0], xc[1], xc[2]]);
             acc[0] += v[0];
             acc[1] += v[1];
@@ -78,7 +79,8 @@ pub fn gspmv(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
     }
     let chunks = balanced_row_chunks(a, nthreads * 4);
     // Slice Y into disjoint per-chunk windows.
-    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::with_capacity(chunks.len());
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> =
+        Vec::with_capacity(chunks.len());
     let mut rest = y.as_mut_slice();
     let mut consumed = 0usize;
     for r in &chunks {
@@ -107,7 +109,8 @@ pub fn spmv(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
         return;
     }
     let chunks = balanced_row_chunks(a, nthreads * 4);
-    let mut jobs: Vec<(Range<usize>, &mut [f64])> = Vec::with_capacity(chunks.len());
+    let mut jobs: Vec<(Range<usize>, &mut [f64])> =
+        Vec::with_capacity(chunks.len());
     let mut rest = y;
     for r in &chunks {
         let len = (r.end - r.start) * BLOCK_DIM;
@@ -138,7 +141,10 @@ pub fn balanced_row_chunks(a: &BcrsMatrix, nchunks: usize) -> Vec<Range<usize>> 
     let mut start = 0usize;
     let mut next_cut = target;
     for bi in 0..nb {
-        if row_ptr[bi + 1] >= next_cut && bi + 1 > start && chunks.len() + 1 < nchunks {
+        if row_ptr[bi + 1] >= next_cut
+            && bi + 1 > start
+            && chunks.len() + 1 < nchunks
+        {
             chunks.push(start..bi + 1);
             start = bi + 1;
             next_cut = row_ptr[bi + 1] + target;
@@ -356,9 +362,7 @@ mod tests {
     }
 
     fn dense_mat_vec(dense: &[f64], n: usize, x: &[f64]) -> Vec<f64> {
-        (0..n)
-            .map(|i| (0..n).map(|j| dense[i * n + j] * x[j]).sum())
-            .collect()
+        (0..n).map(|i| (0..n).map(|j| dense[i * n + j] * x[j]).sum()).collect()
     }
 
     fn pseudo_vec(n: usize, seed: u64) -> Vec<f64> {

@@ -41,7 +41,10 @@ impl From<std::io::Error> for MmError {
 
 /// Writes `a` in `coordinate real general` format (scalar entries,
 /// 1-based indices). Explicit zeros inside blocks are skipped.
-pub fn write_matrix_market<W: Write>(a: &BcrsMatrix, out: W) -> Result<(), MmError> {
+pub fn write_matrix_market<W: Write>(
+    a: &BcrsMatrix,
+    out: W,
+) -> Result<(), MmError> {
     let mut out = std::io::BufWriter::new(out);
     writeln!(out, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(out, "% exported by mrhs-sparse (BCRS 3x3 blocks)")?;
@@ -83,9 +86,8 @@ pub fn write_matrix_market<W: Write>(a: &BcrsMatrix, out: W) -> Result<(), MmErr
 pub fn read_matrix_market<R: Read>(input: R) -> Result<BcrsMatrix, MmError> {
     let mut lines = BufReader::new(input).lines();
 
-    let header = lines
-        .next()
-        .ok_or_else(|| MmError::Parse("empty file".into()))??;
+    let header =
+        lines.next().ok_or_else(|| MmError::Parse("empty file".into()))??;
     let header_l = header.to_ascii_lowercase();
     if !header_l.starts_with("%%matrixmarket matrix coordinate real") {
         return Err(MmError::Parse(format!("unsupported header: {header}")));
@@ -183,7 +185,11 @@ mod tests {
         t.add_symmetric_pair(
             0,
             2,
-            Block3::from_rows([[0.5, 1.0, 0.0], [0.0, -0.5, 0.0], [0.25, 0.0, 0.125]]),
+            Block3::from_rows([
+                [0.5, 1.0, 0.0],
+                [0.0, -0.5, 0.0],
+                [0.25, 0.0, 0.125],
+            ]),
         );
         t.build()
     }
@@ -214,7 +220,8 @@ mod tests {
 
     #[test]
     fn rejects_non_divisible_dimension() {
-        let text = "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 1.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 1.0\n";
         assert!(matches!(
             read_matrix_market(text.as_bytes()),
             Err(MmError::Parse(_))
@@ -223,7 +230,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_entry_count() {
-        let text = "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n";
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n";
         assert!(read_matrix_market(text.as_bytes()).is_err());
     }
 

@@ -16,6 +16,13 @@
 //! * [`gspmv()`](gspmv::gspmv) — the generalized sparse matrix–multivector product, with
 //!   monomorphized unrolled kernels for common `m` (the Rust analogue of
 //!   the paper's code generator) and a rayon-parallel row-blocked driver.
+//! * [`SymmetricBcrs`] — half storage (diagonal + strict upper blocks)
+//!   for the symmetric resistance matrix, with serial and parallel GSPMV
+//!   drivers that apply each stored block twice (`B` forward, `Bᵀ` down).
+//!   The parallel driver gives each row chunk a private slab for its
+//!   out-of-chunk transpose contributions and reduces them in a second
+//!   disjoint pass — no atomics, no locks, bitwise-deterministic per
+//!   thread count.
 //! * [`partition`] — coordinate-based row partitioning (§IV-A2) and a
 //!   recursive-coordinate-bisection comparator, used by the distributed
 //!   GSPMV simulator.

@@ -31,9 +31,7 @@ macro_rules! dispatch_square_m {
 /// stack tile.
 fn gram_fixed<const M: usize>(a: &MultiVec, b: &MultiVec) -> Vec<f64> {
     let mut g = vec![0.0f64; M * M];
-    for (srow, orow) in
-        a.data.chunks_exact(M).zip(b.data.chunks_exact(M))
-    {
+    for (srow, orow) in a.data.chunks_exact(M).zip(b.data.chunks_exact(M)) {
         let o: &[f64; M] = orow.try_into().unwrap();
         for i in 0..M {
             let s = srow[i];
@@ -48,9 +46,7 @@ fn gram_fixed<const M: usize>(a: &MultiVec, b: &MultiVec) -> Vec<f64> {
 
 /// Monomorphized `X += P·C` kernel.
 fn add_mul_fixed<const M: usize>(x: &mut MultiVec, p: &MultiVec, c: &[f64]) {
-    for (drow, orow) in
-        x.data.chunks_exact_mut(M).zip(p.data.chunks_exact(M))
-    {
+    for (drow, orow) in x.data.chunks_exact_mut(M).zip(p.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
         for k in 0..M {
             let s = orow[k];
@@ -63,14 +59,8 @@ fn add_mul_fixed<const M: usize>(x: &mut MultiVec, p: &MultiVec, c: &[f64]) {
 }
 
 /// Monomorphized `P ← R + P·C` kernel.
-fn assign_add_mul_fixed<const M: usize>(
-    p: &mut MultiVec,
-    r: &MultiVec,
-    c: &[f64],
-) {
-    for (drow, orow) in
-        p.data.chunks_exact_mut(M).zip(r.data.chunks_exact(M))
-    {
+fn assign_add_mul_fixed<const M: usize>(p: &mut MultiVec, r: &MultiVec, c: &[f64]) {
+    for (drow, orow) in p.data.chunks_exact_mut(M).zip(r.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
         let mut tmp: [f64; M] = *TryInto::<&[f64; M]>::try_into(orow).unwrap();
         for k in 0..M {
@@ -91,9 +81,7 @@ fn sub_mul_then_gram_fixed<const M: usize>(
     c: &[f64],
 ) -> Vec<f64> {
     let mut g = vec![0.0f64; M * M];
-    for (drow, orow) in
-        r.data.chunks_exact_mut(M).zip(q.data.chunks_exact(M))
-    {
+    for (drow, orow) in r.data.chunks_exact_mut(M).zip(q.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
         for k in 0..M {
             let s = orow[k];
@@ -205,8 +193,20 @@ impl MultiVec {
 
     /// Copies column `col` out to a new vector.
     pub fn column(&self, col: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.copy_column_into(col, &mut out);
+        out
+    }
+
+    /// Copies column `col` into a caller-provided buffer — the
+    /// allocation-free form of [`MultiVec::column`] for per-iteration
+    /// call sites.
+    pub fn copy_column_into(&self, col: usize, out: &mut [f64]) {
         assert!(col < self.m);
-        (0..self.n).map(|r| self.data[r * self.m + col]).collect()
+        assert_eq!(out.len(), self.n);
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.m + col];
+        }
     }
 
     /// Overwrites column `col` from a slice.

@@ -145,8 +145,7 @@ pub fn coordinate_partition(
 
     // Sort rows by Morton code of their bin (stable within a bin).
     let mut order: Vec<usize> = (0..nb).collect();
-    let codes: Vec<u64> =
-        positions.iter().map(|p| morton3(cell_of(p))).collect();
+    let codes: Vec<u64> = positions.iter().map(|p| morton3(cell_of(p))).collect();
     order.sort_by_key(|&bi| codes[bi]);
 
     // Greedy balanced cut along the Morton walk.
@@ -160,7 +159,10 @@ pub fn coordinate_partition(
         let row_nnz = a.row_ptr()[bi + 1] - a.row_ptr()[bi];
         let parts_left = n_parts as u32 - part;
         let target = (remaining as f64 / parts_left as f64).ceil() as usize;
-        if acc >= target && (part as usize) < n_parts - 1 && rows_left > (parts_left as usize - 1) {
+        if acc >= target
+            && (part as usize) < n_parts - 1
+            && rows_left > (parts_left as usize - 1)
+        {
             part += 1;
             remaining -= acc;
             acc = 0;
@@ -213,9 +215,8 @@ fn rcb_recurse(
             hi[d] = hi[d].max(positions[r][d]);
         }
     }
-    let axis = (0..3).max_by(|&a, &b| {
-        (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap()
-    });
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap());
     let axis = axis.unwrap_or(0);
 
     let mut sorted: Vec<usize> = rows.to_vec();

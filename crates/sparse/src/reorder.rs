@@ -15,8 +15,7 @@ use std::collections::VecDeque;
 pub fn reverse_cuthill_mckee(a: &BcrsMatrix) -> Vec<usize> {
     assert_eq!(a.nb_rows(), a.nb_cols(), "RCM requires a square matrix");
     let nb = a.nb_rows();
-    let degree =
-        |bi: usize| -> usize { a.row_ptr()[bi + 1] - a.row_ptr()[bi] };
+    let degree = |bi: usize| -> usize { a.row_ptr()[bi + 1] - a.row_ptr()[bi] };
 
     let mut visited = vec![false; nb];
     let mut order = Vec::with_capacity(nb);
@@ -69,8 +68,7 @@ pub fn permute_symmetric(a: &BcrsMatrix, perm: &[usize]) -> BcrsMatrix {
     let mut row_ptr = vec![0usize; nb + 1];
     for new in 0..nb {
         let old = perm[new];
-        row_ptr[new + 1] =
-            row_ptr[new] + (a.row_ptr()[old + 1] - a.row_ptr()[old]);
+        row_ptr[new + 1] = row_ptr[new] + (a.row_ptr()[old + 1] - a.row_ptr()[old]);
     }
     let nnzb = a.nnz_blocks();
     let mut col_idx = vec![0u32; nnzb];

@@ -1,7 +1,7 @@
 //! Matrix summary statistics — the quantities of the paper's Table I.
 
 /// The structural statistics the paper reports for its SD matrices.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MatrixStats {
     /// Scalar dimension `n`.
     pub n: usize,

@@ -59,8 +59,16 @@ impl BlockTripletBuilder {
     /// accumulate.
     #[inline]
     pub fn add(&mut self, bi: usize, bj: usize, block: Block3) {
-        debug_assert!(bi < self.nb_rows, "block row {bi} out of range {}", self.nb_rows);
-        debug_assert!(bj < self.nb_cols, "block col {bj} out of range {}", self.nb_cols);
+        debug_assert!(
+            bi < self.nb_rows,
+            "block row {bi} out of range {}",
+            self.nb_rows
+        );
+        debug_assert!(
+            bj < self.nb_cols,
+            "block col {bj} out of range {}",
+            self.nb_cols
+        );
         self.entries.push((bi as u32, bj as u32, block));
     }
 
@@ -138,7 +146,8 @@ mod tests {
 
     #[test]
     fn symmetric_pair_adds_transpose() {
-        let b = Block3::from_rows([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0], [2.0, 0.0, 0.0]]);
+        let b =
+            Block3::from_rows([[0.0, 1.0, 0.0], [0.0, 0.0, 0.0], [2.0, 0.0, 0.0]]);
         let mut t = BlockTripletBuilder::square(2);
         t.add_symmetric_pair(0, 1, b);
         let m = t.build();

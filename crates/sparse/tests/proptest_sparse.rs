@@ -1,11 +1,12 @@
 //! Property-based tests of the sparse substrate: storage round trips,
 //! kernel agreement, adjointness, and permutation invariants.
 
-use mrhs_sparse::gspmv::gspmv_serial_generic;
+use mrhs_sparse::gspmv::{gspmv_serial_generic, SPECIALIZED_M};
 use mrhs_sparse::partition::{contiguous_partition, Partition};
 use mrhs_sparse::reorder::{permute_symmetric, reverse_cuthill_mckee};
 use mrhs_sparse::{
     gspmv_serial, spmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec,
+    SymmetricBcrs,
 };
 use proptest::prelude::*;
 
@@ -18,8 +19,10 @@ fn arb_matrix(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
                 ((0..nb), (0..nb), proptest::array::uniform9(-2.0f64..2.0)),
                 0..3 * nb,
             );
-            let diag =
-                proptest::collection::vec(proptest::array::uniform9(-1.0f64..1.0), nb);
+            let diag = proptest::collection::vec(
+                proptest::array::uniform9(-1.0f64..1.0),
+                nb,
+            );
             (Just(nb), pairs, diag)
         })
         .prop_map(|(nb, pairs, diag)| {
@@ -27,8 +30,8 @@ fn arb_matrix(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
             for (i, d) in diag.into_iter().enumerate() {
                 // symmetrized diagonal block with a dominant shift
                 let raw = Block3(d);
-                let b = (raw + raw.transpose()) * 0.5
-                    + Block3::scaled_identity(5.0);
+                let b =
+                    (raw + raw.transpose()) * 0.5 + Block3::scaled_identity(5.0);
                 t.add(i, i, b);
             }
             for (i, j, v) in pairs {
@@ -40,8 +43,50 @@ fn arb_matrix(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
         })
 }
 
+/// Strategy: a random symmetric matrix with *irregular* structure —
+/// some rows lack even a diagonal block (empty rows), and one row is
+/// densely coupled to half the others (a dense row) — the shapes the
+/// symmetric kernel's chunking and slab scatter must survive.
+fn arb_symmetric_irregular(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
+    (3usize..=max_nb)
+        .prop_flat_map(|nb| {
+            let pairs = proptest::collection::vec(
+                ((0..nb), (0..nb), proptest::array::uniform9(-2.0f64..2.0)),
+                0..3 * nb,
+            );
+            let diag_mask = proptest::collection::vec(0usize..4, nb);
+            (Just(nb), pairs, diag_mask, 0..nb)
+        })
+        .prop_map(|(nb, pairs, diag_mask, dense)| {
+            let mut t = BlockTripletBuilder::square(nb);
+            for (i, &mk) in diag_mask.iter().enumerate() {
+                // About 1 row in 4 gets no diagonal block at all.
+                if mk > 0 {
+                    t.add(i, i, Block3::scaled_identity(3.0));
+                }
+            }
+            for (i, j, v) in pairs {
+                if i != j {
+                    t.add_symmetric_pair(i, j, Block3(v));
+                }
+            }
+            // One densely coupled row — but only to every other row, so
+            // fully empty rows remain possible.
+            for j in (0..nb).step_by(2) {
+                if j != dense {
+                    t.add_symmetric_pair(dense, j, Block3::scaled_identity(0.25));
+                }
+            }
+            t.build()
+        })
+}
+
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+fn close_tight(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
 }
 
 proptest! {
@@ -75,6 +120,54 @@ proptest! {
         for (u, v) in y1.as_slice().iter().zip(y2.as_slice()) {
             prop_assert!(close(*u, *v));
         }
+    }
+
+    #[test]
+    fn parallel_symmetric_gspmv_matches_full_all_specialized_m(
+        a in arb_symmetric_irregular(14),
+        msel in 0usize..10,
+        nthreads in 2usize..6,
+    ) {
+        let m = SPECIALIZED_M[msel];
+        let s = SymmetricBcrs::from_full(&a, 1e-12)
+            .expect("generator builds symmetric matrices");
+        let n = a.n_rows();
+        let x = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v * 29 % 23) as f64) - 11.0).collect());
+        let mut y_full = MultiVec::zeros(n, m);
+        let mut y_sym = MultiVec::zeros(n, m);
+        gspmv_serial(&a, &x, &mut y_full);
+        s.gspmv_threaded(&x, &mut y_sym, nthreads);
+        for (u, v) in y_full.as_slice().iter().zip(y_sym.as_slice()) {
+            prop_assert!(close_tight(*u, *v), "m={m} t={nthreads}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn serial_symmetric_gspmv_matches_full(
+        a in arb_symmetric_irregular(14),
+        m in 1usize..34,
+    ) {
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        let n = a.n_rows();
+        let x = MultiVec::from_flat(
+            n, m, (0..n * m).map(|v| ((v * 17 % 13) as f64) - 6.0).collect());
+        let mut y_full = MultiVec::zeros(n, m);
+        let mut y_sym = MultiVec::zeros(n, m);
+        gspmv_serial(&a, &x, &mut y_full);
+        s.gspmv(&x, &mut y_sym);
+        for (u, v) in y_full.as_slice().iter().zip(y_sym.as_slice()) {
+            prop_assert!(close_tight(*u, *v), "m={m}: {u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn symmetric_storage_never_streams_more(a in arb_matrix(14)) {
+        // Holds for full-diagonal matrices (symmetric storage keeps a
+        // dense diagonal, so rows without any block would pad it).
+        let s = SymmetricBcrs::from_full(&a, 1e-12).unwrap();
+        prop_assert!(s.stored_blocks() <= a.nnz_blocks());
+        prop_assert!(s.stream_bytes() <= a.stream_bytes());
     }
 
     #[test]

@@ -118,15 +118,13 @@ pub fn radial_distribution(
     // structureless (ideal-gas-like) system reads g ≈ 1 at large gap.
     let volume =
         system.box_lengths()[0] * system.box_lengths()[1] * system.box_lengths()[2];
-    let mean_diameter = 2.0
-        * system.radii().iter().sum::<f64>()
-        / system.len().max(1) as f64;
+    let mean_diameter =
+        2.0 * system.radii().iter().sum::<f64>() / system.len().max(1) as f64;
     hist.iter()
         .enumerate()
         .map(|(k, &count)| {
             let r_mid = mean_diameter + (k as f64 + 0.5) * dr;
-            let shell =
-                4.0 * std::f64::consts::PI * r_mid * r_mid * dr;
+            let shell = 4.0 * std::f64::consts::PI * r_mid * r_mid * dr;
             let ideal = pairs as f64 * shell / volume;
             ((k as f64 + 0.5) * dr, count as f64 / ideal.max(1e-300))
         })
@@ -197,13 +195,17 @@ mod tests {
             [10.0, 13.0, 10.0],
         ]);
         let g = radial_distribution(&s, 2.0, 10);
-        let peak = g.iter().cloned().fold((0.0, 0.0), |a, b| {
-            if b.1 > a.1 {
-                b
-            } else {
-                a
-            }
-        });
+        let peak =
+            g.iter().cloned().fold(
+                (0.0, 0.0),
+                |a, b| {
+                    if b.1 > a.1 {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
         assert!((peak.0 - 1.1).abs() < 0.2, "peak at {}", peak.0);
     }
 }

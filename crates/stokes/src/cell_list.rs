@@ -145,7 +145,11 @@ impl CellList {
     }
 
     /// Collects all pairs within `cutoff` as `(i, j, distance)` triples.
-    pub fn pairs(&self, system: &ParticleSystem, cutoff: f64) -> Vec<(usize, usize, f64)> {
+    pub fn pairs(
+        &self,
+        system: &ParticleSystem,
+        cutoff: f64,
+    ) -> Vec<(usize, usize, f64)> {
         let mut out = Vec::new();
         self.for_each_pair(system, cutoff, |i, j, d| out.push((i, j, d)));
         out
@@ -343,10 +347,7 @@ fn wrap(v: isize, n: usize) -> usize {
 mod tests {
     use super::*;
 
-    fn brute_force_pairs(
-        s: &ParticleSystem,
-        cutoff: f64,
-    ) -> Vec<(usize, usize)> {
+    fn brute_force_pairs(s: &ParticleSystem, cutoff: f64) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for i in 0..s.len() {
             for j in i + 1..s.len() {
@@ -378,10 +379,11 @@ mod tests {
         let s = pseudo_system(200, 10.0, 42);
         let cutoff = 1.7;
         let cl = CellList::build(&s, cutoff);
-        let mut got: Vec<(usize, usize)> =
-            cl.pairs(&s, cutoff).into_iter().map(|(i, j, _)| {
-                (i.min(j), i.max(j))
-            }).collect();
+        let mut got: Vec<(usize, usize)> = cl
+            .pairs(&s, cutoff)
+            .into_iter()
+            .map(|(i, j, _)| (i.min(j), i.max(j)))
+            .collect();
         got.sort_unstable();
         got.dedup();
         assert_eq!(got, brute_force_pairs(&s, cutoff));

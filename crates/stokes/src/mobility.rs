@@ -156,8 +156,13 @@ mod tests {
     use crate::packing::pack_ecoli;
     use crate::resistance::{assemble_resistance, ResistanceConfig};
 
+    // Minimum-image truncation of the 1/r RPY coupling is only
+    // conditionally positive definite: in a crowded box (φ ≳ 0.25) the
+    // discontinuity at half the box length can introduce negative
+    // curvature directions. The dense far-field model targets dilute
+    // systems, so test it there.
     fn system() -> ParticleSystem {
-        pack_ecoli(25, 0.3, 9)
+        pack_ecoli(25, 0.15, 9)
     }
 
     #[test]
@@ -239,12 +244,8 @@ mod tests {
         assert!(res.converged, "{res:?}");
         let mut ax = vec![0.0; n];
         full.apply(&x, &mut ax);
-        let rn: f64 = b
-            .iter()
-            .zip(&ax)
-            .map(|(u, v)| (u - v) * (u - v))
-            .sum::<f64>()
-            .sqrt();
+        let rn: f64 =
+            b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
         let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(rn <= 1e-5 * bn, "residual {rn} vs {bn}");
     }
@@ -260,9 +261,7 @@ mod tests {
         f[0] = 1.0;
         let mut u = vec![0.0; n3];
         m.apply(&f, &mut u);
-        let moved = (1..s.len())
-            .filter(|&j| u[3 * j].abs() > 0.0)
-            .count();
+        let moved = (1..s.len()).filter(|&j| u[3 * j].abs() > 0.0).count();
         assert_eq!(moved, s.len() - 1, "all particles feel the far field");
     }
 }

@@ -18,10 +18,8 @@ use rand::{Rng, SeedableRng};
 /// `fraction` of its volume.
 pub fn box_side_for_fraction(radii: &[f64], fraction: f64) -> f64 {
     assert!(fraction > 0.0 && fraction < 1.0);
-    let v: f64 = radii
-        .iter()
-        .map(|r| 4.0 / 3.0 * std::f64::consts::PI * r * r * r)
-        .sum();
+    let v: f64 =
+        radii.iter().map(|r| 4.0 / 3.0 * std::f64::consts::PI * r * r * r).sum();
     (v / fraction).cbrt()
 }
 
@@ -102,8 +100,7 @@ pub fn relax_overlaps(
     max_sweeps: usize,
     tolerance: f64,
 ) -> usize {
-    let min_radius =
-        system.radii().iter().fold(f64::INFINITY, |a, &r| a.min(r));
+    let min_radius = system.radii().iter().fold(f64::INFINITY, |a, &r| a.min(r));
     if !min_radius.is_finite() {
         return 0;
     }
@@ -120,7 +117,8 @@ pub fn relax_overlaps(
                 // Push each particle half the overlap (plus a nudge so
                 // the pair does not land exactly at contact).
                 let push = 0.5 * overlap * 1.05;
-                let delta = [d[0] * inv * push, d[1] * inv * push, d[2] * inv * push];
+                let delta =
+                    [d[0] * inv * push, d[1] * inv * push, d[2] * inv * push];
                 moves.push((i, [-delta[0], -delta[1], -delta[2]]));
                 moves.push((j, delta));
             }
@@ -151,10 +149,9 @@ pub fn pack_ecoli(n: usize, fraction: f64, seed: u64) -> ParticleSystem {
     let radii = sample_ecoli_radii(n, || rng.random::<f64>());
     let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut system = if fraction <= 0.25 {
-        random_sequential(radii.clone(), fraction, &mut rng2, 5000)
-            .unwrap_or_else(|| {
-                relaxed_packing(radii.clone(), fraction, &mut rng2, 2000, 1e-3)
-            })
+        random_sequential(radii.clone(), fraction, &mut rng2, 5000).unwrap_or_else(
+            || relaxed_packing(radii.clone(), fraction, &mut rng2, 2000, 1e-3),
+        )
     } else {
         relaxed_packing(radii, fraction, &mut rng2, 2000, 1e-3)
     };

@@ -276,13 +276,16 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         assert_eq!(d[0].0, 115.24);
         // the 27.77 Å bin is the most common (25.97%)
-        let max = d.iter().cloned().fold((0.0, 0.0), |a, b| {
-            if b.1 > a.1 {
-                b
-            } else {
-                a
-            }
-        });
+        let max = d.iter().cloned().fold(
+            (0.0, 0.0),
+            |a, b| {
+                if b.1 > a.1 {
+                    b
+                } else {
+                    a
+                }
+            },
+        );
         assert_eq!(max.0, 27.77);
     }
 
@@ -297,9 +300,9 @@ mod tests {
         };
         let radii = sample_ecoli_radii(20_000, &mut uniform);
         assert!(radii.iter().all(|r| (21.0..116.0).contains(r)));
-        let common =
-            radii.iter().filter(|&&r| (r - 27.77).abs() < 1e-9).count() as f64
-                / radii.len() as f64;
+        let common = radii.iter().filter(|&&r| (r - 27.77).abs() < 1e-9).count()
+            as f64
+            / radii.len() as f64;
         assert!((common - 0.2597).abs() < 0.02, "fraction {common}");
     }
 }

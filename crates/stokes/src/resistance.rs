@@ -78,7 +78,10 @@ pub fn assemble_resistance(
 
 /// An exact lower bound on the spectrum of the assembled matrix:
 /// `R ⪰ μ_F·D`, so `λ_min(R) ≥ min_i 6πη·a_i·μ_F`.
-pub fn spectrum_lower_bound(system: &ParticleSystem, cfg: &ResistanceConfig) -> f64 {
+pub fn spectrum_lower_bound(
+    system: &ParticleSystem,
+    cfg: &ResistanceConfig,
+) -> f64 {
     let mu = mu_f(system.volume_fraction());
     system
         .radii()

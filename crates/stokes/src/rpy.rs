@@ -40,10 +40,7 @@ pub fn rpy_pair_block(r_vec: [f64; 3], a: f64, b: f64, eta: f64) -> Block3 {
         //   M = 1/(6πηā)·[(1 − 9r/(32ā))·I + (3r/(32ā))·d⊗d]
         let abar = 0.5 * (a + b);
         let conv = 4.0 * r / (3.0 * abar); // (8πηr)/(6πηā)
-        (
-            conv * (1.0 - 9.0 * r / (32.0 * abar)),
-            conv * (3.0 * r / (32.0 * abar)),
-        )
+        (conv * (1.0 - 9.0 * r / (32.0 * abar)), conv * (3.0 * r / (32.0 * abar)))
     };
 
     let mut out = Block3::ZERO;
@@ -146,7 +143,8 @@ mod tests {
         for k in 0..9 {
             assert!(inside.0[k].is_finite());
             assert!(
-                (outside.0[k] - inside.0[k]).abs() < 0.05 * outside.0[k].abs().max(1e-3),
+                (outside.0[k] - inside.0[k]).abs()
+                    < 0.05 * outside.0[k].abs().max(1e-3),
                 "k={k}: {} vs {}",
                 outside.0[k],
                 inside.0[k]

@@ -38,7 +38,13 @@ impl StokesianSystem {
     ) -> Self {
         assert!(dt > 0.0);
         assert!(brownian_scale > 0.0);
-        StokesianSystem { particles, resistance, dt, brownian_scale, bonds: Vec::new() }
+        StokesianSystem {
+            particles,
+            resistance,
+            dt,
+            brownian_scale,
+            bonds: Vec::new(),
+        }
     }
 
     /// Attaches harmonic bonds (e.g. from [`crate::forces::chain_bonds`])
@@ -86,10 +92,8 @@ impl ResistanceSystem for StokesianSystem {
         assert_eq!(u.len(), self.dim());
         let s = dt * self.brownian_scale;
         for i in 0..self.particles.len() {
-            self.particles.displace(
-                i,
-                [s * u[3 * i], s * u[3 * i + 1], s * u[3 * i + 2]],
-            );
+            self.particles
+                .displace(i, [s * u[3 * i], s * u[3 * i + 1], s * u[3 * i + 2]]);
         }
     }
 
@@ -234,7 +238,10 @@ impl SystemBuilder {
     /// Builds the system plus a noise source seeded consistently.
     pub fn build_with_noise(self) -> (StokesianSystem, GaussianNoise) {
         let seed = self.seed;
-        (self.build(), GaussianNoise::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7)))
+        (
+            self.build(),
+            GaussianNoise::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7)),
+        )
     }
 }
 
@@ -335,8 +342,8 @@ mod tests {
         let mut v = vec![0.0; 50_000];
         g.fill_standard_normal(&mut v);
         let mean = v.iter().sum::<f64>() / v.len() as f64;
-        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / v.len() as f64;
+        let var =
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
         assert!(mean.abs() < 0.03);
         assert!((var - 1.0).abs() < 0.05);
     }

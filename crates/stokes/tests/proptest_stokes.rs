@@ -15,7 +15,10 @@ fn arb_system(max_n: usize) -> impl Strategy<Value = ParticleSystem> {
         .prop_flat_map(|n| {
             (
                 Just(n),
-                proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), n),
+                proptest::collection::vec(
+                    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+                    n,
+                ),
                 proptest::collection::vec(0.4f64..2.0, n),
                 8.0f64..20.0,
             )

@@ -29,8 +29,7 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(1);
-    let nominal: Vec<f64> =
-        (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    let nominal: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
     let mut b = MultiVec::zeros(n, m);
     for j in 0..m {
         let perturbed: Vec<f64> = nominal

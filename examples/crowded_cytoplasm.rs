@@ -16,14 +16,10 @@ use mrhs::stokes::SystemBuilder;
 
 fn main() {
     let n = 400;
-    let (mut system, mut noise) = SystemBuilder::new(n)
-        .volume_fraction(0.5)
-        .seed(7)
-        .build_with_noise();
+    let (mut system, mut noise) =
+        SystemBuilder::new(n).volume_fraction(0.5).seed(7).build_with_noise();
     let box_len = system.particles().box_lengths()[0];
-    println!(
-        "crowded cytoplasm: {n} proteins, 50% occupancy, box {box_len:.0} A"
-    );
+    println!("crowded cytoplasm: {n} proteins, 50% occupancy, box {box_len:.0} A");
 
     let start: Vec<[f64; 3]> = system.particles().positions().to_vec();
     let mut unwrapped = start.clone();
@@ -58,12 +54,8 @@ fn main() {
             .sum::<f64>()
             / n as f64;
         let err_first = report.steps[1].guess_relative_error.unwrap_or(0.0);
-        let err_last = report
-            .steps
-            .last()
-            .unwrap()
-            .guess_relative_error
-            .unwrap_or(0.0);
+        let err_last =
+            report.steps.last().unwrap().guess_relative_error.unwrap_or(0.0);
         println!(
             "chunk {chunk}: {} steps (total {step}), MSD {msd:.3} A^2, block solve \
              {} it, guess error {err_first:.2e} -> {err_last:.2e}",

@@ -62,8 +62,12 @@ fn main() {
     );
 
     // With typical SD iteration counts, the Eq. 9 optimum:
-    let counts =
-        IterationCounts { cold: 120, warm_first: 60, warm_second: 50, cheb_order: 30 };
+    let counts = IterationCounts {
+        cold: 120,
+        warm_first: 60,
+        warm_second: 50,
+        cheb_order: 30,
+    };
     let mo = optimal_m_from_costs(&costs, &counts);
     println!(
         "\nEq. 9 with N = {}, N1 = {}, N2 = {}, Cmax = {} on the measured curve:\n  \

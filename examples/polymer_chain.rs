@@ -35,9 +35,7 @@ fn main() {
             let next = (0..n)
                 .filter(|&j| !used[j])
                 .min_by(|&a, &b| {
-                    p.distance(last, a)
-                        .partial_cmp(&p.distance(last, b))
-                        .unwrap()
+                    p.distance(last, a).partial_cmp(&p.distance(last, b)).unwrap()
                 })
                 .unwrap();
             used[next] = true;

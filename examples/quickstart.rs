@@ -14,10 +14,8 @@ use mrhs::stokes::SystemBuilder;
 fn main() {
     // 1. A periodic box of 500 spheres drawn from the E. coli protein
     //    size distribution, packed to 40% volume occupancy.
-    let (mut system, mut noise) = SystemBuilder::new(500)
-        .volume_fraction(0.4)
-        .seed(42)
-        .build_with_noise();
+    let (mut system, mut noise) =
+        SystemBuilder::new(500).volume_fraction(0.4).seed(42).build_with_noise();
     println!(
         "system: {} particles, box {:.0} A, occupancy {:.2}",
         system.particles().len(),
@@ -46,10 +44,8 @@ fn main() {
 
     // 3. The same steps with the original algorithm (cold first solves)
     //    on an identical system and noise stream.
-    let (mut baseline, mut noise2) = SystemBuilder::new(500)
-        .volume_fraction(0.4)
-        .seed(42)
-        .build_with_noise();
+    let (mut baseline, mut noise2) =
+        SystemBuilder::new(500).volume_fraction(0.4).seed(42).build_with_noise();
     let mut cache = None;
     let mut cold = Vec::new();
     for _ in 0..cfg.m {

@@ -1,0 +1,266 @@
+//! Offline `criterion` shim.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the subset of the criterion API its benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Two modes, selected by the command line the harness was launched
+//! with (`harness = false` bench binaries receive `--bench` from
+//! `cargo bench`):
+//!
+//! * **bench mode** (`--bench` present): calibrate a batch size, time
+//!   `sample_size` batches, and print median/mean ns-per-iteration —
+//!   a plain-text replacement for criterion's statistical report;
+//! * **smoke mode** (anything else, e.g. `cargo test`): run each
+//!   benchmark body exactly once so the benches act as compile-and-run
+//!   regression tests without burning CI time.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group, e.g. `gspmv/8`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(
+        name: impl std::fmt::Display,
+        param: impl std::fmt::Display,
+    ) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Bench
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// Entry point handed to each `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: detect_mode() }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), mode: self.mode, sample_size: 30 }
+    }
+
+    /// Group-less convenience, mirroring criterion's `Criterion::bench_function`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let label = self.qualify(&id.into());
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&label);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = self.qualify(&id.into());
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&label);
+    }
+
+    pub fn finish(self) {}
+
+    fn qualify(&self, id: &BenchmarkId) -> String {
+        if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        }
+    }
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.mode == Mode::Smoke {
+            black_box(f());
+            return;
+        }
+        // Calibrate a batch size that runs for roughly 2 ms, so timer
+        // granularity is negligible even for nanosecond bodies.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed >= 2e-3 || batch >= 1 << 24 {
+                break;
+            }
+            batch = if elapsed <= 0.0 {
+                batch * 16
+            } else {
+                // Aim directly at the target with one refinement step.
+                ((batch as f64 * 2.5e-3 / elapsed).ceil() as u64)
+                    .clamp(batch + 1, batch * 16)
+            };
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.mode == Mode::Smoke {
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let mean: f64 =
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{label:<40} median {median:>12.1} ns/iter   mean {mean:>12.1} ns/iter   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion { mode: Mode::Smoke };
+        let mut count = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut b =
+            Bencher { mode: Mode::Bench, sample_size: 5, samples: Vec::new() };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            black_box(x)
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("k", 8).label, "k/8");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline `rand` shim.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the tiny slice of the rand 0.9 API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::random`] for `f64`. The generator is SplitMix64 — not
+//! cryptographic, but statistically fine for packing initializers and
+//! Gaussian noise, and deterministic for a given seed (which is all the
+//! simulation code relies on).
+
+/// Types that [`Rng::random`] can produce.
+pub trait Sample {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// The part of rand's `Rng` trait this workspace calls.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+/// The part of rand's `SeedableRng` trait this workspace calls.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so nearby seeds do not yield nearby first outputs.
+            let mut rng =
+                StdRng { state: state.wrapping_add(0x9e37_79b9_7f4a_7c15) };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn f64_samples_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(20120521);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

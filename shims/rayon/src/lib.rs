@@ -1,0 +1,233 @@
+//! Offline `rayon` shim.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors the *subset* of the rayon API its kernels actually use:
+//!
+//! * [`current_num_threads`] — pool width (`RAYON_NUM_THREADS`
+//!   overrides the detected core count, exactly like real rayon);
+//! * [`scope`] / [`Scope::spawn`] — structured fork/join on a lazily
+//!   started global pool of OS threads.
+//!
+//! The implementation is a plain injector queue (mutex + condvar)
+//! feeding detached workers. `scope` keeps rayon's soundness contract:
+//! it does not return until every job spawned on it has finished, which
+//! is what makes the lifetime erasure in [`Scope::spawn`] safe. The
+//! calling thread helps drain the queue while it waits, so a 1-core
+//! host still makes progress and an N-core host gets N+1 lanes.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        }));
+        for i in 0..current_num_threads() {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("spawn pool worker");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = pool.work_ready.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Number of threads in the (lazily started) global pool. Honors the
+/// `RAYON_NUM_THREADS` environment variable, read once on first use.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
+    })
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A structured-concurrency scope: jobs spawned on it may borrow data
+/// living at least as long as `'scope`.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant over 'scope, as in rayon.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` on the global pool. The enclosing [`scope`] call will
+    /// not return before `f` completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = self.state.clone();
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope { state: state.clone(), _marker: PhantomData };
+            if catch_unwind(AssertUnwindSafe(|| f(&nested))).is_err() {
+                state.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.all_done.notify_all();
+            }
+        });
+        // SAFETY: `scope()` blocks until `pending` returns to zero, so
+        // the job (and everything it borrows at 'scope) outlives its
+        // execution; erasing the lifetime to feed the 'static pool queue
+        // cannot create a dangling borrow.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        pool().push(job);
+    }
+}
+
+/// Runs `op` with a [`Scope`], then blocks until every job spawned on
+/// the scope has completed. Panics from jobs are propagated (like
+/// rayon, without the payload). The calling thread executes queued jobs
+/// while it waits.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        state: Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }),
+        _marker: PhantomData,
+    };
+    let result = op(&s);
+    // Help drain the queue; park only when it is empty.
+    loop {
+        if *s.state.pending.lock().unwrap() == 0 {
+            break;
+        }
+        if let Some(job) = pool().try_pop() {
+            job();
+            continue;
+        }
+        let pending = s.state.pending.lock().unwrap();
+        if *pending == 0 {
+            break;
+        }
+        let (p, timeout) = s
+            .state
+            .all_done
+            .wait_timeout(pending, std::time::Duration::from_millis(1))
+            .unwrap();
+        if *p == 0 {
+            break;
+        }
+        drop(p);
+        let _ = timeout;
+    }
+    if s.state.panicked.load(Ordering::SeqCst) {
+        panic!("a task spawned in rayon::scope panicked");
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_all_jobs() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn scoped_jobs_may_borrow_locals() {
+        let mut parts = [0u64; 8];
+        let chunks: Vec<&mut [u64]> = parts.chunks_mut(2).collect();
+        scope(|s| {
+            for (i, c) in chunks.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for v in c.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(parts.iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn nested_spawn_completes_before_scope_returns() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -7,7 +7,10 @@ use mrhs::sparse::reorder::permute_symmetric;
 use mrhs::sparse::{gspmv_serial, MultiVec};
 use mrhs::stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
 
-fn sd_case(n: usize, seed: u64) -> (mrhs::stokes::StokesianSystem, mrhs::sparse::BcrsMatrix) {
+fn sd_case(
+    n: usize,
+    seed: u64,
+) -> (mrhs::stokes::StokesianSystem, mrhs::sparse::BcrsMatrix) {
     let sys = SystemBuilder::new(n).volume_fraction(0.4).seed(seed).build();
     let a = assemble_resistance(sys.particles(), &ResistanceConfig::default());
     (sys, a)
@@ -65,8 +68,7 @@ fn coordinate_partition_quality_comparable_to_rcb() {
     );
     let rcb = rcb_partition(&a, sys.particles().positions(), nodes);
     let (ic, ir) = (coord.load_imbalance(&a), rcb.load_imbalance(&a));
-    let (vc, vr) =
-        (coord.communication_volume(&a), rcb.communication_volume(&a));
+    let (vc, vr) = (coord.communication_volume(&a), rcb.communication_volume(&a));
     assert!(ic < 1.7, "coordinate imbalance {ic}");
     assert!(ir < 1.7, "rcb imbalance {ir}");
     // within 2.5x of each other in volume
@@ -94,10 +96,7 @@ fn model_reproduces_paper_cluster_trends_on_sd_matrix() {
         r16.push(model.relative_time_scaled(&dm, 16, scale));
     }
     // Fig. 4 shape: r(16) at 64 nodes sits below the single-node value.
-    assert!(
-        r16[2] < r16[0],
-        "relative time should flatten at scale: {r16:?}"
-    );
+    assert!(r16[2] < r16[0], "relative time should flatten at scale: {r16:?}");
 }
 
 #[test]

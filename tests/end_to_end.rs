@@ -2,9 +2,7 @@
 //! particles through resistance assembly, Brownian forces, block
 //! solves, and the MRHS driver.
 
-use mrhs::core::{
-    run_mrhs_chunk, run_original_step, MrhsConfig, ResistanceSystem,
-};
+use mrhs::core::{run_mrhs_chunk, run_original_step, MrhsConfig, ResistanceSystem};
 use mrhs::solvers::{
     block_cg, cg, spectral_bounds, ChebyshevSqrt, DenseCholesky, LinearOperator,
     SolveConfig,
@@ -30,12 +28,8 @@ fn resistance_matrix_drives_cg_to_convergence() {
     // true residual check
     let mut ax = vec![0.0; n];
     a.apply(&x, &mut ax);
-    let rn: f64 = b
-        .iter()
-        .zip(&ax)
-        .map(|(u, v)| (u - v) * (u - v))
-        .sum::<f64>()
-        .sqrt();
+    let rn: f64 =
+        b.iter().zip(&ax).map(|(u, v)| (u - v) * (u - v)).sum::<f64>().sqrt();
     let bn: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     assert!(rn <= 2e-6 * bn);
 }
@@ -119,15 +113,14 @@ fn mrhs_and_original_solve_identical_physics() {
     let s = run_original_step(&mut sys_b, &mut noise_b, &cfg, &mut cache);
     assert!(s.first_solve_iterations > 0);
 
-    let disp = |sys: &mrhs::stokes::StokesianSystem, orig: &mrhs::stokes::StokesianSystem| {
+    let disp = |sys: &mrhs::stokes::StokesianSystem,
+                orig: &mrhs::stokes::StokesianSystem| {
         sys.particles()
             .positions()
             .iter()
             .zip(orig.particles().positions())
             .map(|(p, q)| {
-                (0..3)
-                    .map(|d| (p[d] - q[d]).abs().min(1e3))
-                    .fold(0.0f64, f64::max)
+                (0..3).map(|d| (p[d] - q[d]).abs().min(1e3)).fold(0.0f64, f64::max)
             })
             .fold(0.0f64, f64::max)
     };
@@ -158,6 +151,47 @@ fn chunked_simulation_is_stable_over_many_steps() {
     let a = sys.assemble();
     assert!(a.is_symmetric_within(1e-9));
     assert!(DenseCholesky::factor_bcrs(&a).is_some());
+}
+
+#[test]
+fn mrhs_driver_runs_on_symmetric_storage() {
+    // The symmetric-storage switch, end to end on the real SD pipeline:
+    // same system and noise stream as a full-storage run, trajectories
+    // must agree (the operator is identical, only its layout differs).
+    let cfg_full = MrhsConfig { m: 4, ..Default::default() };
+    let cfg_sym =
+        MrhsConfig { m: 4, symmetric_storage: true, ..Default::default() };
+
+    let mut sys_full = small_system(50, 0.4, 11);
+    let mut noise_full = GaussianNoise::seed_from_u64(21);
+    let rep_full = run_mrhs_chunk(&mut sys_full, &mut noise_full, &cfg_full);
+
+    let mut sys_sym = small_system(50, 0.4, 11);
+    let mut noise_sym = GaussianNoise::seed_from_u64(21);
+    let rep_sym = run_mrhs_chunk(&mut sys_sym, &mut noise_sym, &cfg_sym);
+
+    assert_eq!(rep_sym.steps.len(), 4);
+    assert!(rep_sym.block_iterations > 0);
+    assert!(rep_sym
+        .steps
+        .iter()
+        .all(|s| s.second_solve_iterations < cfg_sym.solve.max_iter));
+
+    // Same physics: per-particle positions agree to solver tolerance.
+    let mut max_diff = 0.0f64;
+    for (p, q) in
+        sys_full.particles().positions().iter().zip(sys_sym.particles().positions())
+    {
+        for d in 0..3 {
+            max_diff = max_diff.max((p[d] - q[d]).abs());
+        }
+    }
+    assert!(max_diff < 1e-5, "trajectories diverged by {max_diff}");
+    // And the symmetric run did comparable solver work.
+    let iters = |r: &mrhs::core::ChunkReport| -> usize {
+        r.steps.iter().map(|s| s.second_solve_iterations).sum()
+    };
+    assert!(iters(&rep_sym) > 0 && iters(&rep_full) > 0);
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! invariants on random synthetic systems.
 
 use mrhs::cluster::{exchange, DistributedMatrix};
-use mrhs::core::{run_mrhs_chunk, MrhsConfig, ResistanceSystem};
 use mrhs::core::system::XorShiftNoise;
+use mrhs::core::{run_mrhs_chunk, MrhsConfig, ResistanceSystem};
 use mrhs::sparse::partition::Partition;
 use mrhs::sparse::reorder::permute_symmetric;
 use mrhs::sparse::{

@@ -7,21 +7,14 @@
 //! 3. previous-solution initial guesses (the technique MRHS builds on).
 
 use mrhs::core::{MrhsConfig, NoiseSource, ResistanceSystem};
-use mrhs::solvers::{
-    cg, pcg, recycled_cg, BlockJacobi, RecycleSpace, SolveConfig,
-};
+use mrhs::solvers::{cg, pcg, recycled_cg, BlockJacobi, RecycleSpace, SolveConfig};
 use mrhs::stokes::{GaussianNoise, SystemBuilder};
 
 /// Evolves the system a few Brownian steps and returns the matrix
 /// sequence (R_0, R_1, …) the solvers see.
-fn matrix_sequence(
-    n: usize,
-    steps: usize,
-) -> Vec<mrhs::sparse::BcrsMatrix> {
-    let (mut system, mut noise) = SystemBuilder::new(n)
-        .volume_fraction(0.4)
-        .seed(31)
-        .build_with_noise();
+fn matrix_sequence(n: usize, steps: usize) -> Vec<mrhs::sparse::BcrsMatrix> {
+    let (mut system, mut noise) =
+        SystemBuilder::new(n).volume_fraction(0.4).seed(31).build_with_noise();
     let cfg = MrhsConfig { m: 2, ..Default::default() };
     let mut out = vec![system.assemble()];
     for _ in 0..steps {
