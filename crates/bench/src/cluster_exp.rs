@@ -6,9 +6,13 @@
 //! reproducible without the cluster.
 
 use crate::common::{f, sd_system_and_matrix, section, Options, TABLE1_CUTOFFS};
-use mrhs_cluster::{ClusterGspmvModel, ClusterMrhsModel, DistributedMatrix};
+use mrhs_cluster::{
+    ClusterGspmvModel, ClusterMrhsModel, DistEngine, DistributedMatrix,
+};
 use mrhs_perfmodel::mrhs_model::SolveCounts;
 use mrhs_sparse::partition::coordinate_partition;
+use mrhs_sparse::MultiVec;
+use std::time::Instant;
 
 fn distribute(opts: &Options, s_cut: f64, nodes: usize) -> DistributedMatrix {
     let (system, a) = sd_system_and_matrix(opts.particles, s_cut, opts.seed);
@@ -122,6 +126,177 @@ pub fn cluster_mrhs(opts: &Options) {
     }
     println!(
         "(the paper defers distributed SD; this composes its two validated models)"
+    );
+}
+
+fn pseudo_x(n: usize, m: usize, seed: u64) -> MultiVec {
+    let mut state = seed | 1;
+    let mut x = MultiVec::zeros(n, m);
+    for v in x.as_mut_slice() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+    }
+    x
+}
+
+/// Persistent-engine experiment: measured per-node phase timings and
+/// communication fractions from the *real* overlapped execution, side
+/// by side with the `sim.rs` model's predictions for the same matrix
+/// and partition; then engine-vs-respawn throughput; then a functional
+/// distributed block-CG solve through the engine.
+///
+/// The model prices the paper's cluster (WSM nodes, InfiniBand), while
+/// the measurement runs node-threads on one machine with channel
+/// "wires" — absolute times differ by construction; the comparison is
+/// structural: where time goes (comm wait vs local vs remote) and how
+/// the overlap `max(t_comm, t_local) + t_remote` plays out.
+pub fn engine(opts: &Options) {
+    let nodes = 8usize;
+    let m = 8usize;
+    section(&format!(
+        "Persistent engine: measured vs modeled GSPMV phases (mat1, p = {nodes}, m = {m})"
+    ));
+    let model = ClusterGspmvModel::paper_cluster();
+    let (system, a) =
+        sd_system_and_matrix(opts.particles, TABLE1_CUTOFFS[0].1, opts.seed);
+    let part = coordinate_partition(
+        &a,
+        system.particles().positions(),
+        system.particles().box_lengths(),
+        nodes,
+    );
+    let dm = DistributedMatrix::new(&a, &part);
+    let n = dm.nb_rows() * 3;
+    let engine = DistEngine::new(dm.clone());
+    let x = pseudo_x(n, m, opts.seed);
+
+    // Warm up, then average phase timings over the reps.
+    let mut y = MultiVec::zeros(n, m);
+    engine.multiply_into(&x, &mut y);
+    let reps = opts.reps.max(1);
+    let mut acc = vec![mrhs_cluster::PhaseTimings::default(); nodes];
+    for _ in 0..reps {
+        let stats = engine.multiply_into(&x, &mut y);
+        for (a, t) in acc.iter_mut().zip(&stats.timings) {
+            a.comm_wait += t.comm_wait / reps as f64;
+            a.local += t.local / reps as f64;
+            a.remote += t.remote / reps as f64;
+        }
+    }
+
+    println!(
+        "{:>4} | {:>10} {:>10} {:>10} {:>6} | {:>10} {:>10} {:>10} {:>6}",
+        "node",
+        "wait[us]",
+        "local[us]",
+        "rem[us]",
+        "frac",
+        "comm[us]",
+        "local[us]",
+        "rem[us]",
+        "frac"
+    );
+    println!(
+        "{:>4} | {:>40} | {:>40}",
+        "", "measured (this machine)", "modeled (paper cluster)"
+    );
+    for (p, t) in acc.iter().enumerate() {
+        let nt = model.node_time(&dm, p, m);
+        println!(
+            "{p:>4} | {:>10.1} {:>10.1} {:>10.1} {:>5.0}% | {:>10.1} {:>10.1} {:>10.1} {:>5.0}%",
+            t.comm_wait * 1e6,
+            t.local * 1e6,
+            t.remote * 1e6,
+            100.0 * t.comm_fraction(),
+            nt.comm * 1e6,
+            nt.compute_local * 1e6,
+            nt.compute_remote * 1e6,
+            100.0 * nt.comm_fraction(),
+        );
+    }
+
+    // Measured vs modeled comm fraction at the slowest node, across m.
+    section("Comm fraction at the slowest node: measured engine vs model (Table III structure)");
+    println!("{:>4} {:>10} {:>10}", "m", "measured", "modeled");
+    for mm in [1usize, 8, 32] {
+        let xm = pseudo_x(n, mm, opts.seed + mm as u64);
+        let mut ym = MultiVec::zeros(n, mm);
+        engine.multiply_into(&xm, &mut ym); // warm
+        let mut worst = mrhs_cluster::PhaseTimings::default();
+        for _ in 0..reps {
+            let s = engine.multiply_into(&xm, &mut ym).slowest();
+            worst.comm_wait += s.comm_wait / reps as f64;
+            worst.local += s.local / reps as f64;
+            worst.remote += s.remote / reps as f64;
+        }
+        println!(
+            "{mm:>4} {:>9.0}% {:>9.0}%",
+            100.0 * worst.comm_fraction(),
+            100.0 * model.comm_fraction(&dm, mm)
+        );
+    }
+
+    // Engine vs respawn-per-call throughput on the same multiply.
+    section("Throughput: persistent engine vs respawn-per-call executor");
+    let iters = (4 * reps).max(8);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        engine.multiply_into(&x, &mut y);
+    }
+    let t_engine = t0.elapsed().as_secs_f64() / iters as f64;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        let _ = mrhs_cluster::exchange::execute(&dm, &x);
+    }
+    let t_respawn = t1.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "engine  {:>10} per multiply ({:.0}/s)",
+        f(t_engine * 1e3),
+        1.0 / t_engine
+    );
+    println!(
+        "respawn {:>10} per multiply ({:.0}/s)",
+        f(t_respawn * 1e3),
+        1.0 / t_respawn
+    );
+    println!(
+        "speedup {:>9.2}x (threads + channels + plans reused)",
+        t_respawn / t_engine
+    );
+
+    // Functional distributed solve: block CG through the engine, checked
+    // against the shared-memory solve on the same (permuted) matrix.
+    section("Distributed block CG through the engine (vs shared-memory block CG)");
+    use mrhs_solvers::block_cg::block_cg;
+    use mrhs_solvers::cg::SolveConfig;
+    let permuted = mrhs_sparse::reorder::permute_symmetric(&a, dm.permutation());
+    let cfg = SolveConfig { tol: 1e-10, max_iter: 600 };
+    let b = pseudo_x(n, m, opts.seed ^ 0xb10c);
+    let mut x_shared = MultiVec::zeros(n, m);
+    let shared = block_cg(&permuted, &b, &mut x_shared, &cfg);
+    let mut x_dist = MultiVec::zeros(n, m);
+    let dist = block_cg(&engine, &b, &mut x_dist, &cfg);
+    let max_diff = x_shared
+        .as_slice()
+        .iter()
+        .zip(x_dist.as_slice())
+        .map(|(u, v)| (u - v).abs())
+        .fold(0.0f64, f64::max);
+    let agg = engine.last_stats();
+    println!(
+        "shared:      {} iterations, converged = {}",
+        shared.iterations, shared.converged
+    );
+    println!(
+        "distributed: {} iterations, converged = {}, max |x_d - x_s| = {:.2e}",
+        dist.iterations, dist.converged, max_diff
+    );
+    println!(
+        "last GSPMV halo traffic: {} bytes over {} messages",
+        agg.comm.total_bytes(),
+        agg.comm.recv_messages.iter().sum::<usize>()
     );
 }
 

@@ -9,7 +9,7 @@
 //! (`repro fig2 --symmetric`).
 //! where `<experiment>` is one of `table1 table2 table3 table4 table5
 //! table6 table7 table8 fig1 fig2 fig2-model fig3 fig4 fig5 fig6 fig7
-//! fig8 verify-exchange all quick`.
+//! fig8 verify-exchange engine all quick`.
 //!
 //! Sizes default to a laptop-scale 2,000 particles (the paper's
 //! 300,000 scaled down); densities, iteration counts, and every trend
@@ -44,6 +44,7 @@ fn main() {
         "fig4" => cluster_exp::fig4(&opts),
         "table3" => cluster_exp::table3(&opts),
         "verify-exchange" => cluster_exp::verify_exchange(&opts),
+        "engine" => cluster_exp::engine(&opts),
         "cluster-mrhs" => cluster_exp::cluster_mrhs(&opts),
         "table4" => sd_exp::table4(&opts),
         "fig5" => sd_exp::fig5(&opts),
@@ -64,6 +65,7 @@ fn main() {
             cluster_exp::fig4(&opts);
             cluster_exp::table3(&opts);
             cluster_exp::verify_exchange(&opts);
+            cluster_exp::engine(&opts);
             cluster_exp::cluster_mrhs(&opts);
             sd_exp::table4(&opts);
             sd_exp::fig5(&opts);
@@ -87,7 +89,7 @@ fn main() {
             eprintln!(
                 "usage: repro <table1|table2|table3|table4|table5|table6|table7|\
                  table8|fig1|fig2|fig2-model|fig3|fig4|fig5|fig6|fig7|fig8|\
-                 verify-exchange|cluster-mrhs|all|quick> [--particles N] [--reps N] \
+                 verify-exchange|engine|cluster-mrhs|all|quick> [--particles N] [--reps N] \
                  [--seed N] [--full] [--symmetric]"
             );
             std::process::exit(2);

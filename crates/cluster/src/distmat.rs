@@ -1,26 +1,48 @@
 //! Row-partitioned matrix with halo bookkeeping.
 //!
 //! After partitioning, the global matrix is permuted so each node owns
-//! a contiguous block-row range, and each node's rows are rewritten
-//! onto a compact local column space: own rows first, then the halo
-//! (remote block rows it must receive), in sorted order. Off-node
-//! columns appear once in the halo regardless of how many local rows
-//! reference them — the deduplication that makes communication volume
-//! scale with the partition surface, not with nnz.
+//! a contiguous block-row range, and each node's rows are split into
+//! *two* local matrices — the structure the overlap discipline of
+//! §IV-A2 needs at execution time:
+//!
+//! * `a_local`: the blocks whose columns the node owns. Multiplying by
+//!   it needs no communication, so it runs while the halo is in flight.
+//! * `a_remote`: the blocks referencing off-node columns, rewritten
+//!   onto the compact halo index space (one column per distinct remote
+//!   block row, sorted). It runs once the halo has arrived.
+//!
+//! Off-node columns appear once in the halo regardless of how many
+//! local rows reference them — the deduplication that makes
+//! communication volume scale with the partition surface, not with nnz.
+//!
+//! Communication *plans* are precomputed here too, once, at
+//! construction: for every node, which peers it receives from (and
+//! which rows), and — the inversion of that — which peers it must send
+//! to. Executors ([`crate::exchange`], [`crate::engine`]) only read
+//! these cached plans; nothing is recomputed per multiply.
 
 use mrhs_sparse::partition::Partition;
 use mrhs_sparse::reorder::permute_symmetric;
 use mrhs_sparse::{BcrsMatrix, Block3};
 use std::ops::Range;
 
+/// A halo transfer plan: `(peer, rows)` pairs, with rows in ascending
+/// global (permuted) block-row order within each peer.
+pub type CommPlan = Vec<(usize, Vec<usize>)>;
+
 /// One node's slice of the matrix.
 #[derive(Clone, Debug)]
 pub struct NodeMatrix {
     /// Global (permuted) block rows owned: `range.start..range.end`.
     pub rows: Range<usize>,
-    /// The local matrix: `rows.len()` block rows, and
-    /// `rows.len() + halo.len()` block columns in local indexing.
-    pub local: BcrsMatrix,
+    /// Blocks on owned columns: `rows.len()` block rows ×
+    /// `rows.len()` block columns in local indexing (own col `c` maps
+    /// to `c − rows.start`). The overlappable part of the multiply.
+    pub a_local: BcrsMatrix,
+    /// Blocks on halo columns: `rows.len()` block rows ×
+    /// `halo.len()` block columns (halo col at halo index `h` maps to
+    /// `h`). Applied after the halo arrives.
+    pub a_remote: BcrsMatrix,
     /// Global (permuted) block rows this node must receive, sorted.
     pub halo: Vec<usize>,
     /// Count of stored blocks whose column is owned locally (the part
@@ -30,6 +52,13 @@ pub struct NodeMatrix {
     pub nnzb_remote: usize,
 }
 
+impl NodeMatrix {
+    /// Total stored blocks across both parts.
+    pub fn nnz_blocks(&self) -> usize {
+        self.nnzb_local + self.nnzb_remote
+    }
+}
+
 /// A matrix distributed over `n_nodes` row partitions.
 #[derive(Clone, Debug)]
 pub struct DistributedMatrix {
@@ -37,6 +66,14 @@ pub struct DistributedMatrix {
     /// `perm[new] = old` mapping from permuted to original block rows.
     perm: Vec<usize>,
     nb: usize,
+    /// `range_starts[p] = nodes[p].rows.start` — non-decreasing, used
+    /// for O(log p) ownership lookups.
+    range_starts: Vec<usize>,
+    /// Per node: which peers send to it, and which rows (cached).
+    recv_plans: Vec<CommPlan>,
+    /// Per node: which peers it must send to, and which rows (the
+    /// inversion of `recv_plans`, cached).
+    send_plans: Vec<CommPlan>,
 }
 
 impl DistributedMatrix {
@@ -60,12 +97,43 @@ impl DistributedMatrix {
             assert_eq!(start, nb);
         }
 
-        let nodes = ranges
+        let nodes: Vec<NodeMatrix> = ranges
             .iter()
             .map(|range| build_node(&permuted, range.clone()))
             .collect();
 
-        DistributedMatrix { nodes, perm, nb }
+        let range_starts: Vec<usize> = nodes.iter().map(|n| n.rows.start).collect();
+
+        // Receive plans: one binary search per halo row. Halo rows are
+        // sorted and node ranges are contiguous, so owners come out
+        // grouped; still, group defensively by owner.
+        let p = nodes.len();
+        let recv_plans: Vec<CommPlan> = nodes
+            .iter()
+            .enumerate()
+            .map(|(q, node)| {
+                let mut plan: CommPlan = Vec::new();
+                for &row in &node.halo {
+                    let owner = owner_from_starts(&range_starts, nb, row);
+                    debug_assert_ne!(owner, q);
+                    match plan.last_mut() {
+                        Some((peer, rows)) if *peer == owner => rows.push(row),
+                        _ => plan.push((owner, vec![row])),
+                    }
+                }
+                plan
+            })
+            .collect();
+
+        // Send plans: invert the receive plans once.
+        let mut send_plans: Vec<CommPlan> = vec![Vec::new(); p];
+        for (dst, plan) in recv_plans.iter().enumerate() {
+            for (src, rows) in plan {
+                send_plans[*src].push((dst, rows.clone()));
+            }
+        }
+
+        DistributedMatrix { nodes, perm, nb, range_starts, recv_plans, send_plans }
     }
 
     /// Number of nodes.
@@ -88,33 +156,39 @@ impl DistributedMatrix {
         &self.perm
     }
 
-    /// The node owning permuted block row `row`.
+    /// The node owning permuted block row `row` — O(log p) binary
+    /// search over the contiguous range starts.
     pub fn owner_of(&self, row: usize) -> usize {
-        self.nodes
-            .iter()
-            .position(|n| n.rows.contains(&row))
-            .expect("row out of range")
+        owner_from_starts(&self.range_starts, self.nb, row)
     }
 
     /// For node `p`: the halo rows grouped by owning peer, as
     /// `(peer, rows)` with rows in the order they appear in `halo`.
-    pub fn recv_plan(&self, p: usize) -> Vec<(usize, Vec<usize>)> {
-        let mut plan: Vec<(usize, Vec<usize>)> = Vec::new();
-        for &row in &self.nodes[p].halo {
-            let owner = self.owner_of(row);
-            debug_assert_ne!(owner, p);
-            match plan.iter_mut().find(|(q, _)| *q == owner) {
-                Some((_, rows)) => rows.push(row),
-                None => plan.push((owner, vec![row])),
-            }
-        }
-        plan
+    /// Cached at construction.
+    pub fn recv_plan(&self, p: usize) -> &[(usize, Vec<usize>)] {
+        &self.recv_plans[p]
+    }
+
+    /// For node `p`: the owned rows it must ship, grouped by
+    /// destination peer, as `(peer, rows)`. Cached at construction
+    /// (the inversion of the receive plans).
+    pub fn send_plan(&self, p: usize) -> &[(usize, Vec<usize>)] {
+        &self.send_plans[p]
     }
 
     /// Total halo entries (block rows) each node receives; index = node.
     pub fn recv_volumes(&self) -> Vec<usize> {
         self.nodes.iter().map(|n| n.halo.len()).collect()
     }
+}
+
+/// Binary search for the owner of `row` among contiguous, possibly
+/// empty ranges described by their starts. Among nodes tied on the same
+/// start, all but the last are empty, and `partition_point` lands on
+/// the last — the only one that can own anything.
+fn owner_from_starts(starts: &[usize], nb: usize, row: usize) -> usize {
+    assert!(row < nb, "row {row} out of range (nb = {nb})");
+    starts.partition_point(|&s| s <= row) - 1
 }
 
 fn build_node(permuted: &BcrsMatrix, rows: Range<usize>) -> NodeMatrix {
@@ -131,37 +205,44 @@ fn build_node(permuted: &BcrsMatrix, rows: Range<usize>) -> NodeMatrix {
     halo.sort_unstable();
     halo.dedup();
 
-    // Remap columns: own col c → c − rows.start; halo col → own + index.
-    let mut nnzb_local = 0usize;
-    let mut nnzb_remote = 0usize;
-    let mut row_ptr = vec![0usize; own + 1];
-    let mut col_idx: Vec<u32> = Vec::with_capacity(sub.nnz_blocks());
-    let mut blocks: Vec<Block3> = Vec::with_capacity(sub.nnz_blocks());
-    let mut entries: Vec<(u32, Block3)> = Vec::new();
+    // Split each row's blocks: own col c → c − rows.start into
+    // `a_local`; halo col → its halo index into `a_remote`. Column
+    // order within a row is preserved from the (sorted) submatrix, so
+    // both parts come out column-sorted.
+    let mut local_row_ptr = vec![0usize; own + 1];
+    let mut local_cols: Vec<u32> = Vec::new();
+    let mut local_blocks: Vec<Block3> = Vec::new();
+    let mut remote_row_ptr = vec![0usize; own + 1];
+    let mut remote_cols: Vec<u32> = Vec::new();
+    let mut remote_blocks: Vec<Block3> = Vec::new();
     for bi in 0..own {
         let (cols, blks) = sub.block_row(bi);
-        entries.clear();
         for (c, b) in cols.iter().zip(blks) {
             let c = *c as usize;
-            let local_c = if rows.contains(&c) {
-                nnzb_local += 1;
-                c - rows.start
+            if rows.contains(&c) {
+                local_cols.push((c - rows.start) as u32);
+                local_blocks.push(*b);
             } else {
-                nnzb_remote += 1;
-                own + halo.binary_search(&c).unwrap()
-            };
-            entries.push((local_c as u32, *b));
+                let h = halo.binary_search(&c).unwrap();
+                remote_cols.push(h as u32);
+                remote_blocks.push(*b);
+            }
         }
-        entries.sort_unstable_by_key(|&(c, _)| c);
-        for (c, b) in &entries {
-            col_idx.push(*c);
-            blocks.push(*b);
-        }
-        row_ptr[bi + 1] = col_idx.len();
+        local_row_ptr[bi + 1] = local_cols.len();
+        remote_row_ptr[bi + 1] = remote_cols.len();
     }
-    let local =
-        BcrsMatrix::from_parts(own, own + halo.len(), row_ptr, col_idx, blocks);
-    NodeMatrix { rows, local, halo, nnzb_local, nnzb_remote }
+    let nnzb_local = local_cols.len();
+    let nnzb_remote = remote_cols.len();
+    let a_local =
+        BcrsMatrix::from_parts(own, own, local_row_ptr, local_cols, local_blocks);
+    let a_remote = BcrsMatrix::from_parts(
+        own,
+        halo.len(),
+        remote_row_ptr,
+        remote_cols,
+        remote_blocks,
+    );
+    NodeMatrix { rows, a_local, a_remote, halo, nnzb_local, nnzb_remote }
 }
 
 #[cfg(test)]
@@ -199,15 +280,13 @@ mod tests {
         let a = chain(20);
         let part = contiguous_partition(&a, 3);
         let dm = DistributedMatrix::new(&a, &part);
-        let total: usize = dm.nodes().iter().map(|n| n.local.nnz_blocks()).sum();
+        let total: usize = dm.nodes().iter().map(|n| n.nnz_blocks()).sum();
         assert_eq!(total, a.nnz_blocks());
         for n in dm.nodes() {
-            assert_eq!(n.nnzb_local + n.nnzb_remote, n.local.nnz_blocks());
-            assert_eq!(
-                n.local.nb_cols(),
-                n.rows.len() + n.halo.len(),
-                "compact column space"
-            );
+            assert_eq!(n.nnzb_local, n.a_local.nnz_blocks());
+            assert_eq!(n.nnzb_remote, n.a_remote.nnz_blocks());
+            assert_eq!(n.a_local.nb_cols(), n.rows.len(), "own column space");
+            assert_eq!(n.a_remote.nb_cols(), n.halo.len(), "halo column space");
         }
     }
 
@@ -218,10 +297,32 @@ mod tests {
         let dm = DistributedMatrix::new(&a, &part);
         for p in 0..3 {
             for (peer, rows) in dm.recv_plan(p) {
-                assert_ne!(peer, p);
+                assert_ne!(*peer, p);
                 for r in rows {
-                    assert!(dm.nodes()[peer].rows.contains(&r));
+                    assert!(dm.nodes()[*peer].rows.contains(r));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn send_plan_is_inverse_of_recv_plan() {
+        let a = chain(18);
+        let part = contiguous_partition(&a, 4);
+        let dm = DistributedMatrix::new(&a, &part);
+        for src in 0..4 {
+            for (dst, rows) in dm.send_plan(src) {
+                // every shipped row is owned by src …
+                for r in rows {
+                    assert!(dm.nodes()[src].rows.contains(r));
+                }
+                // … and appears verbatim in dst's receive plan for src.
+                let recv = dm
+                    .recv_plan(*dst)
+                    .iter()
+                    .find(|(peer, _)| *peer == src)
+                    .expect("matching recv entry");
+                assert_eq!(&recv.1, rows);
             }
         }
     }
@@ -233,6 +334,8 @@ mod tests {
         let dm = DistributedMatrix::new(&a, &part);
         assert!(dm.nodes()[0].halo.is_empty());
         assert_eq!(dm.nodes()[0].nnzb_remote, 0);
+        assert!(dm.recv_plan(0).is_empty());
+        assert!(dm.send_plan(0).is_empty());
     }
 
     #[test]
@@ -243,6 +346,27 @@ mod tests {
         for row in 0..9 {
             let p = dm.owner_of(row);
             assert!(dm.nodes()[p].rows.contains(&row));
+        }
+    }
+
+    #[test]
+    fn owner_of_skips_empty_partitions() {
+        // More nodes than block rows: some partitions are empty and
+        // share identical (empty) row ranges — ownership must still
+        // resolve to the node that actually holds each row.
+        let a = chain(3);
+        let assignment = vec![0u32, 2, 4];
+        let part = Partition::from_assignment(5, assignment);
+        let dm = DistributedMatrix::new(&a, &part);
+        assert_eq!(dm.n_nodes(), 5);
+        for row in 0..3 {
+            let p = dm.owner_of(row);
+            assert!(
+                dm.nodes()[p].rows.contains(&row),
+                "row {row} resolved to node {p} with range {:?}",
+                dm.nodes()[p].rows
+            );
+            assert!(!dm.nodes()[p].rows.is_empty());
         }
     }
 }

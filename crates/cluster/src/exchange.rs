@@ -6,8 +6,15 @@
 //! multiplies, consuming received halo data. The result must equal the
 //! single-address-space GSPMV — that is the correctness contract tested
 //! below and relied on by the time model in [`crate::sim`].
+//!
+//! [`execute`] spawns fresh threads and channels on every call — the
+//! "respawn" baseline. Iterative solvers should use
+//! [`crate::engine::DistEngine`], which keeps node threads alive across
+//! multiplies and overlaps communication with the local part of the
+//! multiply; `execute` remains as the simple reference executor and as
+//! the baseline of the engine-vs-respawn bench comparison.
 
-use crate::distmat::DistributedMatrix;
+use crate::distmat::{DistributedMatrix, NodeMatrix};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mrhs_sparse::{gspmv_serial, MultiVec};
 
@@ -29,14 +36,67 @@ impl CommStats {
 
 /// One packed halo message: the sender, and the rows' values packed in
 /// the receiver's halo order for that sender.
-struct HaloMessage {
-    from: usize,
-    data: MultiVec,
+pub(crate) struct HaloMessage {
+    pub(crate) from: usize,
+    pub(crate) data: MultiVec,
+}
+
+/// Packs the rows node `q` must ship to one peer out of its owned
+/// slice `x_own` (scalar rows, node-local indexing).
+pub(crate) fn pack_rows(
+    node: &NodeMatrix,
+    x_own: &MultiVec,
+    rows: &[usize],
+) -> MultiVec {
+    let scalar_rows: Vec<usize> = rows
+        .iter()
+        .flat_map(|&r| {
+            let base = (r - node.rows.start) * 3;
+            [base, base + 1, base + 2]
+        })
+        .collect();
+    x_own.gather_row_list(&scalar_rows)
+}
+
+/// Scatters a received message into the halo multivector (halo-local
+/// indexing: halo row `h` occupies scalar rows `3h..3h+3`).
+pub(crate) fn scatter_message(
+    node: &NodeMatrix,
+    rows: &[usize],
+    data: &MultiVec,
+    x_halo: &mut MultiVec,
+) {
+    for (k, &r) in rows.iter().enumerate() {
+        let h = node.halo.binary_search(&r).unwrap();
+        for c in 0..3 {
+            x_halo.row_mut(3 * h + c).copy_from_slice(data.row(3 * k + c));
+        }
+    }
+}
+
+/// `y += A_remote · x_halo`, using a scratch buffer so the fast
+/// (overwriting) GSPMV kernels can be reused.
+pub(crate) fn apply_remote(
+    node: &NodeMatrix,
+    x_halo: &MultiVec,
+    y: &mut MultiVec,
+    scratch: &mut MultiVec,
+) {
+    if node.halo.is_empty() || node.rows.is_empty() {
+        return;
+    }
+    gspmv_serial(&node.a_remote, x_halo, scratch);
+    for (yi, si) in y.as_mut_slice().iter_mut().zip(scratch.as_slice()) {
+        *yi += si;
+    }
 }
 
 /// Executes `Y = A·X` on the distributed matrix. `x` is given in the
 /// *permuted* global row order (see [`DistributedMatrix::permutation`]);
 /// the returned `Y` uses the same order.
+///
+/// Channels and threads are rebuilt on every call; see
+/// [`crate::engine::DistEngine`] for the persistent executor.
 pub fn execute(dm: &DistributedMatrix, x: &MultiVec) -> (MultiVec, CommStats) {
     let m = x.m();
     assert_eq!(x.n(), dm.nb_rows() * 3);
@@ -55,25 +115,6 @@ pub fn execute(dm: &DistributedMatrix, x: &MultiVec) -> (MultiVec, CommStats) {
         .map(|n| x.gather_rows(n.rows.start * 3..n.rows.end * 3))
         .collect();
 
-    // Send plans: for each node, what it must ship to each peer.
-    let send_plans: Vec<Vec<(usize, Vec<usize>)>> = (0..p)
-        .map(|q| {
-            // invert the recv plans: peer p needs rows owned by q
-            let mut out: Vec<(usize, Vec<usize>)> = Vec::new();
-            for dst in 0..p {
-                if dst == q {
-                    continue;
-                }
-                for (peer, rows) in dm.recv_plan(dst) {
-                    if peer == q {
-                        out.push((dst, rows));
-                    }
-                }
-            }
-            out
-        })
-        .collect();
-
     let mut y_parts: Vec<Option<MultiVec>> = (0..p).map(|_| None).collect();
     let mut stats = CommStats { recv_bytes: vec![0; p], recv_messages: vec![0; p] };
 
@@ -81,69 +122,44 @@ pub fn execute(dm: &DistributedMatrix, x: &MultiVec) -> (MultiVec, CommStats) {
         let mut handles = Vec::with_capacity(p);
         for (q, node) in dm.nodes().iter().enumerate() {
             let x_q = &x_own[q];
-            let plan = &send_plans[q];
             let rx = channels[q].1.clone();
             let senders = senders.clone();
             handles.push(scope.spawn(move || {
                 // Post sends: pack requested rows from the owned slice.
-                for (dst, rows) in plan {
-                    let scalar_rows: Vec<usize> = rows
-                        .iter()
-                        .flat_map(|&r| {
-                            let base = (r - node.rows.start) * 3;
-                            [base, base + 1, base + 2]
-                        })
-                        .collect();
-                    let data = x_q.gather_row_list(&scalar_rows);
+                for (dst, rows) in dm.send_plan(q) {
+                    let data = pack_rows(node, x_q, rows);
                     senders[*dst]
                         .send(HaloMessage { from: q, data })
                         .expect("mailbox open");
                 }
                 drop(senders);
 
-                // Receive the halo.
-                let plan_in = {
-                    // Which peers send to us, and which rows.
-                    let mut v: Vec<(usize, Vec<usize>)> = Vec::new();
-                    for (peer, rows) in dm_recv_plan_for(node, dm) {
-                        v.push((peer, rows));
-                    }
-                    v
-                };
-                let expected = plan_in.len();
-                let mut received: Vec<HaloMessage> = Vec::with_capacity(expected);
-                for _ in 0..expected {
-                    received.push(rx.recv().expect("halo message"));
-                }
-
-                // Assemble the compact local vector [own | halo].
+                // Local multiply (needs no remote data).
                 let own_rows = node.rows.len();
-                let mut x_local =
-                    MultiVec::zeros((own_rows + node.halo.len()) * 3, m);
-                x_local.as_mut_slice()[..own_rows * 3 * m]
-                    .copy_from_slice(x_q.as_slice());
+                let mut y_local = MultiVec::zeros(own_rows * 3, m);
+                gspmv_serial(&node.a_local, x_q, &mut y_local);
+
+                // Receive the halo — the plan is identified by *node
+                // index*, never by range equality (empty partitions
+                // share identical ranges).
+                let plan_in = dm.recv_plan(q);
+                let mut x_halo = MultiVec::zeros(node.halo.len() * 3, m);
                 let mut bytes = 0usize;
-                for msg in &received {
+                let expected = plan_in.len();
+                for _ in 0..expected {
+                    let msg = rx.recv().expect("halo message");
                     let (_, rows) = plan_in
                         .iter()
                         .find(|(peer, _)| *peer == msg.from)
                         .expect("unexpected sender");
                     bytes += msg.data.as_slice().len() * 8;
-                    for (k, &r) in rows.iter().enumerate() {
-                        let h = node.halo.binary_search(&r).unwrap();
-                        for c in 0..3 {
-                            let dst_row = (own_rows + h) * 3 + c;
-                            x_local
-                                .row_mut(dst_row)
-                                .copy_from_slice(msg.data.row(3 * k + c));
-                        }
-                    }
+                    scatter_message(node, rows, &msg.data, &mut x_halo);
                 }
 
-                // Local multiply.
-                let mut y_local = MultiVec::zeros(own_rows * 3, m);
-                gspmv_serial(&node.local, &x_local, &mut y_local);
-                (y_local, bytes, received.len())
+                // Remote multiply, accumulated onto the local part.
+                let mut scratch = MultiVec::zeros(own_rows * 3, m);
+                apply_remote(node, &x_halo, &mut y_local, &mut scratch);
+                (y_local, bytes, expected)
             }));
         }
         for (q, h) in handles.into_iter().enumerate() {
@@ -164,18 +180,6 @@ pub fn execute(dm: &DistributedMatrix, x: &MultiVec) -> (MultiVec, CommStats) {
         }
     }
     (y, stats)
-}
-
-fn dm_recv_plan_for(
-    node: &crate::distmat::NodeMatrix,
-    dm: &DistributedMatrix,
-) -> Vec<(usize, Vec<usize>)> {
-    let p = dm
-        .nodes()
-        .iter()
-        .position(|n| n.rows == node.rows)
-        .expect("node belongs to matrix");
-    dm.recv_plan(p)
 }
 
 #[cfg(test)]
@@ -281,5 +285,27 @@ mod tests {
         let assignment: Vec<u32> = (0..30).map(|i| (i % 3) as u32).collect();
         let part = Partition::from_assignment(3, assignment);
         check_against_serial(&a, &part, 3);
+    }
+
+    /// Regression: with more nodes than block rows, several partitions
+    /// are empty and share identical (empty) row ranges. The old code
+    /// identified a node by range equality, picked the wrong receive
+    /// plan, and deadlocked waiting for messages that never come. Run
+    /// under the shared watchdog so a reintroduced deadlock fails fast
+    /// instead of hanging the test suite.
+    #[test]
+    fn more_nodes_than_rows_does_not_deadlock() {
+        crate::watchdog::with_deadline(std::time::Duration::from_secs(60), || {
+            let a = random_symmetric(5, 2, 21);
+            for p in [6usize, 8, 11] {
+                let part = contiguous_partition(&a, p);
+                check_against_serial(&a, &part, 3);
+                // interleaved empty parts as well
+                let assignment: Vec<u32> =
+                    (0..5).map(|i| (2 * i) as u32 % p as u32).collect();
+                let part = Partition::from_assignment(p, assignment);
+                check_against_serial(&a, &part, 2);
+            }
+        });
     }
 }

@@ -4,12 +4,17 @@
 //! crate reproduces that system as a faithful in-process simulation:
 //!
 //! * **Real data movement.** [`distmat::DistributedMatrix`] partitions
-//!   the matrix by rows, remaps each node's columns onto a compact
-//!   local index space `[own rows | received halo rows]`, and
+//!   the matrix by rows, splits each node's blocks into a *local*
+//!   sub-matrix (owned columns) and a *remote* sub-matrix (compact halo
+//!   columns), and precomputes every node's send/receive plans once.
 //!   [`exchange::execute`] runs the actual multiply with per-node
 //!   threads that exchange *packed* halo messages over channels — a
 //!   node can only read its own rows plus what it received, exactly as
-//!   an MPI rank would.
+//!   an MPI rank would. [`engine::DistEngine`] is the solver-grade
+//!   executor: persistent node workers that overlap the halo transfer
+//!   with the local sub-matrix multiply and report per-node phase
+//!   timings (`comm_wait`/`local`/`remote`); it implements
+//!   `LinearOperator`, so block CG runs distributed unchanged.
 //! * **Modeled time.** [`sim`] prices the same execution with the
 //!   paper's machine and network constants: per-node compute from the
 //!   Eq. 8 model (split into a local part overlapped with communication
@@ -18,12 +23,15 @@
 //!   Table III without owning 64 nodes.
 
 pub mod distmat;
+pub mod engine;
 pub mod exchange;
 pub mod mrhs;
 pub mod network;
 pub mod sim;
+pub mod watchdog;
 
 pub use distmat::DistributedMatrix;
+pub use engine::{DistEngine, EngineStats, PhaseTimings};
 pub use mrhs::ClusterMrhsModel;
 pub use network::NetworkModel;
 pub use sim::{ClusterGspmvModel, NodeTime};

@@ -21,14 +21,24 @@ use mrhs_sparse::MultiVec;
 /// Outcome of a block-CG solve.
 #[derive(Clone, Debug)]
 pub struct BlockCgResult {
-    /// Block iterations performed (each is one GSPMV).
+    /// Block iterations *completed* (each is one GSPMV plus the X/R
+    /// updates). `residual_norms` always describes the residual after
+    /// exactly this many iterations.
     pub iterations: usize,
     /// Whether every column met the tolerance.
     pub converged: bool,
-    /// Final per-column residual norms.
+    /// Per-column residual norms after `iterations` completed
+    /// iterations — on breakdown, the last completed iteration, not a
+    /// stale or half-updated state.
     pub residual_norms: Vec<f64>,
     /// Iteration at which each column first met its tolerance.
     pub column_converged_at: Vec<Option<usize>>,
+    /// `Some(k)` if one of the small `m×m` solves failed during
+    /// iteration `k` (rank-deficient block residual — the numerical
+    /// hazard of block methods); the solve stopped there with
+    /// `iterations = k − 1` (Pᵀ·Q breakdown, X untouched in iteration
+    /// `k`) or `iterations = k` (ρ·β breakdown, X updated).
+    pub breakdown: Option<usize>,
 }
 
 /// Solves `A·X = B` for SPD `A` and `m` right-hand sides by block CG,
@@ -69,13 +79,14 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
             converged: true,
             residual_norms: norms,
             column_converged_at,
+            breakdown: None,
         };
     }
 
     let mut p = r.clone();
     let mut q = MultiVec::zeros(n, m);
     let mut iterations = 0;
-    let mut broke_down = false;
+    let mut breakdown = None;
 
     for it in 1..=cfg.max_iter {
         a.apply_multi(&p, &mut q);
@@ -85,7 +96,9 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         ridge(&mut pq, m);
         let mut alpha = rho.clone();
         if !dense::lu_solve(&mut pq, m, &mut alpha, m) {
-            broke_down = true;
+            // X, R and ρ still describe iteration `it − 1` — the state
+            // reported below stays internally consistent.
+            breakdown = Some(it);
             break;
         }
         // X += P·α ; R −= Q·α fused with the ρ_new = RᵀR reduction
@@ -104,7 +117,9 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         ridge(&mut rho_lhs, m);
         let mut beta = rho_new.clone();
         if !dense::lu_solve(&mut rho_lhs, m, &mut beta, m) {
-            broke_down = true;
+            // Iteration `it` completed its X/R updates; adopt ρ_new so
+            // the reported norms describe that completed iteration.
+            breakdown = Some(it);
             rho = rho_new;
             break;
         }
@@ -113,12 +128,14 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         rho = rho_new;
     }
 
-    let converged = !broke_down && column_converged_at.iter().all(Option::is_some);
+    let converged =
+        breakdown.is_none() && column_converged_at.iter().all(Option::is_some);
     BlockCgResult {
         iterations,
         converged,
         residual_norms: diag_sqrt(&rho, m),
         column_converged_at,
+        breakdown,
     }
 }
 
@@ -324,6 +341,82 @@ mod tests {
             let at = c.expect("every column converged");
             assert!(at <= res.iterations);
         }
+    }
+
+    /// Delegates to an inner matrix for the first `good_applies` GSPMV
+    /// calls, then fills the output with NaN — which drives the PᵀQ
+    /// Gram matrix to an unfactorizable state and forces the breakdown
+    /// path deterministically.
+    struct PoisonAfter {
+        inner: BcrsMatrix,
+        good_applies: usize,
+        applies: std::sync::atomic::AtomicUsize,
+    }
+
+    impl LinearOperator for PoisonAfter {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.apply(x, y);
+        }
+        fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+            use std::sync::atomic::Ordering;
+            if self.applies.fetch_add(1, Ordering::Relaxed) < self.good_applies {
+                self.inner.apply_multi(x, y);
+            } else {
+                y.fill(f64::NAN);
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_reports_last_completed_iteration() {
+        let a = laplacian(25);
+        let n = a.n_rows();
+        let m = 4;
+        let b = pseudo_multivec(n, m, 41);
+        let cfg = SolveConfig { tol: 1e-12, max_iter: 100 };
+
+        // Good for the initial residual plus 3 iterations, then poison:
+        // the 4th iteration's PᵀQ solve must fail.
+        let poisoned = PoisonAfter {
+            inner: a.clone(),
+            good_applies: 4,
+            applies: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg(&poisoned, &b, &mut x, &cfg);
+        assert!(!res.converged);
+        assert_eq!(res.breakdown, Some(4), "{res:?}");
+        assert_eq!(res.iterations, 3);
+
+        // The reported norms must describe the last completed iteration:
+        // identical to a clean run truncated at the same count.
+        let clean_cfg = SolveConfig { tol: 1e-12, max_iter: 3 };
+        let mut x_clean = MultiVec::zeros(n, m);
+        let clean = block_cg(&a, &b, &mut x_clean, &clean_cfg);
+        assert_eq!(clean.iterations, 3);
+        assert!(clean.breakdown.is_none());
+        for (u, v) in res.residual_norms.iter().zip(&clean.residual_norms) {
+            assert!(u.is_finite(), "stale/poisoned norm leaked: {u}");
+            assert_eq!(u, v, "norms must match the completed iteration");
+        }
+        // X likewise stops at the completed iteration.
+        for (u, v) in x.as_slice().iter().zip(x_clean.as_slice()) {
+            assert_eq!(u, v);
+        }
+    }
+
+    #[test]
+    fn successful_solves_report_no_breakdown() {
+        let a = laplacian(20);
+        let n = a.n_rows();
+        let b = pseudo_multivec(n, 3, 13);
+        let mut x = MultiVec::zeros(n, 3);
+        let res = block_cg(&a, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+        assert!(res.breakdown.is_none());
     }
 
     #[test]
