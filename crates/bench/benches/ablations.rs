@@ -105,7 +105,7 @@ fn bench_symmetric_storage(c: &mut Criterion) {
         group
             .bench_function("symmetric_serial", |b| b.iter(|| s.gspmv(&x, &mut y)));
         group.bench_function("symmetric_parallel", |b| {
-            b.iter(|| s.gspmv_threaded(&x, &mut y, nthreads))
+            b.iter(|| s.gspmv_chunked(&x, &mut y, nthreads))
         });
         group.finish();
     }

@@ -1,9 +1,10 @@
 //! Property tests for the persistent distributed engine.
 //!
-//! * The engine must equal the single-address-space GSPMV on random
-//!   symmetric matrices under random partitions — contiguous,
-//!   round-robin, and arbitrary assignments including *empty* parts
-//!   (more nodes than block rows) — for every m the solvers use.
+//! * The engine must equal the single-address-space GSPMV *and* the
+//!   `oracle` crate's dense reference on random symmetric matrices
+//!   under random partitions — contiguous, round-robin, and arbitrary
+//!   assignments including *empty* parts (more nodes than block rows)
+//!   — for every m the solvers use.
 //! * Block CG driven through the engine (a real distributed solve with
 //!   halo exchange every iteration) must follow the shared-memory
 //!   block-CG trajectory and reach the same solution.
@@ -20,8 +21,14 @@ use mrhs_sparse::reorder::permute_symmetric;
 use mrhs_sparse::{
     gspmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec,
 };
+use oracle::{Dense, TolModel};
 use proptest::prelude::*;
 use std::time::Duration;
+
+/// The engine accumulates local and remote contributions in separate
+/// sums, so it is not bitwise against the dense reference; this is the
+/// historical 1e-11 relative envelope expressed as an oracle model.
+const ENGINE: TolModel = TolModel { rel: 1e-11, floor: 1.0, max_ulps: 64 };
 
 fn arb_sym_matrix(max_nb: usize) -> impl Strategy<Value = BcrsMatrix> {
     (3usize..=max_nb)
@@ -99,7 +106,7 @@ proptest! {
         let parts = 1 + (extra_parts % (nb + 4));
         let part = arb_partition(nb, kind, parts, salt);
 
-        let (y, want, bytes) =
+        let (y, want, dense_want, bytes) =
             with_deadline(Duration::from_secs(120), move || {
                 let dm = DistributedMatrix::new(&a, &part);
                 let permuted = permute_symmetric(&a, dm.permutation());
@@ -109,13 +116,20 @@ proptest! {
                 let (y, stats) = engine.multiply(&x);
                 let mut want = MultiVec::zeros(n, m);
                 gspmv_serial(&permuted, &x, &mut want);
-                (y, want, stats.comm.total_bytes())
+                let dense_want = Dense::from_bcrs(&permuted).gspmv(&x);
+                (y, want, dense_want, stats.comm.total_bytes())
             });
-        for (u, v) in y.as_slice().iter().zip(want.as_slice()) {
-            prop_assert!(
-                (u - v).abs() <= 1e-11 * u.abs().max(v.abs()).max(1.0),
-                "{u} vs {v}"
-            );
+        // Both the serial GSPMV and the engine must sit inside the
+        // oracle envelope around the dense reference.
+        if let Err(e) = ENGINE.check_slices(
+            dense_want.as_slice(), want.as_slice(), "serial vs dense")
+        {
+            prop_assert!(false, "{}", e);
+        }
+        if let Err(e) = ENGINE.check_slices(
+            dense_want.as_slice(), y.as_slice(), "engine vs dense")
+        {
+            prop_assert!(false, "{}", e);
         }
         // bytes accounting: 8 bytes × 3m scalars per halo block row
         prop_assert_eq!(bytes % (3 * m * 8), 0);

@@ -1,0 +1,356 @@
+//! Deterministic pathological-matrix corpus.
+//!
+//! Every generator is a pure function of its seed (xorshift64*), so
+//! a corpus entry's matrix is byte-identical across runs, platforms,
+//! and thread counts — a failing differential check names an entry and
+//! the exact same matrix can be regenerated anywhere.
+//!
+//! The corpus deliberately over-represents the corners the kernels
+//! specialize on: empty block rows (chunk balancing, phase-2 slab
+//! reduction over nothing), fully dense block rows (one row dominating
+//! a chunk), 1×1 and single-block matrices (`nb < nchunks`, `nb <
+//! nthreads`), rectangular shapes, and *almost*-symmetric matrices
+//! (which the symmetric path must refuse).
+
+use mrhs_sparse::{
+    BcrsMatrix, Block3, BlockTripletBuilder, MultiVec, SymmetricBcrs,
+};
+
+/// Corpus sizing. `Small` keeps the dense references cheap enough for
+/// the default `cargo test` gate; `Large` crosses the kernels'
+/// parallel thresholds and is reserved for the scheduled release-mode
+/// run (`cargo test -p oracle --release -- --ignored`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Large,
+}
+
+/// One matrix of the corpus.
+pub struct CorpusEntry {
+    /// Stable identifier, printed in failure reports.
+    pub name: &'static str,
+    /// The matrix under test (full BCRS storage).
+    pub matrix: BcrsMatrix,
+    /// Symmetric half-storage view, when the matrix admits one. Built
+    /// by `SymmetricBcrs::from_full` at `1e-12`; entries that are
+    /// *meant* to be rejected (non-symmetric perturbations) carry
+    /// `None` and double as negative tests for the conversion.
+    pub symmetric: Option<SymmetricBcrs>,
+    /// Whether the generator intended the matrix to be symmetric (used
+    /// to assert that `from_full` accepts exactly the right entries).
+    pub intended_symmetric: bool,
+}
+
+impl CorpusEntry {
+    fn new(
+        name: &'static str,
+        matrix: BcrsMatrix,
+        intended_symmetric: bool,
+    ) -> Self {
+        let symmetric = if matrix.n_rows() == matrix.n_cols() {
+            SymmetricBcrs::from_full(&matrix, 1e-12)
+        } else {
+            None
+        };
+        CorpusEntry { name, matrix, symmetric, intended_symmetric }
+    }
+}
+
+/// xorshift64* — the corpus PRNG. Deliberately not the workspace's
+/// noise source, so corpus matrices can't drift when noise generation
+/// changes.
+#[derive(Clone)]
+pub struct SplitStream {
+    state: u64,
+}
+
+impl SplitStream {
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 finalizer, so adjacent seeds diverge immediately
+        // (a plain `seed | 1` would alias 42 and 43).
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        SplitStream { state: if z == 0 { 0x9e37_79b9 } else { z } }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[-0.5, 0.5)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    /// Uniform in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn block(&mut self) -> Block3 {
+        let mut b = [0.0; 9];
+        for v in &mut b {
+            *v = self.uniform();
+        }
+        Block3(b)
+    }
+
+    fn sym_block(&mut self) -> Block3 {
+        let mut b = self.block();
+        for i in 0..3 {
+            for j in i + 1..3 {
+                let avg = 0.5 * (b.get(i, j) + b.get(j, i));
+                *b.get_mut(i, j) = avg;
+                *b.get_mut(j, i) = avg;
+            }
+        }
+        b
+    }
+}
+
+/// Deterministic pseudo-random multivector for backend inputs —
+/// seeded per `(entry, m)` by the runner so inputs are reproducible.
+pub fn pseudo_multivec(n: usize, m: usize, seed: u64) -> MultiVec {
+    let mut rng = SplitStream::new(seed);
+    let mut v = MultiVec::zeros(n, m);
+    for x in v.as_mut_slice() {
+        *x = rng.uniform() * 4.0;
+    }
+    v
+}
+
+/// The `m` grid every backend runs at: each specialized kernel width
+/// plus off-grid values that force the generic fallback, including the
+/// `m = p±1` neighbours of several specializations.
+pub fn m_values(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Small => {
+            vec![1, 2, 3, 4, 5, 7, 8, 11, 12, 16, 17, 24, 32, 33, 42, 47, 48]
+        }
+        // Large trims the grid: the point is size, not m-coverage.
+        Scale::Large => vec![1, 4, 16, 31, 48],
+    }
+}
+
+/// Symmetric positive-definite banded matrix: `diag_shift·I` diagonal
+/// blocks plus symmetric couplings to `band` neighbours.
+fn banded_spd(nb: usize, band: usize, seed: u64) -> BcrsMatrix {
+    let mut rng = SplitStream::new(seed);
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        let mut d = rng.sym_block();
+        for k in 0..3 {
+            *d.get_mut(k, k) += 4.0 + band as f64;
+        }
+        t.add(i, i, d);
+    }
+    for i in 0..nb {
+        for off in 1..=band {
+            if i + off < nb {
+                t.add_symmetric_pair(i, i + off, rng.block() * 0.35);
+            }
+        }
+    }
+    t.build()
+}
+
+/// Unstructured random sparsity, not symmetric.
+fn irregular(
+    nb_rows: usize,
+    nb_cols: usize,
+    fills: usize,
+    seed: u64,
+) -> BcrsMatrix {
+    let mut rng = SplitStream::new(seed);
+    let mut t = BlockTripletBuilder::new(nb_rows, nb_cols);
+    for _ in 0..fills {
+        t.add(rng.below(nb_rows), rng.below(nb_cols), rng.block());
+    }
+    t.build()
+}
+
+/// Builds the corpus at the given scale. Entries are ordered
+/// cheapest-first so a corpus failure surfaces on the smallest
+/// reproducer available.
+pub fn corpus(scale: Scale) -> Vec<CorpusEntry> {
+    let (nb, band) = match scale {
+        Scale::Small => (24usize, 3usize),
+        Scale::Large => (700, 8),
+    };
+
+    let mut entries = Vec::new();
+
+    // 1×1 block matrix holding a single zero block: the smallest
+    // possible square input; exercises nb < nchunks and nb < p.
+    entries.push(CorpusEntry::new(
+        "zero_1x1",
+        BlockTripletBuilder::square(1).build(),
+        true,
+    ));
+
+    // 1×1 with one symmetric block.
+    let mut t = BlockTripletBuilder::square(1);
+    t.add(0, 0, SplitStream::new(101).sym_block() + Block3::scaled_identity(3.0));
+    entries.push(CorpusEntry::new("single_block_1x1", t.build(), true));
+
+    // Diagonal-only matrix: the symmetric path's upper CSR is empty,
+    // so phase 2 reduces over zero slabs.
+    let mut t = BlockTripletBuilder::square(7);
+    let mut rng = SplitStream::new(202);
+    for i in 0..7 {
+        t.add(i, i, rng.sym_block() + Block3::scaled_identity(2.0));
+    }
+    entries.push(CorpusEntry::new("diag_only", t.build(), true));
+
+    // Empty rows: rows 0, 2, 5 of an 8-row matrix have no blocks at
+    // all (not even a diagonal). Weighted chunking must not starve or
+    // double-count them.
+    let mut t = BlockTripletBuilder::square(8);
+    let mut rng = SplitStream::new(303);
+    for &i in &[1usize, 3, 4, 6, 7] {
+        t.add(i, i, rng.sym_block() + Block3::scaled_identity(2.0));
+    }
+    t.add_symmetric_pair(1, 4, rng.block() * 0.25);
+    t.add_symmetric_pair(3, 7, rng.block() * 0.25);
+    entries.push(CorpusEntry::new("empty_rows", t.build(), true));
+
+    // One fully dense block row (and column, to stay symmetric): row 0
+    // couples to everything. A single row dominates every chunking.
+    let dense_nb = match scale {
+        Scale::Small => 12,
+        Scale::Large => 160,
+    };
+    let mut t = BlockTripletBuilder::square(dense_nb);
+    let mut rng = SplitStream::new(404);
+    for i in 0..dense_nb {
+        t.add(
+            i,
+            i,
+            rng.sym_block() + Block3::scaled_identity(3.0 + dense_nb as f64 * 0.5),
+        );
+    }
+    for j in 1..dense_nb {
+        t.add_symmetric_pair(0, j, rng.block() * 0.3);
+    }
+    entries.push(CorpusEntry::new("dense_block_row", t.build(), true));
+
+    // nb = 2 (< any realistic thread/partition count).
+    entries.push(CorpusEntry::new("tiny_nb2", banded_spd(2, 1, 505), true));
+
+    // The structured SPD banded workhorse.
+    entries.push(CorpusEntry::new("banded_spd", banded_spd(nb, band, 606), true));
+
+    // Non-symmetric perturbation of the same banded SPD matrix: one
+    // off-diagonal scalar nudged by 1e-3. `from_full` must refuse it.
+    let sym = banded_spd(nb, band, 606);
+    let mut t = BlockTripletBuilder::square(nb);
+    for bi in 0..nb {
+        let (cols, blocks) = sym.block_row(bi);
+        for (c, b) in cols.iter().zip(blocks) {
+            t.add(bi, *c as usize, *b);
+        }
+    }
+    let mut nudge = Block3::ZERO;
+    *nudge.get_mut(0, 1) = 1e-3;
+    t.add(0, 1.min(nb - 1), nudge);
+    entries.push(CorpusEntry::new("nonsym_perturbed", t.build(), false));
+
+    // Same construction with a perturbation *below* the conversion
+    // tolerance in the opposite direction: must still be accepted when
+    // callers pass the documented symmetry_tol (checked separately in
+    // tests; here it's rejected at the corpus's strict 1e-12).
+    let mut nudge = Block3::ZERO;
+    *nudge.get_mut(2, 0) = 1e-9;
+    let mut t = BlockTripletBuilder::square(nb);
+    for bi in 0..nb {
+        let (cols, blocks) = sym.block_row(bi);
+        for (c, b) in cols.iter().zip(blocks) {
+            t.add(bi, *c as usize, *b);
+        }
+    }
+    t.add(nb - 1, nb.saturating_sub(2), nudge);
+    entries.push(CorpusEntry::new("nonsym_tiny_perturbed", t.build(), false));
+
+    // Unstructured, non-symmetric, square.
+    entries.push(CorpusEntry::new(
+        "irregular_random",
+        irregular(nb, nb, nb * 4, 707),
+        false,
+    ));
+
+    // Rectangular: GSPMV on full storage only.
+    entries.push(CorpusEntry::new("rect_wide", irregular(5, 9, 17, 808), false));
+    entries.push(CorpusEntry::new("rect_tall", irregular(9, 5, 17, 909), false));
+
+    if scale == Scale::Large {
+        // Big enough to clear PARALLEL_THRESHOLD (16384 stored blocks)
+        // in both storage formats: 700 rows × ~17 blocks/row.
+        entries.push(CorpusEntry::new(
+            "banded_spd_over_threshold",
+            banded_spd(1100, 8, 1010),
+            true,
+        ));
+    }
+
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus(Scale::Small);
+        let b = corpus(Scale::Small);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.matrix.to_dense(), y.matrix.to_dense());
+        }
+    }
+
+    #[test]
+    fn symmetric_conversion_matches_intent() {
+        for e in corpus(Scale::Small) {
+            let square = e.matrix.n_rows() == e.matrix.n_cols();
+            assert_eq!(
+                e.symmetric.is_some(),
+                e.intended_symmetric && square,
+                "entry {}: from_full acceptance disagrees with intent",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_covers_pathologies() {
+        let names: Vec<&str> =
+            corpus(Scale::Small).iter().map(|e| e.name).collect();
+        for required in [
+            "zero_1x1",
+            "empty_rows",
+            "dense_block_row",
+            "tiny_nb2",
+            "nonsym_perturbed",
+            "rect_wide",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn pseudo_multivec_reproducible() {
+        let a = pseudo_multivec(30, 4, 42);
+        let b = pseudo_multivec(30, 4, 42);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let c = pseudo_multivec(30, 4, 43);
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+}

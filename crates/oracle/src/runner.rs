@@ -1,0 +1,148 @@
+//! The differential runner: every backend × every corpus entry ×
+//! every `m`, against the dense reference, under one tolerance model.
+//!
+//! For each `(entry, m)` cell the runner:
+//!
+//! 1. expands the entry to a [`Dense`] reference and computes the
+//!    reference product with naive triple loops;
+//! 2. cross-checks the symmetric half-storage expansion against the
+//!    full expansion **exactly** (they are assembled independently, so
+//!    any difference is a conversion bug, not roundoff);
+//! 3. runs every supporting backend, checking (a) tolerance agreement
+//!    with the reference, (b) bitwise equality across two repeated
+//!    runs of the same backend, and (c) bitwise equality inside each
+//!    declared equivalence group.
+//!
+//! Failures are collected, not panicked, so one run reports every
+//! disagreement in the matrix of backends at once.
+
+use crate::backends::GspmvBackend;
+use crate::corpus::{pseudo_multivec, CorpusEntry, Scale};
+use crate::reference::Dense;
+use crate::tolerance::{check_bitwise, TolModel};
+use std::collections::HashMap;
+
+/// Outcome of a differential sweep.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of individual comparisons performed.
+    pub checks: usize,
+    /// Human-readable description of every failed comparison.
+    pub failures: Vec<String>,
+}
+
+impl Report {
+    /// Panics with the full failure list if anything disagreed.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.failures.is_empty(),
+            "{} of {} differential checks failed:\n{}",
+            self.failures.len(),
+            self.checks,
+            self.failures.join("\n")
+        );
+    }
+}
+
+/// Runs the full differential: `backends × corpus(scale) × m_values`.
+pub fn run_differential(
+    backends: &[Box<dyn GspmvBackend>],
+    entries: &[CorpusEntry],
+    ms: &[usize],
+    tol: &TolModel,
+) -> Report {
+    let mut report = Report::default();
+
+    for (ei, entry) in entries.iter().enumerate() {
+        let dense = Dense::from_bcrs(&entry.matrix);
+
+        // Independent expansion of the half storage must match the
+        // full expansion bit for bit: both copy the same stored
+        // scalars, no arithmetic involved.
+        if let Some(s) = &entry.symmetric {
+            let dense_sym = Dense::from_symmetric(s);
+            report.checks += 1;
+            if let Err(e) = check_bitwise(
+                &dense.data,
+                &dense_sym.data,
+                &format!("{}: symmetric expansion", entry.name),
+            ) {
+                report.failures.push(e);
+            }
+        }
+
+        for (mi, &m) in ms.iter().enumerate() {
+            let x = pseudo_multivec(
+                entry.matrix.n_cols(),
+                m,
+                0x9e37_79b9 ^ ((ei as u64) << 32) ^ mi as u64,
+            );
+            let want = dense.gspmv(&x);
+
+            // name → (group key, output) for the group check below.
+            let mut group_outputs: HashMap<String, (String, Vec<f64>)> =
+                HashMap::new();
+
+            for backend in backends {
+                if !backend.supports(entry) || !backend.wants_m(m) {
+                    continue;
+                }
+                let ctx = format!("{} m={} {}", entry.name, m, backend.name());
+
+                let y = backend.run(entry, &x);
+                report.checks += 1;
+                if let Err(e) =
+                    tol.check_slices(want.as_slice(), y.as_slice(), &ctx)
+                {
+                    report.failures.push(e);
+                }
+
+                // Determinism: a second run must be bit-identical.
+                let y2 = backend.run(entry, &x);
+                report.checks += 1;
+                if let Err(e) = check_bitwise(
+                    y.as_slice(),
+                    y2.as_slice(),
+                    &format!("{ctx}: repeated run"),
+                ) {
+                    report.failures.push(e);
+                }
+
+                if let Some(group) = backend.bitwise_group() {
+                    match group_outputs.get(&group) {
+                        None => {
+                            group_outputs.insert(
+                                group.clone(),
+                                (backend.name(), y.as_slice().to_vec()),
+                            );
+                        }
+                        Some((first_name, first)) => {
+                            report.checks += 1;
+                            if let Err(e) = check_bitwise(
+                                first,
+                                y.as_slice(),
+                                &format!(
+                                    "{ctx}: bitwise group `{group}` vs {first_name}"
+                                ),
+                            ) {
+                                report.failures.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// Convenience wrapper: standard backends over the standard corpus.
+pub fn run_standard(scale: Scale) -> Report {
+    run_differential(
+        &crate::backends::standard_backends(),
+        &crate::corpus::corpus(scale),
+        &crate::corpus::m_values(scale),
+        &TolModel::KERNEL,
+    )
+}

@@ -1,0 +1,171 @@
+//! The single tolerance model every differential check uses.
+//!
+//! Two kinds of comparison appear in the harness:
+//!
+//! * **Tolerance** ([`TolModel`]) — for results computed along
+//!   different floating-point summation orders (reference vs. kernel,
+//!   serial vs. chunked symmetric). A pair passes when it is within a
+//!   relative bound *or* within a small ULP distance (the ULP clause
+//!   keeps tiny near-cancelled values from failing a purely relative
+//!   test).
+//! * **Bitwise** ([`assert_bitwise`]) — for results the kernels
+//!   *guarantee* identical: repeated runs of any backend, full-storage
+//!   chunked vs. serial, and the symmetric driver across pool widths.
+
+/// Distance in units-in-the-last-place between two doubles, saturating
+/// at `u64::MAX` for NaNs or differing signs on non-zero values.
+pub fn ulp_diff(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0; // covers +0.0 vs -0.0
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    // Map to a monotone unsigned line: negatives fold below positives.
+    fn ordered(x: f64) -> u64 {
+        let b = x.to_bits();
+        if b >> 63 == 0 {
+            b | 0x8000_0000_0000_0000
+        } else {
+            !b
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// Relative/ULP acceptance model.
+#[derive(Clone, Copy, Debug)]
+pub struct TolModel {
+    /// Relative bound: `|want − got| ≤ rel · max(|want|, |got|, floor)`.
+    pub rel: f64,
+    /// Scale floor of the relative clause, so residual-level noise
+    /// around zero is judged on an absolute scale.
+    pub floor: f64,
+    /// Accept regardless of `rel` when within this many ULPs.
+    pub max_ulps: u64,
+}
+
+impl TolModel {
+    /// Kernel-level agreement: same math, different summation order.
+    pub const KERNEL: TolModel = TolModel { rel: 1e-12, floor: 1.0, max_ulps: 64 };
+
+    /// Solver-level agreement: iterative results compared against a
+    /// direct reference, limited by the solve tolerance.
+    pub const SOLVER: TolModel = TolModel { rel: 1e-6, floor: 1.0, max_ulps: 64 };
+
+    /// Whether the pair is acceptable under this model.
+    pub fn accepts(&self, want: f64, got: f64) -> bool {
+        if ulp_diff(want, got) <= self.max_ulps {
+            return true;
+        }
+        let scale = want.abs().max(got.abs()).max(self.floor);
+        (want - got).abs() <= self.rel * scale
+    }
+
+    /// Checks two slices elementwise; the error describes the first and
+    /// worst offenders.
+    pub fn check_slices(
+        &self,
+        want: &[f64],
+        got: &[f64],
+        context: &str,
+    ) -> Result<(), String> {
+        if want.len() != got.len() {
+            return Err(format!(
+                "{context}: length mismatch {} vs {}",
+                want.len(),
+                got.len()
+            ));
+        }
+        let mut worst: Option<(usize, f64)> = None;
+        let mut bad = 0usize;
+        for (i, (w, g)) in want.iter().zip(got).enumerate() {
+            if !self.accepts(*w, *g) {
+                bad += 1;
+                let err = (w - g).abs();
+                if worst.is_none_or(|(_, e)| err > e) {
+                    worst = Some((i, err));
+                }
+            }
+        }
+        match worst {
+            None => Ok(()),
+            Some((i, _)) => Err(format!(
+                "{context}: {bad}/{} elements outside tol (rel {:.1e}); \
+                 worst at [{i}]: want {} got {}",
+                want.len(),
+                self.rel,
+                want[i],
+                got[i],
+            )),
+        }
+    }
+}
+
+/// Asserts two slices are bitwise identical (`to_bits` equality, so
+/// `-0.0 ≠ +0.0` and NaNs compare by payload). Returns an error naming
+/// the first differing index instead of panicking, so the runner can
+/// aggregate.
+pub fn check_bitwise(a: &[f64], b: &[f64], context: &str) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("{context}: length {} vs {}", a.len(), b.len()));
+    }
+    for (i, (u, v)) in a.iter().zip(b).enumerate() {
+        if u.to_bits() != v.to_bits() {
+            return Err(format!(
+                "{context}: bit mismatch at [{i}]: {u:?} ({:#018x}) vs \
+                 {v:?} ({:#018x})",
+                u.to_bits(),
+                v.to_bits(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`check_bitwise`] for direct use in tests.
+pub fn assert_bitwise(a: &[f64], b: &[f64], context: &str) {
+    if let Err(e) = check_bitwise(a, b, context) {
+        panic!("{e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(f64::NAN, 1.0), u64::MAX);
+        // Across zero: huge but defined.
+        assert!(ulp_diff(-1e-300, 1e-300) > 1_000_000);
+    }
+
+    #[test]
+    fn kernel_model_accepts_reassociation_noise() {
+        let t = TolModel::KERNEL;
+        assert!(t.accepts(1.0, 1.0 + 1e-13));
+        assert!(t.accepts(1e9, 1e9 * (1.0 + 1e-13)));
+        assert!(t.accepts(1e-17, -1e-17)); // sub-floor noise
+        assert!(!t.accepts(1.0, 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn check_slices_reports_worst() {
+        let t = TolModel::KERNEL;
+        let want = [1.0, 2.0, 3.0];
+        let got = [1.0, 2.5, 3.0];
+        let err = t.check_slices(&want, &got, "ctx").unwrap_err();
+        assert!(err.contains("[1]"), "{err}");
+        assert!(t.check_slices(&want, &want, "ctx").is_ok());
+    }
+
+    #[test]
+    fn bitwise_distinguishes_signed_zero() {
+        assert!(check_bitwise(&[0.0], &[-0.0], "z").is_err());
+        assert!(check_bitwise(&[1.5, -2.0], &[1.5, -2.0], "ok").is_ok());
+    }
+}

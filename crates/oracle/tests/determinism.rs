@@ -1,0 +1,169 @@
+//! Bitwise-determinism regression tests (ISSUE satellite 2).
+//!
+//! The contract these tests pin down:
+//!
+//! * **Full storage**: chunking never changes the bits. Every output
+//!   row is accumulated entirely within one chunk in the fixed per-row
+//!   block order, so `gspmv_chunked` at ANY chunk count is bit-
+//!   identical to `gspmv_serial`, and the auto driver `gspmv` is too —
+//!   whatever `RAYON_NUM_THREADS` says.
+//! * **Symmetric storage**: bits depend only on the *chunk
+//!   boundaries* (the slab reduction groups transpose partial sums by
+//!   chunk), never on thread interleaving. The pool execution of a
+//!   given chunk count must match the pool-free sequential execution
+//!   of the same schedule bit for bit, and the auto driver must equal
+//!   the matrix-determined canonical chunk count.
+//!
+//! The matrices here are sized past `PARALLEL_THRESHOLD` (2^14 stored
+//! blocks) in both storage formats so the auto drivers genuinely take
+//! their parallel paths; the cluster watchdog converts any deadlock
+//! into a test failure instead of a hang.
+//!
+//! These cover in-process chunk-count variation; the CI matrix re-runs
+//! the suite under several `RAYON_NUM_THREADS` values for cross-process
+//! pool-width coverage.
+
+use mrhs_cluster::watchdog::with_deadline;
+use mrhs_sparse::{
+    gspmv, gspmv_chunked, gspmv_serial, Block3, BlockTripletBuilder, MultiVec,
+    SymmetricBcrs,
+};
+use std::time::Duration;
+
+/// Deterministic banded SPD matrix with `nb` block rows and `band`
+/// symmetric neighbour couplings — no RNG, so the test is self-
+/// contained and reproducible by inspection.
+fn banded(nb: usize, band: usize) -> mrhs_sparse::BcrsMatrix {
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        let mut d = Block3::scaled_identity(5.0 + band as f64);
+        *d.get_mut(0, 1) = 0.25;
+        *d.get_mut(1, 0) = 0.25;
+        t.add(i, i, d);
+        for off in 1..=band {
+            if i + off < nb {
+                let w = -1.0 / (1.0 + off as f64 + (i % 7) as f64 * 0.125);
+                let mut b = Block3::scaled_identity(w);
+                *b.get_mut(0, 2) = w * 0.5;
+                t.add_symmetric_pair(i, i + off, b);
+            }
+        }
+    }
+    t.build()
+}
+
+fn inputs(n: usize, m: usize) -> MultiVec {
+    let mut x = MultiVec::zeros(n, m);
+    for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+        // Irrational stride keeps values non-repeating without an RNG.
+        *v = ((i as f64) * 0.618_033_988_749_894_8).fract() * 4.0 - 2.0;
+    }
+    x
+}
+
+fn assert_bits(a: &MultiVec, b: &MultiVec, ctx: &str) {
+    oracle::tolerance::assert_bitwise(a.as_slice(), b.as_slice(), ctx);
+}
+
+#[test]
+fn full_storage_bits_are_chunk_invariant() {
+    with_deadline(Duration::from_secs(120), || {
+        // 2400 × 13 ≈ 31k stored blocks — well past the threshold.
+        let a = banded(2400, 6);
+        assert!(a.nnz_blocks() >= 1 << 14, "matrix must cross the threshold");
+        for m in [1usize, 3, 16] {
+            let x = inputs(a.n_cols(), m);
+            let mut serial = MultiVec::zeros(a.n_rows(), m);
+            gspmv_serial(&a, &x, &mut serial);
+
+            let mut auto = MultiVec::zeros(a.n_rows(), m);
+            gspmv(&a, &x, &mut auto);
+            assert_bits(&serial, &auto, &format!("auto vs serial m={m}"));
+
+            for nchunks in [1usize, 2, 4, 8, 64] {
+                let mut y = MultiVec::zeros(a.n_rows(), m);
+                gspmv_chunked(&a, &x, &mut y, nchunks);
+                assert_bits(
+                    &serial,
+                    &y,
+                    &format!("chunked({nchunks}) vs serial m={m}"),
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn symmetric_storage_bits_depend_only_on_chunk_boundaries() {
+    with_deadline(Duration::from_secs(120), || {
+        let a = banded(2400, 6);
+        let s = SymmetricBcrs::from_full(&a, 1e-12).expect("symmetric");
+        // diag + upper ≈ 2400·7 stored blocks — past the threshold.
+        assert!(s.stored_blocks() >= 1 << 14);
+
+        for m in [1usize, 4, 16] {
+            let x = inputs(s.n_rows(), m);
+
+            // Pool execution ≡ pool-free execution of the same chunk
+            // schedule: thread interleaving cannot move a bit.
+            for nchunks in [1usize, 2, 4, 8] {
+                let mut pool = MultiVec::zeros(s.n_rows(), m);
+                s.gspmv_chunked(&x, &mut pool, nchunks);
+                let mut seq = MultiVec::zeros(s.n_rows(), m);
+                s.gspmv_chunked_sequential(&x, &mut seq, nchunks);
+                assert_bits(
+                    &pool,
+                    &seq,
+                    &format!("sym pool vs sequential nchunks={nchunks} m={m}"),
+                );
+
+                // And repeated pool runs are stable.
+                let mut again = MultiVec::zeros(s.n_rows(), m);
+                s.gspmv_chunked(&x, &mut again, nchunks);
+                assert_bits(
+                    &pool,
+                    &again,
+                    &format!("sym repeated run nchunks={nchunks} m={m}"),
+                );
+            }
+
+            // The auto driver pins itself to the canonical (matrix-
+            // determined) chunk count — this is exactly the fix for
+            // the pool-width-dependent output the old driver had.
+            let canonical = s.canonical_chunk_count();
+            let mut auto = MultiVec::zeros(s.n_rows(), m);
+            s.gspmv_parallel(&x, &mut auto);
+            let mut pinned = MultiVec::zeros(s.n_rows(), m);
+            s.gspmv_chunked(&x, &mut pinned, canonical);
+            assert_bits(
+                &auto,
+                &pinned,
+                &format!("sym auto vs canonical({canonical}) m={m}"),
+            );
+        }
+    });
+}
+
+/// Below the parallel threshold the auto drivers take the serial path;
+/// their output must be identical to the serial kernels (matrix-only
+/// decision — still no pool-width dependence).
+#[test]
+fn small_matrices_take_identical_serial_path() {
+    with_deadline(Duration::from_secs(60), || {
+        let a = banded(40, 2);
+        let s = SymmetricBcrs::from_full(&a, 1e-12).expect("symmetric");
+        let x = inputs(a.n_cols(), 8);
+
+        let mut serial = MultiVec::zeros(a.n_rows(), 8);
+        gspmv_serial(&a, &x, &mut serial);
+        let mut auto = MultiVec::zeros(a.n_rows(), 8);
+        gspmv(&a, &x, &mut auto);
+        assert_bits(&serial, &auto, "full auto below threshold");
+
+        let mut sym_serial = MultiVec::zeros(s.n_rows(), 8);
+        s.gspmv(&x, &mut sym_serial);
+        let mut sym_auto = MultiVec::zeros(s.n_rows(), 8);
+        s.gspmv_parallel(&x, &mut sym_auto);
+        assert_bits(&sym_serial, &sym_auto, "sym auto below threshold");
+    });
+}

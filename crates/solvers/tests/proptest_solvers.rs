@@ -2,12 +2,19 @@
 //! problems: convergence contracts, block/single agreement, direct vs
 //! iterative agreement, and spectral-approximation invariants.
 
+//! Direct solves and block solves are additionally differenced against
+//! the `oracle` crate's naive references (Gaussian elimination, Jacobi
+//! eigensolver) so the production Cholesky/LU/Chebyshev paths are
+//! pinned by an implementation they share no code with.
+
 use mrhs_solvers::dense;
 use mrhs_solvers::{
     block_cg, cg, spectral_bounds, ChebyshevSqrt, DenseCholesky, DenseOperator,
     LinearOperator, SolveConfig,
 };
 use mrhs_sparse::MultiVec;
+use oracle::reference::{gauss_solve, gauss_solve_multi, sqrt_matvec_eigh};
+use oracle::{Dense, TolModel};
 use proptest::prelude::*;
 
 /// Strategy: a random dense SPD matrix `A = Bᵀ·B + d·I` of dimension `n`.
@@ -63,9 +70,19 @@ proptest! {
         prop_assert!(res.converged, "{res:?}");
         let mut want = b.clone();
         chol.solve_multi_in_place(&mut want);
-        let scale = want.max_abs().max(1.0);
-        for (u, v) in x.as_slice().iter().zip(want.as_slice()) {
-            prop_assert!((u - v).abs() <= 1e-6 * scale, "{u} vs {v}");
+        // Third, fully independent reference: the oracle's Gaussian
+        // elimination must agree with Cholesky *and* with block CG.
+        let dense_a = Dense { n_rows: n, n_cols: n, data: a.clone() };
+        let gauss = gauss_solve_multi(&dense_a, &b).expect("SPD");
+        if let Err(e) = TolModel::SOLVER.check_slices(
+            gauss.as_slice(), want.as_slice(), "cholesky vs gauss")
+        {
+            prop_assert!(false, "{}", e);
+        }
+        if let Err(e) = TolModel::SOLVER.check_slices(
+            gauss.as_slice(), x.as_slice(), "block_cg vs gauss")
+        {
+            prop_assert!(false, "{}", e);
         }
     }
 
@@ -102,6 +119,13 @@ proptest! {
         let scale = x_true.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
         for (u, v) in x.iter().zip(&x_true) {
             prop_assert!((u - v).abs() <= 1e-7 * scale);
+        }
+        // The production LU and the oracle's partial-pivot elimination
+        // must land on the same solution.
+        let dense_a = Dense { n_rows: n, n_cols: n, data: a.clone() };
+        let gauss = gauss_solve(&dense_a, &b).expect("nonsingular");
+        if let Err(e) = TolModel::SOLVER.check_slices(&gauss, &x, "lu vs gauss") {
+            prop_assert!(false, "{}", e);
         }
     }
 
@@ -153,6 +177,15 @@ proptest! {
         let scale = az.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
         for (u, v) in s2.iter().zip(&az) {
             prop_assert!((u - v).abs() <= 2e-3 * scale, "{u} vs {v}");
+        }
+        // The single application must also track the oracle's exact
+        // eigendecomposition square root, not merely square correctly.
+        let dense_a = Dense { n_rows: n, n_cols: n, data: a.clone() };
+        let want = sqrt_matvec_eigh(&dense_a, &z);
+        let sqrt_scale = want.iter().fold(1.0f64, |acc, v| acc.max(v.abs()));
+        for (u, v) in s1.iter().zip(&want) {
+            prop_assert!((u - v).abs() <= 2e-3 * sqrt_scale,
+                "cheb {u} vs eigh sqrt {v}");
         }
     }
 }

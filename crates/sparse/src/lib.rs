@@ -21,8 +21,9 @@
 //!   drivers that apply each stored block twice (`B` forward, `Bᵀ` down).
 //!   The parallel driver gives each row chunk a private slab for its
 //!   out-of-chunk transpose contributions and reduces them in a second
-//!   disjoint pass — no atomics, no locks, bitwise-deterministic per
-//!   thread count.
+//!   disjoint pass — no atomics, no locks, and (because the chunking is
+//!   derived from the matrix, not the pool) bitwise-deterministic
+//!   across thread counts.
 //! * [`partition`] — coordinate-based row partitioning (§IV-A2) and a
 //!   recursive-coordinate-bisection comparator, used by the distributed
 //!   GSPMV simulator.
@@ -46,7 +47,7 @@ pub mod triplet;
 pub use bcrs::BcrsMatrix;
 pub use block::Block3;
 pub use csr::CsrMatrix;
-pub use gspmv::{gspmv, gspmv_serial, spmv, spmv_serial};
+pub use gspmv::{gspmv, gspmv_chunked, gspmv_serial, spmv, spmv_serial};
 pub use multivec::MultiVec;
 pub use stats::MatrixStats;
 pub use symmetric::SymmetricBcrs;

@@ -25,6 +25,17 @@
 //! the full-storage kernels, and the auto driver falls back to the
 //! serial kernel below the same stored-block threshold as `gspmv()`.
 //!
+//! **Determinism.** The floating-point summation order — and therefore
+//! the exact bits of `Y` — depends only on the chunk boundaries, never
+//! on which thread runs which chunk (windows are disjoint and each
+//! window adds the slabs in fixed chunk-ascending order). The auto
+//! driver [`SymmetricBcrs::gspmv_parallel`] therefore derives its chunk
+//! count from the *matrix* ([`SymmetricBcrs::canonical_chunk_count`]),
+//! not from the pool width, so its output is bitwise identical across
+//! thread counts and repeated runs. (Earlier revisions chunked by
+//! `rayon::current_num_threads()`, which silently changed the rounding
+//! with `RAYON_NUM_THREADS` — the oracle harness now pins this down.)
+//!
 //! [`SPECIALIZED_M`]: crate::gspmv::SPECIALIZED_M
 
 use crate::bcrs::BcrsMatrix;
@@ -132,16 +143,17 @@ impl SymmetricBcrs {
     }
 
     /// `y = A·x` on slices, parallel when worthwhile (the `m = 1`
-    /// instantiation of the threaded driver).
+    /// instantiation of the chunked driver). Like
+    /// [`Self::gspmv_parallel`], the result is bitwise independent of
+    /// the pool width.
     pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nb * BLOCK_DIM);
         assert_eq!(y.len(), self.nb * BLOCK_DIM);
-        let nthreads = rayon::current_num_threads();
-        if nthreads <= 1 || self.stored_blocks() < PARALLEL_THRESHOLD {
+        if self.stored_blocks() < PARALLEL_THRESHOLD {
             self.spmv(x, y);
             return;
         }
-        self.run_threaded(x, y, 1, nthreads);
+        self.run_chunked(x, y, 1, self.canonical_chunk_count(), false);
     }
 
     /// `Y = A·X` on row-major multivectors using symmetric storage
@@ -163,34 +175,91 @@ impl SymmetricBcrs {
         );
     }
 
-    /// Parallel `Y = A·X`: auto thread count with the same serial
-    /// fallback threshold as the full-storage [`crate::gspmv::gspmv`].
+    /// Parallel `Y = A·X` with the same serial fallback threshold as
+    /// the full-storage [`crate::gspmv::gspmv`].
+    ///
+    /// Both the fallback decision and the chunk count are pure
+    /// functions of the matrix, so the output is **bitwise identical**
+    /// across pool widths (`RAYON_NUM_THREADS` = 1, 2, 4, 8, …) and
+    /// across repeated runs.
     pub fn gspmv_parallel(&self, x: &MultiVec, y: &mut MultiVec) {
-        let nthreads = rayon::current_num_threads();
-        if nthreads <= 1 || self.stored_blocks() < PARALLEL_THRESHOLD {
+        if self.stored_blocks() < PARALLEL_THRESHOLD {
             self.gspmv(x, y);
             return;
         }
-        self.gspmv_threaded(x, y, nthreads);
+        self.gspmv_chunked(x, y, self.canonical_chunk_count());
     }
 
-    /// Parallel `Y = A·X` with an explicit chunk/thread count — the
-    /// deterministic entry point correctness tests use to exercise the
-    /// slab-and-reduce machinery regardless of pool width.
-    pub fn gspmv_threaded(&self, x: &MultiVec, y: &mut MultiVec, nthreads: usize) {
+    /// The chunk count [`Self::gspmv_parallel`] uses above the serial
+    /// threshold: a function of the stored-block count only, never of
+    /// the pool width, so the parallel summation order is reproducible.
+    pub fn canonical_chunk_count(&self) -> usize {
+        self.stored_blocks().div_ceil(CHUNK_GRAIN).clamp(1, MAX_CHUNKS)
+    }
+
+    /// Parallel `Y = A·X` with an explicit chunk count — the entry
+    /// point tests use to exercise the slab-and-reduce machinery for
+    /// arbitrary chunkings. For a fixed `nchunks` the output is bitwise
+    /// deterministic; *different* chunk counts round differently (they
+    /// regroup the transpose-slab partial sums) and agree only within
+    /// the kernel tolerance.
+    pub fn gspmv_chunked(&self, x: &MultiVec, y: &mut MultiVec, nchunks: usize) {
         let m = x.m();
         assert_eq!(x.n(), self.nb * BLOCK_DIM);
         assert_eq!(y.shape(), x.shape());
-        if nthreads <= 1 || self.nb == 0 {
+        if nchunks <= 1 || self.nb == 0 {
             self.gspmv(x, y);
             return;
         }
-        self.run_threaded(x.as_slice(), y.as_mut_slice(), m, nthreads);
+        self.run_chunked(x.as_slice(), y.as_mut_slice(), m, nchunks, false);
     }
 
-    /// Two-phase threaded driver on raw row-major storage.
-    fn run_threaded(&self, xs: &[f64], ys: &mut [f64], m: usize, nthreads: usize) {
-        let chunks = self.balanced_row_chunks(nthreads);
+    /// Pool-free execution of the *identical* chunk schedule as
+    /// [`Self::gspmv_chunked`]: phase-1 jobs in chunk order, then
+    /// phase-2 jobs in chunk order, all on the calling thread. Exists
+    /// so the oracle harness can prove the parallel result depends only
+    /// on the chunking, not on execution interleaving — the two must
+    /// match bitwise for every `nchunks`.
+    pub fn gspmv_chunked_sequential(
+        &self,
+        x: &MultiVec,
+        y: &mut MultiVec,
+        nchunks: usize,
+    ) {
+        let m = x.m();
+        assert_eq!(x.n(), self.nb * BLOCK_DIM);
+        assert_eq!(y.shape(), x.shape());
+        if nchunks <= 1 || self.nb == 0 {
+            self.gspmv(x, y);
+            return;
+        }
+        self.run_chunked(x.as_slice(), y.as_mut_slice(), m, nchunks, true);
+    }
+
+    /// Diagonal blocks, one per block row (read-only view for reference
+    /// implementations).
+    pub fn diag_blocks(&self) -> &[Block3] {
+        &self.diag
+    }
+
+    /// CSR structure of the strictly-upper blocks:
+    /// `(row_ptr, col_idx, blocks)`.
+    pub fn upper_parts(&self) -> (&[usize], &[u32], &[Block3]) {
+        (&self.row_ptr, &self.col_idx, &self.blocks)
+    }
+
+    /// Two-phase chunked driver on raw row-major storage. With
+    /// `sequential` the jobs run in chunk order on the calling thread
+    /// instead of the pool; the values are identical either way.
+    fn run_chunked(
+        &self,
+        xs: &[f64],
+        ys: &mut [f64],
+        m: usize,
+        nchunks: usize,
+        sequential: bool,
+    ) {
+        let chunks = self.balanced_row_chunks(nchunks);
         // Phase 1: compute. Each chunk owns a disjoint window of Y plus
         // a private slab for the rows below it.
         let mut slabs: Vec<Vec<f64>> = chunks
@@ -207,15 +276,21 @@ impl SymmetricBcrs {
                 jobs.push((r.clone(), window, slab));
                 rest = tail;
             }
-            rayon::scope(|s| {
+            if sequential {
                 for (rows, window, slab) in jobs {
-                    s.spawn(move |_| {
-                        dispatch_sym_rows(
-                            self, xs, window, slab, rows.end, m, rows,
-                        );
-                    });
+                    dispatch_sym_rows(self, xs, window, slab, rows.end, m, rows);
                 }
-            });
+            } else {
+                rayon::scope(|s| {
+                    for (rows, window, slab) in jobs {
+                        s.spawn(move |_| {
+                            dispatch_sym_rows(
+                                self, xs, window, slab, rows.end, m, rows,
+                            );
+                        });
+                    }
+                });
+            }
         }
         // Phase 2: reduce. Re-deal the same disjoint windows; each adds
         // every slab's overlap with its rows. Slab `t` covers rows
@@ -232,26 +307,34 @@ impl SymmetricBcrs {
             jobs.push((r.clone(), window));
             rest = tail;
         }
-        rayon::scope(|s| {
-            for (rows, window) in jobs {
-                s.spawn(move |_| {
-                    for (src_rows, slab) in chunks_ref.iter().zip(slabs) {
-                        let base = src_rows.end;
-                        if base >= rows.end {
-                            continue;
-                        }
-                        // Overlap of [base, nb) with this window's rows.
-                        let lo = rows.start.max(base);
-                        let src = &slab[(lo - base) * BLOCK_DIM * m
-                            ..(rows.end - base) * BLOCK_DIM * m];
-                        let dst = &mut window[(lo - rows.start) * BLOCK_DIM * m..];
-                        for (d, s) in dst.iter_mut().zip(src) {
-                            *d += s;
-                        }
-                    }
-                });
+        let reduce = |rows: Range<usize>, window: &mut [f64]| {
+            for (src_rows, slab) in chunks_ref.iter().zip(slabs) {
+                let base = src_rows.end;
+                if base >= rows.end {
+                    continue;
+                }
+                // Overlap of [base, nb) with this window's rows.
+                let lo = rows.start.max(base);
+                let src = &slab[(lo - base) * BLOCK_DIM * m
+                    ..(rows.end - base) * BLOCK_DIM * m];
+                let dst = &mut window[(lo - rows.start) * BLOCK_DIM * m..];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
             }
-        });
+        };
+        if sequential {
+            for (rows, window) in jobs {
+                reduce(rows, window);
+            }
+        } else {
+            let reduce = &reduce;
+            rayon::scope(|s| {
+                for (rows, window) in jobs {
+                    s.spawn(move |_| reduce(rows, window));
+                }
+            });
+        }
     }
 
     /// Splits the block rows into at most `nchunks` contiguous ranges of
@@ -288,6 +371,15 @@ impl SymmetricBcrs {
 /// Stored-block count below which the auto drivers stay serial —
 /// mirrors the threshold in [`crate::gspmv::gspmv`].
 const PARALLEL_THRESHOLD: usize = 1 << 14;
+
+/// Stored blocks per chunk targeted by
+/// [`SymmetricBcrs::canonical_chunk_count`]. At the serial threshold
+/// this yields 8 chunks, enough to keep small pools busy.
+const CHUNK_GRAIN: usize = 1 << 11;
+
+/// Upper bound on the canonical chunk count (slab memory scales with
+/// the chunk count, so it is capped rather than scaling with the pool).
+const MAX_CHUNKS: usize = 64;
 
 /// Row-range symmetric kernel dispatch, monomorphized over the same
 /// specialized sizes as [`crate::gspmv::SPECIALIZED_M`].
@@ -602,7 +694,7 @@ mod tests {
             for nthreads in [2usize, 3, 5] {
                 let x = pseudo_multivec(n, m, 29 + m as u64);
                 let mut y = MultiVec::zeros(n, m);
-                s.gspmv_threaded(&x, &mut y, nthreads);
+                s.gspmv_chunked(&x, &mut y, nthreads);
                 assert_matches_full(&a, &y, &x, &format!("m={m} t={nthreads}"));
             }
         }
@@ -616,7 +708,7 @@ mod tests {
         for m in [3usize, 7, 10] {
             let x = pseudo_multivec(n, m, 3);
             let mut y = MultiVec::zeros(n, m);
-            s.gspmv_threaded(&x, &mut y, 4);
+            s.gspmv_chunked(&x, &mut y, 4);
             assert_matches_full(&a, &y, &x, &format!("generic m={m}"));
         }
     }
@@ -643,7 +735,7 @@ mod tests {
         for m in [1usize, 4, 8] {
             let x = pseudo_multivec(n, m, 11);
             let mut y = MultiVec::zeros(n, m);
-            s.gspmv_threaded(&x, &mut y, 3);
+            s.gspmv_chunked(&x, &mut y, 3);
             assert_matches_full(&a, &y, &x, &format!("dense/empty m={m}"));
         }
     }

@@ -1,0 +1,127 @@
+//! Edge-case tests for `MultiVec`'s row-major layout contract: the
+//! degenerate single-column shape, column read/write aliasing, and the
+//! `row * m + col` stride assumption every kernel in the workspace
+//! leans on. All checks are bitwise — layout bugs must not hide inside
+//! a tolerance.
+
+use mrhs_sparse::MultiVec;
+
+fn filled(n: usize, m: usize) -> MultiVec {
+    let mut v = MultiVec::zeros(n, m);
+    for (i, x) in v.as_mut_slice().iter_mut().enumerate() {
+        // Distinct, irregular, sign-mixed values; no two entries equal.
+        *x = ((i as f64) + 0.25) * if i % 2 == 0 { 1.0 } else { -1.0 };
+    }
+    v
+}
+
+#[test]
+fn single_column_flat_buffer_is_the_column() {
+    // With m = 1 the row-major buffer IS the column: copy_column_into
+    // must reproduce it bit for bit, in both directions.
+    let v = filled(7, 1);
+    let mut out = vec![0.0; 7];
+    v.copy_column_into(0, &mut out);
+    oracle::tolerance::assert_bitwise(v.as_slice(), &out, "m=1 copy out");
+
+    let roundtrip = MultiVec::from_vec(out);
+    assert_eq!(roundtrip.shape(), (7, 1));
+    oracle::tolerance::assert_bitwise(
+        v.as_slice(),
+        roundtrip.as_slice(),
+        "m=1 from_vec roundtrip",
+    );
+    assert_eq!(v.column(0), v.as_slice());
+}
+
+#[test]
+fn set_column_touches_only_its_column() {
+    let mut v = filled(6, 4);
+    let before = v.clone();
+    let replacement: Vec<f64> = (0..6).map(|r| -(r as f64) - 100.5).collect();
+    v.set_column(2, &replacement);
+
+    for j in 0..4 {
+        if j == 2 {
+            oracle::tolerance::assert_bitwise(
+                &replacement,
+                &v.column(2),
+                "written column",
+            );
+        } else {
+            oracle::tolerance::assert_bitwise(
+                &before.column(j),
+                &v.column(j),
+                "untouched sibling column",
+            );
+        }
+    }
+}
+
+#[test]
+fn column_roundtrip_is_bitwise_identity() {
+    // Reading a column out and writing it straight back may not move a
+    // bit anywhere in the buffer — the aliasing-free guarantee chunk
+    // drivers rely on when they stage columns through scratch space.
+    let mut v = filled(9, 5);
+    let before = v.clone();
+    for j in 0..5 {
+        let col = v.column(j);
+        v.set_column(j, &col);
+    }
+    oracle::tolerance::assert_bitwise(
+        before.as_slice(),
+        v.as_slice(),
+        "column read/write roundtrip",
+    );
+}
+
+#[test]
+fn entries_live_at_row_major_offsets() {
+    let v = filled(5, 3);
+    let flat = v.as_slice();
+    for r in 0..5 {
+        for c in 0..3 {
+            assert_eq!(
+                v.get(r, c).to_bits(),
+                flat[r * 3 + c].to_bits(),
+                "entry ({r},{c}) not at offset r*m+c"
+            );
+        }
+        oracle::tolerance::assert_bitwise(
+            v.row(r),
+            &flat[r * 3..(r + 1) * 3],
+            "row slice",
+        );
+    }
+    // column(j) therefore gathers with stride m.
+    for c in 0..3 {
+        let want: Vec<f64> = (0..5).map(|r| flat[r * 3 + c]).collect();
+        oracle::tolerance::assert_bitwise(&want, &v.column(c), "strided gather");
+    }
+}
+
+#[test]
+fn constructors_agree_on_layout() {
+    let flat: Vec<f64> = (0..12).map(|i| (i as f64) * 1.5 - 4.0).collect();
+    let a = MultiVec::from_flat(4, 3, flat.clone());
+    let cols: Vec<Vec<f64>> = (0..3).map(|j| a.column(j)).collect();
+    let col_refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    let b = MultiVec::from_columns(&col_refs);
+    assert_eq!(b.shape(), (4, 3));
+    oracle::tolerance::assert_bitwise(
+        a.as_slice(),
+        b.as_slice(),
+        "from_flat vs from_columns",
+    );
+}
+
+#[test]
+fn gather_rows_preserves_row_slices() {
+    let v = filled(8, 3);
+    let g = v.gather_rows(2..6);
+    assert_eq!(g.shape(), (4, 3));
+    for r in 0..4 {
+        oracle::tolerance::assert_bitwise(v.row(r + 2), g.row(r), "gathered row");
+    }
+}

@@ -147,7 +147,11 @@ proptest! {
     fn resistance_spd_on_random_configurations(s in arb_system(25)) {
         let cfg = ResistanceConfig::default();
         let r = assemble_resistance(&s, &cfg);
-        prop_assert!(r.is_symmetric_within(1e-8));
+        // Assembly is built from symmetric pair contributions, so the
+        // oracle's symmetry residual must be *exactly* zero — stronger
+        // than the old `is_symmetric_within(1e-8)` check.
+        let res = oracle::invariants::symmetry_residual(&r);
+        prop_assert_eq!(res, 0.0, "symmetry residual {}", res);
         prop_assert_eq!(r.nb_rows(), s.len());
         // Rayleigh quotient vs the exact μ_F·D lower bound.
         let lb = mrhs_stokes::resistance::spectrum_lower_bound(&s, &cfg);

@@ -16,6 +16,26 @@
 //! and the assertion message only. That trades debuggability for zero
 //! dependencies; the deterministic seed means a failure can still be
 //! replayed under a debugger.
+//!
+//! # Regression seed corpora
+//!
+//! Like real proptest, the runner replays committed failure seeds
+//! before generating fresh cases. For an integration-test file
+//! `tests/foo.rs` it reads `tests/foo.proptest-regressions` (resolved
+//! against the crate's `CARGO_MANIFEST_DIR`); every line of the form
+//!
+//! ```text
+//! cc <16 hex digits>   # optional note
+//! ```
+//!
+//! is a saved [`test_runner::TestRng`] state, replayed by **every**
+//! `proptest!` test in that file (a seed that triggers nothing in a
+//! sibling test is harmless — it just adds one passing case). When a
+//! fresh case fails, the panic message prints the `cc <hex>` line to
+//! append to the corpus, which is this shim's substitute for
+//! shrinking: check the seed in, and from then on every run — local or
+//! CI — re-executes that exact case first. See DESIGN.md §11 for the
+//! workflow.
 
 pub mod test_runner {
     /// Deterministic generator driving input generation (SplitMix64).
@@ -35,6 +55,20 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
             TestRng { state: h }
+        }
+
+        /// Restores a generator from a state captured by
+        /// [`TestRng::state`] — the replay half of the regression-seed
+        /// corpus machinery.
+        pub fn from_state(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// The current generator state. Captured at the start of each
+        /// case so a failure can be reported as a replayable
+        /// `cc <hex>` corpus line.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -81,6 +115,55 @@ pub mod test_runner {
         fn default() -> Self {
             ProptestConfig { cases: 64 }
         }
+    }
+}
+
+pub mod regressions {
+    //! Loading of committed `*.proptest-regressions` seed corpora.
+
+    use std::path::{Path, PathBuf};
+
+    /// The corpus path for a test source file: next to the file, same
+    /// stem, `.proptest-regressions` extension. `source_file` is the
+    /// `file!()` of the macro call site (a path relative to the
+    /// workspace root), `manifest_dir` the crate's
+    /// `CARGO_MANIFEST_DIR`; only the file stem of `source_file` is
+    /// used, and the corpus is looked up in the crate's `tests/`
+    /// directory (where every `proptest!` suite in this workspace
+    /// lives).
+    pub fn corpus_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Path::new(manifest_dir)
+            .join("tests")
+            .join(format!("{stem}.proptest-regressions"))
+    }
+
+    /// Reads the seed corpus for `source_file`. A missing file is an
+    /// empty corpus; lines that are blank, comments, or not of the
+    /// form `cc <16 hex digits>` are skipped (so historical files in
+    /// real-proptest format do not break the runner).
+    pub fn load(manifest_dir: &str, source_file: &str) -> Vec<u64> {
+        let path = corpus_path(manifest_dir, source_file);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix("cc ") else {
+                continue;
+            };
+            let token = rest.split_whitespace().next().unwrap_or("");
+            if token.len() == 16 {
+                if let Ok(seed) = u64::from_str_radix(token, 16) {
+                    seeds.push(seed);
+                }
+            }
+        }
+        seeds
     }
 }
 
@@ -311,6 +394,47 @@ macro_rules! __proptest_impl {
             #[test]
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
+                let __case = |__rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            __rng,
+                        );
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                // Committed regression seeds replay before any fresh
+                // case; a seed rejected by prop_assume! is skipped.
+                let __corpus = $crate::regressions::corpus_path(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                for __seed in $crate::regressions::load(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                ) {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::from_state(__seed);
+                    match __case(&mut __rng) {
+                        ::core::result::Result::Ok(())
+                        | ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest regression seed `cc {__seed:016x}` \
+                             (from {}) failed: {}",
+                            __corpus.display(),
+                            msg,
+                        ),
+                    }
+                }
                 let mut __rng = $crate::test_runner::TestRng::from_name(
                     concat!(module_path!(), "::", stringify!($name)),
                 );
@@ -325,20 +449,8 @@ macro_rules! __proptest_impl {
                          ({passed}/{} cases after {attempts} attempts)",
                         config.cases,
                     );
-                    let outcome = (|| -> ::core::result::Result<
-                        (),
-                        $crate::test_runner::TestCaseError,
-                    > {
-                        $(
-                            let $arg = $crate::strategy::Strategy::generate(
-                                &($strat),
-                                &mut __rng,
-                            );
-                        )+
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                    match outcome {
+                    let __case_seed = __rng.state();
+                    match __case(&mut __rng) {
                         ::core::result::Result::Ok(()) => passed += 1,
                         ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Reject,
@@ -346,10 +458,12 @@ macro_rules! __proptest_impl {
                         ::core::result::Result::Err(
                             $crate::test_runner::TestCaseError::Fail(msg),
                         ) => panic!(
-                            "proptest case {} of {} failed: {}",
+                            "proptest case {} of {} failed: {}\n\
+                             replay: append `cc {__case_seed:016x}` to {}",
                             passed + 1,
                             config.cases,
                             msg,
+                            __corpus.display(),
                         ),
                     }
                 }
@@ -469,6 +583,42 @@ mod tests {
             let (n, v) = s.generate(&mut rng);
             assert_eq!(v.len(), n);
         }
+    }
+
+    #[test]
+    fn rng_state_round_trips() {
+        let mut a = TestRng::from_name("state-round-trip");
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let snap = a.state();
+        let mut b = TestRng::from_state(snap);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn regression_corpus_parses_cc_lines_only() {
+        let dir = std::env::temp_dir().join("proptest-shim-corpus-test");
+        std::fs::create_dir_all(dir.join("tests")).unwrap();
+        std::fs::write(
+            dir.join("tests/sample.proptest-regressions"),
+            "# header comment\n\
+             cc 00000000000000ff # note\n\
+             cc deadbeefdeadbeef\n\
+             cc 9e347e2bb8940fc5cc580414cd975bec # old 256-bit hash: skip\n\
+             not a seed line\n\
+             cc zzzzzzzzzzzzzzzz\n",
+        )
+        .unwrap();
+        let seeds = crate::regressions::load(
+            dir.to_str().unwrap(),
+            "crates/whatever/tests/sample.rs",
+        );
+        assert_eq!(seeds, vec![0xff, 0xdead_beef_dead_beef]);
+        assert!(crate::regressions::load(dir.to_str().unwrap(), "no_file.rs")
+            .is_empty());
     }
 
     proptest! {
