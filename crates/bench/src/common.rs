@@ -19,11 +19,20 @@ pub struct Options {
     /// `fig2`): curves measured on [`mrhs_sparse::SymmetricBcrs`]
     /// instead of full storage.
     pub symmetric: bool,
+    /// `--json <path>`: enable telemetry for the run and write a
+    /// validated [`mrhs_telemetry::report::BenchReport`] there.
+    pub json: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { particles: 2000, reps: 5, seed: 20120521, symmetric: false }
+        Options {
+            particles: 2000,
+            reps: 5,
+            seed: 20120521,
+            symmetric: false,
+            json: None,
+        }
     }
 }
 
@@ -56,6 +65,10 @@ impl Options {
                 }
                 "--full" => o.particles = 300_000,
                 "--symmetric" => o.symmetric = true,
+                "--json" => {
+                    o.json =
+                        Some(it.next().cloned().expect("--json needs a file path"));
+                }
                 _ => {}
             }
         }

@@ -19,6 +19,7 @@ mod cluster_exp;
 mod common;
 mod kernels;
 mod mrhs_exp;
+mod report;
 mod sd_exp;
 
 use common::Options;
@@ -27,6 +28,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let opts = Options::parse(&args);
+    // Bracket the whole run with a telemetry snapshot so the
+    // subcommand's own counters land in the report.
+    let before = opts.json.as_ref().map(|_| report::start());
 
     match cmd {
         "table1" => kernels::table1(&opts),
@@ -90,9 +94,13 @@ fn main() {
                 "usage: repro <table1|table2|table3|table4|table5|table6|table7|\
                  table8|fig1|fig2|fig2-model|fig3|fig4|fig5|fig6|fig7|fig8|\
                  verify-exchange|engine|cluster-mrhs|all|quick> [--particles N] [--reps N] \
-                 [--seed N] [--full] [--symmetric]"
+                 [--seed N] [--full] [--symmetric] [--json <path>]"
             );
             std::process::exit(2);
         }
+    }
+
+    if let (Some(path), Some(before)) = (&opts.json, &before) {
+        report::write(path, cmd, &opts, before);
     }
 }

@@ -1,0 +1,154 @@
+//! `--json` support: collects a [`BenchReport`] for a `repro` run.
+//!
+//! The report brackets the whole invocation with a telemetry snapshot
+//! diff, then runs one dedicated instrumented pass — GSPMV at several
+//! `m` against the Eq. 8 model, a block CG solve, and a distributed
+//! engine multiply — so the file always contains model-vs-measured
+//! kernel rows and solver/engine span trees even for subcommands that
+//! exercise neither. [`BenchReport::validate`] gates the write: a NaN
+//! or zero rate, or a span decomposition off by more than 5%, exits
+//! nonzero instead of shipping a bad artifact.
+
+use crate::common::{sd_matrix, section, Options, TABLE1_CUTOFFS};
+use mrhs_cluster::{DistEngine, DistributedMatrix};
+use mrhs_perfmodel::measure::{host_profile, time_gspmv};
+use mrhs_perfmodel::GspmvModel;
+use mrhs_solvers::{block_cg, SolveConfig};
+use mrhs_sparse::partition::contiguous_partition;
+use mrhs_sparse::MultiVec;
+use mrhs_telemetry::derived::{gbps, gflops, relative_residual, span_consistency};
+use mrhs_telemetry::report::{
+    BenchReport, KernelMetric, MachineInfo, SCHEMA_VERSION,
+};
+use mrhs_telemetry::Snapshot;
+
+/// The `m` values of the instrumented GSPMV pass.
+const REPORT_MS: [usize; 4] = [1, 4, 8, 16];
+
+/// Turns telemetry on and snapshots the registry — called before the
+/// experiment subcommand runs so its own counters land in the report.
+pub fn start() -> Snapshot {
+    mrhs_telemetry::set_enabled(true);
+    mrhs_telemetry::snapshot()
+}
+
+/// Runs the instrumented pass, assembles the report bracketed against
+/// `before`, validates it, and writes it to `path`. Exits nonzero when
+/// validation fails — this is the CI gate against NaN/zero rates.
+pub fn write(path: &str, experiment: &str, opts: &Options, before: &Snapshot) {
+    section("BenchReport: instrumented measurement pass");
+    let host = host_profile();
+    println!(
+        "host: B = {:.1} GB/s, F = {:.1} Gflop/s, k = {}",
+        host.bandwidth / 1e9,
+        host.flops / 1e9,
+        host.k
+    );
+
+    // Kernel rows: measured vs Eq. 8 on a mat2-density SD matrix. The
+    // byte accounting mirrors `mrhs_sparse`'s telemetry counters (k = 0
+    // minimum traffic) so measured GB/s is model-comparable.
+    let a = sd_matrix(opts.particles, TABLE1_CUTOFFS[1].1, opts.seed);
+    let stats = a.stats();
+    let model = GspmvModel::new(&stats, host);
+    let nb = stats.nb as f64;
+    let nnzb = stats.nnzb as f64;
+    let mut kernels = Vec::new();
+    println!(
+        "{:>4} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "m", "measured s", "GB/s", "GF/s", "model s", "residual"
+    );
+    for &m in &REPORT_MS {
+        let secs = time_gspmv(&a, m, opts.reps);
+        let matrix_bytes = 4.0 * nb + 76.0 * nnzb;
+        let vector_bytes = 24.0 * m as f64 * nb;
+        let flops = 18.0 * nnzb * m as f64;
+        let model_secs = model.time(m);
+        let metric = KernelMetric {
+            name: "gspmv".into(),
+            m: m as u64,
+            calls: opts.reps.max(3) as u64,
+            measured_secs: secs,
+            matrix_bytes,
+            vector_bytes,
+            flops,
+            measured_gbps: gbps(matrix_bytes + vector_bytes, secs),
+            measured_gflops: gflops(flops, secs),
+            model_secs,
+            model_gbps: gbps(model.memory_traffic(m), model_secs),
+            residual: relative_residual(secs, model_secs),
+        };
+        println!(
+            "{:>4} {:>12.3e} {:>10.2} {:>10.2} {:>12.3e} {:>+9.0}%",
+            m,
+            metric.measured_secs,
+            metric.measured_gbps,
+            metric.measured_gflops,
+            metric.model_secs,
+            100.0 * metric.residual
+        );
+        kernels.push(metric);
+    }
+
+    // Solver spans: one block CG solve on the same SPD matrix.
+    let n = a.n_rows();
+    let m_rhs = 4;
+    let b = MultiVec::from_flat(n, m_rhs, vec![1.0; n * m_rhs]);
+    let mut x = MultiVec::zeros(n, m_rhs);
+    let cg = block_cg(&a, &b, &mut x, &SolveConfig::default());
+    println!(
+        "block CG: {} iterations, converged = {}",
+        cg.iterations, cg.converged
+    );
+
+    // Engine spans: a 2-node distributed multiply of the same matrix.
+    let part = contiguous_partition(&a, 2);
+    let dm = DistributedMatrix::new(&a, &part);
+    let engine = DistEngine::new(dm);
+    let xe = MultiVec::from_flat(n, m_rhs, vec![0.5; n * m_rhs]);
+    let (_, estats) = engine.multiply(&xe);
+    println!(
+        "engine: 2 nodes, slowest node {:.3e} s ({:.0}% comm wait)",
+        estats.slowest().total(),
+        100.0 * estats.slowest().comm_fraction()
+    );
+
+    let diff = mrhs_telemetry::snapshot().diff(before);
+    let consistency = span_consistency(&diff);
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: experiment.to_string(),
+        created_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        machine: MachineInfo {
+            os: std::env::consts::OS.into(),
+            arch: std::env::consts::ARCH.into(),
+            threads: rayon::current_num_threads() as u64,
+            stream_bandwidth_bps: host.bandwidth,
+            kernel_flops: host.flops,
+            model_k: host.k,
+        },
+        kernels,
+        span_consistency: consistency,
+        snapshot: diff,
+    };
+
+    let problems = report.validate();
+    if !problems.is_empty() {
+        eprintln!("BenchReport validation failed:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    std::fs::write(path, report.to_json_string())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "wrote {path}: {} kernel rows, {} span checks, {} counters",
+        report.kernels.len(),
+        report.span_consistency.len(),
+        report.snapshot.counters.len()
+    );
+}

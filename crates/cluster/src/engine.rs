@@ -94,6 +94,37 @@ impl EngineStats {
     }
 }
 
+/// Mirrors one multiply's stats into the telemetry registry: per-node
+/// `engine/node{q}/{comm_wait,local,remote}` child spans, a parent
+/// `engine/node{q}` span recorded as their exact sum (so span-consistency
+/// checks close to within rounding), and halo traffic counters.
+fn record_engine_telemetry(stats: &EngineStats) {
+    if !mrhs_telemetry::enabled() {
+        return;
+    }
+    mrhs_telemetry::counter_add("engine/multiplies", 1);
+    for (q, t) in stats.timings.iter().enumerate() {
+        mrhs_telemetry::record_span_secs(&format!("engine/node{q}"), t.total());
+        mrhs_telemetry::record_span_secs(
+            &format!("engine/node{q}/comm_wait"),
+            t.comm_wait,
+        );
+        mrhs_telemetry::record_span_secs(&format!("engine/node{q}/local"), t.local);
+        mrhs_telemetry::record_span_secs(
+            &format!("engine/node{q}/remote"),
+            t.remote,
+        );
+        mrhs_telemetry::counter_add(
+            &format!("engine/node{q}/halo_bytes"),
+            stats.comm.recv_bytes[q] as u64,
+        );
+        mrhs_telemetry::counter_add(
+            &format!("engine/node{q}/halo_messages"),
+            stats.comm.recv_messages[q] as u64,
+        );
+    }
+}
+
 enum Job {
     Multiply { x_own: MultiVec },
     Shutdown,
@@ -198,6 +229,7 @@ impl DistEngine {
             stats.comm.recv_bytes[res.node] = res.bytes;
             stats.comm.recv_messages[res.node] = res.messages;
         }
+        record_engine_telemetry(&stats);
         *self.last_stats.lock().unwrap() = stats.clone();
         stats
     }
@@ -443,6 +475,44 @@ mod tests {
                 assert!((0.0..=1.0).contains(&t.comm_fraction()));
             }
             assert_eq!(engine.last_stats().comm, stats.comm);
+        });
+    }
+
+    #[test]
+    fn telemetry_spans_close_exactly_per_node() {
+        with_deadline(Duration::from_secs(60), || {
+            mrhs_telemetry::set_enabled(true);
+            let a = random_symmetric(36, 3, 23);
+            let part = contiguous_partition(&a, 3);
+            let dm = DistributedMatrix::new(&a, &part);
+            let engine = DistEngine::new(dm);
+            let before = mrhs_telemetry::snapshot();
+            let x = pseudo_multivec(a.n_rows(), 4, 29);
+            let (_, stats) = engine.multiply(&x);
+            let diff = mrhs_telemetry::snapshot().diff(&before);
+
+            for q in 0..3 {
+                let parent = diff.span_secs(&format!("engine/node{q}"));
+                let children = diff.span_secs(&format!("engine/node{q}/comm_wait"))
+                    + diff.span_secs(&format!("engine/node{q}/local"))
+                    + diff.span_secs(&format!("engine/node{q}/remote"));
+                // The parent span is recorded as the exact sum of its
+                // children, so the decomposition closes to rounding even
+                // if another test records engine spans concurrently.
+                assert!(
+                    (parent - children).abs() <= 1e-6,
+                    "node{q}: parent {parent} vs children {children}"
+                );
+                assert!(
+                    diff.counter(&format!("engine/node{q}/halo_bytes"))
+                        >= stats.comm.recv_bytes[q] as u64
+                );
+                assert!(
+                    diff.counter(&format!("engine/node{q}/halo_messages"))
+                        >= stats.comm.recv_messages[q] as u64
+                );
+            }
+            assert!(diff.counter("engine/multiplies") >= 1);
         });
     }
 

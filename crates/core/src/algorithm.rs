@@ -8,7 +8,7 @@ use mrhs_solvers::{
     block_cg, cg, spectral_bounds, ChebyshevSqrt, LinearOperator, SolveConfig,
 };
 use mrhs_sparse::{BcrsMatrix, MultiVec, SymmetricBcrs};
-use std::time::Instant;
+use mrhs_telemetry::time_span;
 
 /// Parameters of both drivers.
 #[derive(Clone, Debug)]
@@ -156,10 +156,13 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
     let m = cfg.m;
 
     // -- Alg. 2 step 1: construct R_0 ---------------------------------
+    // Every phase below is timed through `time_span`, which records the
+    // duration under the matching `mrhs/…` telemetry span *and* returns
+    // it for the `StepTimings` bookkeeping — the two views are fed from
+    // the same clock reads and cannot drift apart.
     let mut timings0 = StepTimings::default();
-    let t = Instant::now();
-    let r0 = system.assemble();
-    timings0.assemble += t.elapsed();
+    let (r0, dt) = time_span("mrhs/assemble", || system.assemble());
+    timings0.assemble += dt;
 
     // Spectral interval for the whole chunk (Gershgorin needs the full
     // storage, so bounds are estimated before any conversion).
@@ -172,18 +175,19 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
     );
 
     // Optionally drop to symmetric storage for every apply/solve below.
-    let t = Instant::now();
-    let mut op0 = StepOperator::build(r0, cfg);
-    timings0.assemble += t.elapsed();
+    let (mut op0, dt) = time_span("mrhs/assemble", || StepOperator::build(r0, cfg));
+    timings0.assemble += dt;
 
     // -- Alg. 2 step 2: F_B = S(R_0)·Z with all m noise vectors --------
     let mut z = MultiVec::zeros(n, m);
     noise.fill_standard_normal(z.as_mut_slice());
-    let t = Instant::now();
-    let mut rhs = MultiVec::zeros(n, m);
-    cheb.apply_multi(&op0, &z, &mut rhs);
-    rhs.scale(-1.0); // solve R·u = −(f_B + f_P)
-    timings0.cheb_vectors += t.elapsed();
+    let (mut rhs, dt) = time_span("mrhs/cheb_vectors", || {
+        let mut rhs = MultiVec::zeros(n, m);
+        cheb.apply_multi(&op0, &z, &mut rhs);
+        rhs.scale(-1.0); // solve R·u = −(f_B + f_P)
+        rhs
+    });
+    timings0.cheb_vectors += dt;
     let mut f_ext = vec![0.0; n];
     system.add_external_forces(&mut f_ext);
     for (row, fe) in (0..n).zip(&f_ext) {
@@ -196,11 +200,11 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
     // Solved only to `guess_tol`: the columns are initial guesses whose
     // quality is bounded by the matrix drift anyway; each step below
     // refines its own solution to full tolerance.
-    let t = Instant::now();
     let mut u = MultiVec::zeros(n, m);
     let guess_cfg = SolveConfig { tol: cfg.guess_tol, ..cfg.solve };
-    let block = block_cg(&op0, &rhs, &mut u, &guess_cfg);
-    timings0.calc_guesses += t.elapsed();
+    let (block, dt) =
+        time_span("mrhs/calc_guesses", || block_cg(&op0, &rhs, &mut u, &guess_cfg));
+    timings0.calc_guesses += dt;
 
     let mut steps = Vec::with_capacity(m);
 
@@ -220,9 +224,10 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
         let rk = if k == 0 {
             std::mem::replace(&mut op0, StepOperator::empty())
         } else {
-            let t = Instant::now();
-            let rk = StepOperator::build(system.assemble(), cfg);
-            timings.assemble += t.elapsed();
+            let (rk, dt) = time_span("mrhs/assemble", || {
+                StepOperator::build(system.assemble(), cfg)
+            });
+            timings.assemble += dt;
             rk
         };
 
@@ -231,24 +236,26 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
             rhs.column(0)
         } else {
             z.copy_column_into(k, &mut zk);
-            let t = Instant::now();
-            let mut fbk = vec![0.0; n];
-            cheb.apply(&rk, &zk, &mut fbk);
-            let mut ext = vec![0.0; n];
-            system.add_external_forces(&mut ext);
-            for (v, e) in fbk.iter_mut().zip(&ext) {
-                *v = -*v - e;
-            }
-            timings.cheb_single += t.elapsed();
+            let (fbk, dt) = time_span("mrhs/cheb_single", || {
+                let mut fbk = vec![0.0; n];
+                cheb.apply(&rk, &zk, &mut fbk);
+                let mut ext = vec![0.0; n];
+                system.add_external_forces(&mut ext);
+                for (v, e) in fbk.iter_mut().zip(&ext) {
+                    *v = -*v - e;
+                }
+                fbk
+            });
+            timings.cheb_single += dt;
             fbk
         };
 
         // First solve, warm-started from the auxiliary solution u'_k.
         u.copy_column_into(k, &mut uk);
         let guess = (k > 0 && cfg.record_guess_errors).then(|| uk.clone());
-        let t = Instant::now();
-        let res1 = cg(&rk, &fbk, &mut uk, &cfg.solve);
-        timings.first_solve += t.elapsed();
+        let (res1, dt) =
+            time_span("mrhs/first_solve", || cg(&rk, &fbk, &mut uk, &cfg.solve));
+        timings.first_solve += dt;
         let guess_relative_error = guess.map(|g| relative_error(&uk, &g));
 
         let stats = midpoint_second_half(system, &cheb, &uk, &fbk, cfg, timings);
@@ -275,9 +282,8 @@ pub fn run_original_step<S: ResistanceSystem, N: NoiseSource>(
     let n = system.dim();
     let mut timings = StepTimings::default();
 
-    let t = Instant::now();
-    let rk_full = system.assemble();
-    timings.assemble += t.elapsed();
+    let (rk_full, dt) = time_span("mrhs/assemble", || system.assemble());
+    timings.assemble += dt;
 
     let cheb = cheb_cache.get_or_insert_with(|| {
         let g =
@@ -290,28 +296,29 @@ pub fn run_original_step<S: ResistanceSystem, N: NoiseSource>(
         )
     });
 
-    let t = Instant::now();
-    let rk = StepOperator::build(rk_full, cfg);
-    timings.assemble += t.elapsed();
+    let (rk, dt) = time_span("mrhs/assemble", || StepOperator::build(rk_full, cfg));
+    timings.assemble += dt;
 
     let mut zk = vec![0.0; n];
     noise.fill_standard_normal(&mut zk);
-    let t = Instant::now();
-    let mut fbk = vec![0.0; n];
-    cheb.apply(&rk, &zk, &mut fbk);
-    let mut ext = vec![0.0; n];
-    system.add_external_forces(&mut ext);
-    for (v, e) in fbk.iter_mut().zip(&ext) {
-        *v = -*v - e;
-    }
-    timings.cheb_single += t.elapsed();
+    let (fbk, dt) = time_span("mrhs/cheb_single", || {
+        let mut fbk = vec![0.0; n];
+        cheb.apply(&rk, &zk, &mut fbk);
+        let mut ext = vec![0.0; n];
+        system.add_external_forces(&mut ext);
+        for (v, e) in fbk.iter_mut().zip(&ext) {
+            *v = -*v - e;
+        }
+        fbk
+    });
+    timings.cheb_single += dt;
 
     // Cold first solve (no initial guess available in the original
     // algorithm).
     let mut uk = vec![0.0; n];
-    let t = Instant::now();
-    let res1 = cg(&rk, &fbk, &mut uk, &cfg.solve);
-    timings.first_solve += t.elapsed();
+    let (res1, dt) =
+        time_span("mrhs/first_solve", || cg(&rk, &fbk, &mut uk, &cfg.solve));
+    timings.first_solve += dt;
 
     let cheb = cheb.clone();
     let stats = midpoint_second_half(system, &cheb, &uk, &fbk, cfg, timings);
@@ -337,14 +344,14 @@ fn midpoint_second_half<S: ResistanceSystem>(
     let saved = system.save_state();
     system.advance(u_first, 0.5 * dt);
 
-    let t = Instant::now();
-    let r_mid = StepOperator::build(system.assemble(), cfg);
-    timings.assemble += t.elapsed();
+    let (r_mid, el) =
+        time_span("mrhs/assemble", || StepOperator::build(system.assemble(), cfg));
+    timings.assemble += el;
 
     let mut u_mid = u_first.to_vec(); // warm start from the first solve
-    let t = Instant::now();
-    let res2 = cg(&r_mid, b, &mut u_mid, &cfg.solve);
-    timings.second_solve += t.elapsed();
+    let (res2, el) =
+        time_span("mrhs/second_solve", || cg(&r_mid, b, &mut u_mid, &cfg.solve));
+    timings.second_solve += el;
 
     system.restore_state(&saved);
     system.advance(&u_mid, dt);
@@ -596,6 +603,32 @@ mod tests {
         let interval = cache.as_ref().unwrap().interval();
         run_original_step(&mut sys, &mut noise, &cfg, &mut cache);
         assert_eq!(cache.as_ref().unwrap().interval(), interval);
+    }
+
+    #[test]
+    fn telemetry_spans_subsume_step_timings() {
+        mrhs_telemetry::set_enabled(true);
+        let before = mrhs_telemetry::snapshot();
+        let mut sys = LineSystem::new(15);
+        let mut noise = XorShiftNoise::new(21);
+        let cfg = MrhsConfig { m: 3, ..Default::default() };
+        let report = run_mrhs_chunk(&mut sys, &mut noise, &cfg);
+        let diff = mrhs_telemetry::snapshot().diff(&before);
+
+        let view = StepTimings::from_span_totals(&diff);
+        let mut sum = StepTimings::default();
+        for s in &report.steps {
+            sum.accumulate(&s.timings);
+        }
+        // The spans are fed from the exact durations StepTimings adds
+        // up, so the snapshot view covers the bookkeeping total.
+        // (Strictly ≥: concurrently running tests may add to the global
+        // registry, never subtract.)
+        assert!(view.total() >= sum.total(), "{view:?} vs {sum:?}");
+        assert!(view.first_solve >= sum.first_solve);
+        assert!(view.second_solve >= sum.second_solve);
+        assert!(view.calc_guesses >= sum.calc_guesses);
+        assert!(view.cheb_vectors >= sum.cheb_vectors);
     }
 
     #[test]

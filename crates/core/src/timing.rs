@@ -44,6 +44,24 @@ impl StepTimings {
         self.first_solve += other.first_solve;
         self.second_solve += other.second_solve;
     }
+
+    /// Rebuilds an (aggregated) `StepTimings` from the `mrhs/…`
+    /// telemetry spans of a snapshot — typically the diff bracketing a
+    /// run. The driver times every phase through
+    /// `mrhs_telemetry::time_span` with these exact names, so with
+    /// telemetry enabled this view and the per-step bookkeeping are two
+    /// projections of the same clock reads.
+    pub fn from_span_totals(snapshot: &mrhs_telemetry::Snapshot) -> StepTimings {
+        let d = |name: &str| Duration::from_secs_f64(snapshot.span_secs(name));
+        StepTimings {
+            assemble: d("mrhs/assemble"),
+            cheb_vectors: d("mrhs/cheb_vectors"),
+            calc_guesses: d("mrhs/calc_guesses"),
+            cheb_single: d("mrhs/cheb_single"),
+            first_solve: d("mrhs/first_solve"),
+            second_solve: d("mrhs/second_solve"),
+        }
+    }
 }
 
 /// Aggregated timings over a run, in seconds, in the layout of the
@@ -145,6 +163,38 @@ mod tests {
     fn empty_breakdown_is_zero() {
         let agg = TimingBreakdown::default();
         assert_eq!(agg.average_per_step(), 0.0);
+    }
+
+    #[test]
+    fn from_span_totals_maps_every_category() {
+        use mrhs_telemetry::{Snapshot, SpanStat};
+        let mut s = Snapshot::default();
+        let names = [
+            ("mrhs/assemble", 1u64),
+            ("mrhs/cheb_vectors", 2),
+            ("mrhs/calc_guesses", 3),
+            ("mrhs/cheb_single", 4),
+            ("mrhs/first_solve", 5),
+            ("mrhs/second_solve", 6),
+        ];
+        for (name, ms) in names {
+            s.spans.insert(
+                name.into(),
+                SpanStat { count: 1, total_ns: ms * 1_000_000 },
+            );
+        }
+        let t = StepTimings::from_span_totals(&s);
+        assert_eq!(t.assemble, Duration::from_millis(1));
+        assert_eq!(t.cheb_vectors, Duration::from_millis(2));
+        assert_eq!(t.calc_guesses, Duration::from_millis(3));
+        assert_eq!(t.cheb_single, Duration::from_millis(4));
+        assert_eq!(t.first_solve, Duration::from_millis(5));
+        assert_eq!(t.second_solve, Duration::from_millis(6));
+        assert_eq!(t.total(), Duration::from_millis(21));
+        // Missing spans read as zero (telemetry disabled, or a phase
+        // that never ran).
+        let empty = StepTimings::from_span_totals(&Snapshot::default());
+        assert_eq!(empty.total(), Duration::ZERO);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use crate::cg::SolveConfig;
 use crate::dense;
 use crate::operator::LinearOperator;
 use mrhs_sparse::MultiVec;
+use mrhs_telemetry as telemetry;
+use std::time::Instant;
 
 /// Outcome of a block-CG solve.
 #[derive(Clone, Debug)]
@@ -39,6 +41,29 @@ pub struct BlockCgResult {
     /// `iterations = k − 1` (Pᵀ·Q breakdown, X untouched in iteration
     /// `k`) or `iterations = k` (ρ·β breakdown, X updated).
     pub breakdown: Option<usize>,
+    /// Per-column residual-norm history: `residual_history[j][k]` is
+    /// column `j`'s norm after `k` completed iterations (entry 0 is the
+    /// initial residual). Recorded only when
+    /// [`BlockCgOptions::record_residual_history`] is set; empty
+    /// otherwise.
+    pub residual_history: Vec<Vec<f64>>,
+}
+
+/// Options for a block-CG solve. [`SolveConfig`] stays the small Copy
+/// struct every solver shares; the block-specific switches live here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockCgOptions {
+    /// Tolerance and iteration cap.
+    pub solve: SolveConfig,
+    /// Record the per-column, per-iteration residual norms into
+    /// [`BlockCgResult::residual_history`].
+    pub record_residual_history: bool,
+}
+
+impl From<SolveConfig> for BlockCgOptions {
+    fn from(solve: SolveConfig) -> Self {
+        BlockCgOptions { solve, record_residual_history: false }
+    }
 }
 
 /// Solves `A·X = B` for SPD `A` and `m` right-hand sides by block CG,
@@ -50,10 +75,73 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
     x: &mut MultiVec,
     cfg: &SolveConfig,
 ) -> BlockCgResult {
+    block_cg_observed(a, b, x, &BlockCgOptions::from(*cfg), |_, _, _| {})
+}
+
+/// [`block_cg`] with explicit [`BlockCgOptions`].
+pub fn block_cg_with_options<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    opts: &BlockCgOptions,
+) -> BlockCgResult {
+    block_cg_observed(a, b, x, opts, |_, _, _| {})
+}
+
+/// Times one block-CG iteration: its drop records the
+/// `solver/block_cg/iter` span and a log₂-bucketed latency sample, so
+/// the measurement covers the iteration body on every exit path
+/// (convergence break, breakdown break, loop bottom). Inert — no clock
+/// read — while telemetry is disabled.
+struct IterTimer(Option<Instant>);
+
+impl IterTimer {
+    fn start() -> Self {
+        IterTimer(telemetry::enabled().then(Instant::now))
+    }
+}
+
+impl Drop for IterTimer {
+    fn drop(&mut self) {
+        if let Some(t) = self.0.take() {
+            let dt = t.elapsed();
+            telemetry::record_span_secs("solver/block_cg/iter", dt.as_secs_f64());
+            telemetry::histogram_record_ns(
+                "solver/block_cg/iter_ns",
+                dt.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
+    }
+}
+
+/// The instrumented core of block CG. `observe` runs once for the
+/// initial residual (`iteration = 0`) and once after every *completed*
+/// iteration, receiving the iteration number, the per-column residual
+/// norms at that point, and the current iterate `X`. It is the single
+/// hook both telemetry consumers and
+/// [`BlockCgResult::residual_history`] are fed from, and what tests use
+/// to check per-iteration invariants (e.g. A-norm error monotonicity)
+/// without re-running the solve at every truncation depth.
+pub fn block_cg_observed<A, F>(
+    a: &A,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    opts: &BlockCgOptions,
+    mut observe: F,
+) -> BlockCgResult
+where
+    A: LinearOperator + ?Sized,
+    F: FnMut(usize, &[f64], &MultiVec),
+{
+    let cfg = &opts.solve;
     let n = a.dim();
     let m = b.m();
     assert_eq!(b.n(), n);
     assert_eq!(x.shape(), (n, m));
+
+    let _solve_span = telemetry::span("solver/block_cg");
+    telemetry::counter_add("solver/block_cg/solves", 1);
+    let init_span = telemetry::span("solver/block_cg/init");
 
     let b_norms = b.norms();
     let thresholds: Vec<f64> =
@@ -71,15 +159,21 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
 
     let mut column_converged_at: Vec<Option<usize>> = vec![None; m];
     let mut rho = r.gram(&r); // m×m
-    update_convergence(&rho, m, &thresholds, &mut column_converged_at, 0);
+    let norms = diag_sqrt(&rho, m);
+    let mut history: Vec<Vec<f64>> =
+        if opts.record_residual_history { vec![Vec::new(); m] } else { Vec::new() };
+    push_history(&mut history, &norms);
+    observe(0, &norms, x);
+    update_convergence(&norms, &thresholds, &mut column_converged_at, 0);
+    drop(init_span);
     if column_converged_at.iter().all(Option::is_some) {
-        let norms = diag_sqrt(&rho, m);
         return BlockCgResult {
             iterations: 0,
             converged: true,
             residual_norms: norms,
             column_converged_at,
             breakdown: None,
+            residual_history: history,
         };
     }
 
@@ -89,6 +183,7 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
     let mut breakdown = None;
 
     for it in 1..=cfg.max_iter {
+        let _iter_timer = IterTimer::start();
         a.apply_multi(&p, &mut q);
         // α solves (PᵀQ)·α = ρ
         let mut pq = p.gram(&q);
@@ -105,7 +200,11 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         x.add_mul_dense(&p, &alpha);
         let rho_new = r.sub_mul_dense_then_gram(&q, &alpha);
         iterations = it;
-        update_convergence(&rho_new, m, &thresholds, &mut column_converged_at, it);
+        telemetry::counter_add("solver/block_cg/iterations", 1);
+        let norms = diag_sqrt(&rho_new, m);
+        push_history(&mut history, &norms);
+        observe(it, &norms, x);
+        update_convergence(&norms, &thresholds, &mut column_converged_at, it);
         if column_converged_at.iter().all(Option::is_some) {
             rho = rho_new;
             break;
@@ -136,6 +235,7 @@ pub fn block_cg<A: LinearOperator + ?Sized>(
         residual_norms: diag_sqrt(&rho, m),
         column_converged_at,
         breakdown,
+        residual_history: history,
     }
 }
 
@@ -143,17 +243,22 @@ fn diag_sqrt(gram: &[f64], m: usize) -> Vec<f64> {
     (0..m).map(|j| gram[j * m + j].max(0.0).sqrt()).collect()
 }
 
+/// Appends one per-column entry; a no-op when history recording is off
+/// (`history` is then the empty Vec and the zip visits nothing).
+fn push_history(history: &mut [Vec<f64>], norms: &[f64]) {
+    for (h, n) in history.iter_mut().zip(norms) {
+        h.push(*n);
+    }
+}
+
 fn update_convergence(
-    gram: &[f64],
-    m: usize,
+    norms: &[f64],
     thresholds: &[f64],
     converged_at: &mut [Option<usize>],
     iteration: usize,
 ) {
-    for j in 0..m {
-        if converged_at[j].is_none()
-            && gram[j * m + j].max(0.0).sqrt() <= thresholds[j]
-        {
+    for (j, norm) in norms.iter().enumerate() {
+        if converged_at[j].is_none() && *norm <= thresholds[j] {
             converged_at[j] = Some(iteration);
         }
     }
@@ -417,6 +522,91 @@ mod tests {
         let res = block_cg(&a, &b, &mut x, &SolveConfig::default());
         assert!(res.converged);
         assert!(res.breakdown.is_none());
+    }
+
+    #[test]
+    fn residual_history_off_by_default() {
+        let a = laplacian(15);
+        let n = a.n_rows();
+        let b = pseudo_multivec(n, 3, 61);
+        let mut x = MultiVec::zeros(n, 3);
+        let res = block_cg(&a, &b, &mut x, &SolveConfig::default());
+        assert!(res.converged);
+        assert!(res.residual_history.is_empty());
+    }
+
+    #[test]
+    fn residual_history_matches_hook_cadence_and_final_norms() {
+        let a = laplacian(20);
+        let n = a.n_rows();
+        let m = 4;
+        let b = pseudo_multivec(n, m, 47);
+        let opts = BlockCgOptions {
+            solve: SolveConfig { tol: 1e-8, max_iter: 400 },
+            record_residual_history: true,
+        };
+        let mut hook_iters = Vec::new();
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg_observed(&a, &b, &mut x, &opts, |it, norms, xi| {
+            assert_eq!(norms.len(), m);
+            assert_eq!(xi.shape(), (n, m));
+            hook_iters.push(it);
+        });
+        assert!(res.converged);
+        // Hook fires at iteration 0 and after each completed iteration;
+        // the history has exactly one entry per firing, per column.
+        assert_eq!(hook_iters, (0..=res.iterations).collect::<Vec<_>>());
+        assert_eq!(res.residual_history.len(), m);
+        for (j, h) in res.residual_history.iter().enumerate() {
+            assert_eq!(h.len(), res.iterations + 1);
+            assert_eq!(*h.last().unwrap(), res.residual_norms[j]);
+        }
+    }
+
+    /// Per-iteration iterates captured through the observer hook must
+    /// decrease the A-norm error monotonically — the invariant the
+    /// oracle's `a_norm_error` pins for CG, extended here to every
+    /// column of the block solve (each column's error is minimized over
+    /// the same growing block Krylov space).
+    #[test]
+    fn observed_iterates_decrease_a_norm_error_per_column() {
+        use oracle::invariants::a_norm_error;
+        use oracle::reference::Dense;
+
+        let a = laplacian(20);
+        let n = a.n_rows();
+        let m = 4;
+        let b = pseudo_multivec(n, m, 51);
+
+        let mut x_star = MultiVec::zeros(n, m);
+        let tight = SolveConfig { tol: 1e-13, max_iter: 2000 };
+        assert!(block_cg(&a, &b, &mut x_star, &tight).converged);
+
+        let dense = Dense::from_bcrs(&a);
+        let opts = BlockCgOptions {
+            solve: SolveConfig { tol: 1e-8, max_iter: 400 },
+            record_residual_history: true,
+        };
+        let mut iterates = Vec::new();
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg_observed(&a, &b, &mut x, &opts, |_, _, xi| {
+            iterates.push(xi.clone());
+        });
+        assert!(res.converged);
+        assert_eq!(iterates.len(), res.iterations + 1);
+
+        for j in 0..m {
+            let xs = x_star.column(j);
+            let mut last = f64::INFINITY;
+            for (k, xi) in iterates.iter().enumerate() {
+                let e = a_norm_error(&dense, &xi.column(j), &xs);
+                assert!(
+                    e <= last * (1.0 + 1e-9) + 1e-12,
+                    "col {j} iter {k}: A-norm error rose {last} -> {e}"
+                );
+                last = e;
+            }
+        }
     }
 
     #[test]

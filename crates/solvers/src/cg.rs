@@ -47,6 +47,8 @@ pub fn cg<A: LinearOperator + ?Sized>(
     let n = a.dim();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    let _span = mrhs_telemetry::span("solver/cg");
+    mrhs_telemetry::counter_add("solver/cg/solves", 1);
 
     let b_norm = norm(b);
     if b_norm == 0.0 {
@@ -96,6 +98,7 @@ pub fn cg<A: LinearOperator + ?Sized>(
         }
         let rho_new = dot(&r, &r);
         iterations += 1;
+        mrhs_telemetry::counter_add("solver/cg/iterations", 1);
         history.push(rho_new.sqrt());
         if rho_new.sqrt() <= threshold {
             converged = true;

@@ -105,6 +105,9 @@ impl ChebyshevSqrt {
     ) {
         assert_eq!(z.n(), a.dim());
         assert_eq!(z.shape(), y.shape());
+        let _span = mrhs_telemetry::span("solver/cheb/apply");
+        mrhs_telemetry::counter_add("solver/cheb/applies", 1);
+        mrhs_telemetry::counter_add("solver/cheb/terms", self.order() as u64);
         let (n, m) = z.shape();
         let mid = 0.5 * (self.hi + self.lo);
         let half = 0.5 * (self.hi - self.lo);

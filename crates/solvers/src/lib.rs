@@ -27,7 +27,10 @@ pub mod precond;
 pub mod recycling;
 pub mod refinement;
 
-pub use block_cg::{block_cg, BlockCgResult};
+pub use block_cg::{
+    block_cg, block_cg_observed, block_cg_with_options, BlockCgOptions,
+    BlockCgResult,
+};
 pub use cg::{cg, CgResult, SolveConfig};
 pub use chebyshev::ChebyshevSqrt;
 pub use cholesky::DenseCholesky;

@@ -13,9 +13,22 @@
 //! balanced non-zero count and each chunk writes a disjoint slice of `Y`.
 
 use crate::bcrs::BcrsMatrix;
+use crate::instrument;
 use crate::multivec::MultiVec;
 use crate::BLOCK_DIM;
 use std::ops::Range;
+
+/// Counts one full-storage GSPMV call under `gspmv/m{m}/…` and opens
+/// its `kernel/gspmv/m{m}` span. The matrix stream is what BCRS
+/// physically holds: 72 B per block, 4 B per column index, 4 B per row
+/// pointer. Called only from the public entry points, never from the
+/// internal row kernels, so delegation does not double-count.
+fn instrument_full(a: &BcrsMatrix, m: usize) -> mrhs_telemetry::SpanGuard {
+    let nb = a.nb_rows() as u64;
+    let nnzb = a.nnz_blocks() as u64;
+    instrument::record_kernel_call("gspmv", m, nb, nnzb, 4 * nb + 76 * nnzb);
+    instrument::kernel_span("gspmv", m)
+}
 
 /// The `m` sizes with dedicated monomorphized kernels. Mirrors the set of
 /// generated kernels in the paper's experiments (m up to 32 on clusters,
@@ -56,6 +69,7 @@ fn spmv_rows(a: &BcrsMatrix, x: &[f64], y: &mut [f64], rows: Range<usize>) {
 pub fn gspmv_serial(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
     check_shapes(a, x, y);
     let m = x.m();
+    let _span = instrument_full(a, m);
     let rows = 0..a.nb_rows();
     dispatch_rows(a, x.as_slice(), y.as_mut_slice(), m, rows);
 }
@@ -75,12 +89,13 @@ pub fn gspmv_serial_generic(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
 /// [`gspmv_serial`] for any chunking, pool width, or interleaving.
 pub fn gspmv(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
     check_shapes(a, x, y);
+    let _span = instrument_full(a, x.m());
     let nthreads = rayon::current_num_threads();
     if nthreads <= 1 || a.nnz_blocks() < 1 << 14 {
         dispatch_rows(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
         return;
     }
-    gspmv_chunked(a, x, y, nthreads * 4);
+    gspmv_chunked_impl(a, x, y, nthreads * 4);
 }
 
 /// Parallel GSPMV with an explicit chunk count — the entry point the
@@ -94,6 +109,16 @@ pub fn gspmv_chunked(
     nchunks: usize,
 ) {
     check_shapes(a, x, y);
+    let _span = instrument_full(a, x.m());
+    gspmv_chunked_impl(a, x, y, nchunks);
+}
+
+fn gspmv_chunked_impl(
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+    nchunks: usize,
+) {
     let m = x.m();
     let chunks = balanced_row_chunks(a, nchunks);
     // Slice Y into disjoint per-chunk windows.

@@ -1,0 +1,58 @@
+//! Telemetry hooks for the GSPMV kernels.
+//!
+//! Each *public entry point* records exactly one call's worth of
+//! counters and one span — internal delegation (`gspmv` →
+//! `gspmv_chunked` → row kernels) goes through uncounted `_impl`
+//! functions, so nothing is double-counted.
+//!
+//! The byte counters use the minimum-traffic accounting of the paper's
+//! Eq. 8 with `k = 0` (see `mrhs-perfmodel`): the matrix stream is
+//! what the format physically holds (blocks + indices + row pointers),
+//! and the vector stream is the `3·m·nb·s_x` term. Measured GB/s
+//! derived from these counters is therefore directly comparable with
+//! the model's bandwidth bound; cache-missed re-reads of X (the
+//! model's `k(m)` term) show up as *achieved* bandwidth above the
+//! minimum, exactly how the paper frames it.
+
+use crate::BLOCK_DIM;
+use mrhs_telemetry::SpanGuard;
+
+/// Flops per stored-block application per vector (Eq. 8's `f_a`).
+pub const FLOPS_PER_BLOCK_PER_VECTOR: u64 = 18;
+
+/// Opens the per-call kernel span `kernel/{kind}/m{m}` (inert — no
+/// allocation, no clock — while telemetry is disabled).
+pub(crate) fn kernel_span(kind: &str, m: usize) -> SpanGuard {
+    if mrhs_telemetry::enabled() {
+        mrhs_telemetry::span(&format!("kernel/{kind}/m{m}"))
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Records one kernel invocation: calls, flops, matrix/vector bytes,
+/// all under `{kind}/m{m}/…`. `applied_blocks` is the number of
+/// block·vector multiplications per vector (for symmetric storage each
+/// stored off-diagonal block is applied twice).
+pub(crate) fn record_kernel_call(
+    kind: &str,
+    m: usize,
+    nb_rows: u64,
+    applied_blocks: u64,
+    matrix_bytes: u64,
+) {
+    if !mrhs_telemetry::enabled() {
+        return;
+    }
+    let pfx = format!("{kind}/m{m}");
+    mrhs_telemetry::counter_add(&format!("{pfx}/calls"), 1);
+    mrhs_telemetry::counter_add(
+        &format!("{pfx}/flops"),
+        FLOPS_PER_BLOCK_PER_VECTOR * m as u64 * applied_blocks,
+    );
+    mrhs_telemetry::counter_add(&format!("{pfx}/matrix_bytes"), matrix_bytes);
+    mrhs_telemetry::counter_add(
+        &format!("{pfx}/vector_bytes"),
+        (BLOCK_DIM * m * 8) as u64 * nb_rows,
+    );
+}

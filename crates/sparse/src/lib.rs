@@ -36,6 +36,7 @@ pub mod bcrs;
 pub mod block;
 pub mod csr;
 pub mod gspmv;
+mod instrument;
 pub mod io;
 pub mod multivec;
 pub mod partition;

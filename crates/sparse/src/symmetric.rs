@@ -156,9 +156,31 @@ impl SymmetricBcrs {
         self.run_chunked(x, y, 1, self.canonical_chunk_count(), false);
     }
 
+    /// Counts one symmetric-storage GSPMV call under `gspmv_sym/m{m}/…`
+    /// and opens its `kernel/gspmv_sym/m{m}` span. Flops count every
+    /// *application*: each stored off-diagonal block hits two output
+    /// rows (forward and transposed), so the flop total equals the
+    /// full-storage one while the matrix stream is roughly halved.
+    fn instrument_sym(&self, m: usize) -> mrhs_telemetry::SpanGuard {
+        let applied = (self.nb + 2 * self.blocks.len()) as u64;
+        crate::instrument::record_kernel_call(
+            "gspmv_sym",
+            m,
+            self.nb as u64,
+            applied,
+            self.stream_bytes() as u64,
+        );
+        crate::instrument::kernel_span("gspmv_sym", m)
+    }
+
     /// `Y = A·X` on row-major multivectors using symmetric storage
     /// (serial, monomorphized over `X.m()`).
     pub fn gspmv(&self, x: &MultiVec, y: &mut MultiVec) {
+        let _span = self.instrument_sym(x.m());
+        self.gspmv_impl(x, y);
+    }
+
+    fn gspmv_impl(&self, x: &MultiVec, y: &mut MultiVec) {
         let m = x.m();
         assert_eq!(x.n(), self.nb * BLOCK_DIM);
         assert_eq!(y.shape(), x.shape());
@@ -183,11 +205,12 @@ impl SymmetricBcrs {
     /// across pool widths (`RAYON_NUM_THREADS` = 1, 2, 4, 8, …) and
     /// across repeated runs.
     pub fn gspmv_parallel(&self, x: &MultiVec, y: &mut MultiVec) {
+        let _span = self.instrument_sym(x.m());
         if self.stored_blocks() < PARALLEL_THRESHOLD {
-            self.gspmv(x, y);
+            self.gspmv_impl(x, y);
             return;
         }
-        self.gspmv_chunked(x, y, self.canonical_chunk_count());
+        self.gspmv_chunked_impl(x, y, self.canonical_chunk_count());
     }
 
     /// The chunk count [`Self::gspmv_parallel`] uses above the serial
@@ -204,11 +227,16 @@ impl SymmetricBcrs {
     /// regroup the transpose-slab partial sums) and agree only within
     /// the kernel tolerance.
     pub fn gspmv_chunked(&self, x: &MultiVec, y: &mut MultiVec, nchunks: usize) {
+        let _span = self.instrument_sym(x.m());
+        self.gspmv_chunked_impl(x, y, nchunks);
+    }
+
+    fn gspmv_chunked_impl(&self, x: &MultiVec, y: &mut MultiVec, nchunks: usize) {
         let m = x.m();
         assert_eq!(x.n(), self.nb * BLOCK_DIM);
         assert_eq!(y.shape(), x.shape());
         if nchunks <= 1 || self.nb == 0 {
-            self.gspmv(x, y);
+            self.gspmv_impl(x, y);
             return;
         }
         self.run_chunked(x.as_slice(), y.as_mut_slice(), m, nchunks, false);
@@ -230,7 +258,7 @@ impl SymmetricBcrs {
         assert_eq!(x.n(), self.nb * BLOCK_DIM);
         assert_eq!(y.shape(), x.shape());
         if nchunks <= 1 || self.nb == 0 {
-            self.gspmv(x, y);
+            self.gspmv_impl(x, y);
             return;
         }
         self.run_chunked(x.as_slice(), y.as_mut_slice(), m, nchunks, true);

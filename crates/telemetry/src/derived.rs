@@ -1,0 +1,143 @@
+//! Derived metrics: achieved rates and model residuals.
+//!
+//! The registry stores raw monotone quantities (bytes, flops, span
+//! nanoseconds). This module turns a [`Snapshot`] diff into the
+//! numbers the paper argues with — achieved GB/s and GF/s per kernel
+//! invocation — and measures them against a model prediction (Eq. 8
+//! for GSPMV) as a relative residual. It also checks the span tree for
+//! self-consistency: the children of a span must sum to its wall-clock
+//! total, or the taxonomy is lying about where time went.
+
+use crate::snapshot::Snapshot;
+
+/// Achieved gigabytes per second (0 when the denominator is 0 — a
+/// never-entered span — so validation catches it as a zero, not a NaN).
+pub fn gbps(bytes: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        bytes / secs / 1e9
+    }
+}
+
+/// Achieved gigaflops per second.
+pub fn gflops(flops: f64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        flops / secs / 1e9
+    }
+}
+
+/// Relative residual of a measurement against a model prediction:
+/// `(measured − model) / model`. Positive means slower than modeled.
+pub fn relative_residual(measured: f64, model: f64) -> f64 {
+    if model == 0.0 {
+        f64::NAN
+    } else {
+        (measured - model) / model
+    }
+}
+
+/// One parent span checked against the sum of its direct children.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanConsistency {
+    /// Parent span name.
+    pub parent: String,
+    /// Parent wall-clock seconds.
+    pub parent_secs: f64,
+    /// Sum of the direct children's seconds.
+    pub children_secs: f64,
+    /// `children_secs / parent_secs` (1.0 for an exactly-decomposed
+    /// span; NaN-free: 0 when the parent never ran).
+    pub ratio: f64,
+}
+
+impl SpanConsistency {
+    /// Whether the decomposition closes within `tol` (e.g. 0.05 for the
+    /// 5% acceptance bound). Children may undershoot (untimed glue) or
+    /// overshoot (clock granularity); both directions count.
+    pub fn within(&self, tol: f64) -> bool {
+        (self.ratio - 1.0).abs() <= tol
+    }
+}
+
+/// Checks every span that has direct children (`name/…` one level
+/// deeper) against the sum of those children. Spans without children
+/// are leaves and produce no entry.
+pub fn span_consistency(snapshot: &Snapshot) -> Vec<SpanConsistency> {
+    let mut out = Vec::new();
+    for (parent, stat) in &snapshot.spans {
+        let prefix = format!("{parent}/");
+        let children_secs: f64 = snapshot
+            .spans
+            .iter()
+            .filter(|(name, _)| {
+                name.starts_with(&prefix) && !name[prefix.len()..].contains('/')
+            })
+            .map(|(_, s)| s.secs())
+            .sum();
+        if children_secs == 0.0 {
+            continue; // leaf (or children never entered)
+        }
+        let parent_secs = stat.secs();
+        let ratio =
+            if parent_secs > 0.0 { children_secs / parent_secs } else { 0.0 };
+        out.push(SpanConsistency {
+            parent: parent.clone(),
+            parent_secs,
+            children_secs,
+            ratio,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SpanStat;
+
+    #[test]
+    fn rates_are_finite_and_zero_safe() {
+        assert_eq!(gbps(2e9, 1.0), 2.0);
+        assert_eq!(gflops(18e9, 2.0), 9.0);
+        assert_eq!(gbps(1e9, 0.0), 0.0);
+        assert_eq!(gflops(1e9, 0.0), 0.0);
+    }
+
+    #[test]
+    fn residual_signs() {
+        assert!((relative_residual(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert!((relative_residual(0.8, 1.0) + 0.2).abs() < 1e-12);
+        assert!(relative_residual(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn consistency_finds_direct_children_only() {
+        let mut s = Snapshot::default();
+        let span = |ns| SpanStat { count: 1, total_ns: ns };
+        s.spans.insert("solver/block_cg".into(), span(100_000));
+        s.spans.insert("solver/block_cg/init".into(), span(20_000));
+        s.spans.insert("solver/block_cg/iter".into(), span(78_000));
+        // A grandchild must not be double-counted into the root.
+        s.spans.insert("solver/block_cg/iter/gram".into(), span(50_000));
+        let checks = span_consistency(&s);
+        let root = checks.iter().find(|c| c.parent == "solver/block_cg").unwrap();
+        assert!((root.children_secs - 98e-6).abs() < 1e-12);
+        assert!((root.ratio - 0.98).abs() < 1e-9);
+        assert!(root.within(0.05));
+        assert!(!root.within(0.01));
+        // `iter` is itself a parent of `iter/gram`.
+        let iter =
+            checks.iter().find(|c| c.parent == "solver/block_cg/iter").unwrap();
+        assert!((iter.children_secs - 50e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaves_produce_no_entry() {
+        let mut s = Snapshot::default();
+        s.spans.insert("kernel/gspmv".into(), SpanStat { count: 1, total_ns: 10 });
+        assert!(span_consistency(&s).is_empty());
+    }
+}

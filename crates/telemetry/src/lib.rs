@@ -1,0 +1,191 @@
+//! Unified telemetry for the MRHS workspace.
+//!
+//! The paper's whole argument is quantitative — Eq. 8's bandwidth bound,
+//! the Tables VI/VII step breakdowns, the Fig. 8 comm/compute overlap —
+//! so every hot layer of this workspace reports into one place:
+//!
+//! * [`Registry`] — a thread-safe metrics registry holding **atomic
+//!   counters** (`gspmv/flops`, `engine/halo_bytes`, …), **hierarchical
+//!   span timers** with RAII guards (`solver/block_cg/iter`,
+//!   `mrhs/first_solve`, `engine/node0/comm_wait`, …), and **simple
+//!   histograms** (log₂-bucketed nanoseconds, for per-iteration
+//!   latencies).
+//! * [`Snapshot`] — a point-in-time copy of the registry with
+//!   [`Snapshot::diff`] semantics, so an experiment brackets itself with
+//!   two snapshots and reports only its own increments.
+//! * [`json`] — a minimal JSON value type with serializer and parser.
+//!   The build container has no crates.io access, so this stands in for
+//!   serde-JSON exactly like the `shims/` crates stand in for rayon and
+//!   friends; it implements the subset the [`report`] schema needs.
+//! * [`derived`] — achieved GB/s and GF/s from counters + span times,
+//!   relative residuals against model predictions, and span-tree
+//!   consistency (children must sum to their parent's wall-clock).
+//! * [`report`] — the versioned [`report::BenchReport`] the `repro
+//!   --json` flag writes, so CI accumulates a machine-readable perf
+//!   trajectory instead of free text.
+//!
+//! ## Global registry and zero-cost disabling
+//!
+//! Instrumentation sites call the free functions ([`counter_add`],
+//! [`span`], [`time_span`], …), which forward to a process-global
+//! [`Registry`] **only when telemetry is enabled** — via
+//! [`set_enabled`]`(true)` or the `MRHS_TELEMETRY=1` environment
+//! variable. Disabled (the default), every call is one relaxed atomic
+//! load and a branch: no clock reads, no allocation, no locks.
+//! Telemetry only ever *observes* timings and sizes — it never touches
+//! an operand — so numerics are bitwise identical with it on or off
+//! (the oracle determinism suite runs under `MRHS_TELEMETRY=1` in CI to
+//! pin exactly that).
+//!
+//! ## Span taxonomy
+//!
+//! Span names are `/`-separated paths; a span named `a/b/c` is a child
+//! of `a/b`. The workspace convention (see DESIGN.md §12):
+//!
+//! * `kernel/…`  — GSPMV invocations (`kernel/gspmv/m8`, `kernel/gspmv_sym/m8`)
+//! * `solver/…`  — solver totals and phases (`solver/block_cg`,
+//!   `solver/block_cg/init`, `solver/block_cg/iter`, `solver/cheb/apply`)
+//! * `mrhs/…`    — the Alg. 2 driver's step phases, mirroring
+//!   `StepTimings` (`mrhs/assemble`, `mrhs/cheb_vectors`, …)
+//! * `engine/…`  — distributed engine (`engine/node3/comm_wait`, …)
+
+pub mod derived;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod snapshot;
+
+pub use registry::{Registry, SpanGuard};
+pub use snapshot::{HistSnapshot, Snapshot, SpanStat};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+fn flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = std::env::var("MRHS_TELEMETRY")
+            .map(|v| matches!(v.as_str(), "1" | "on" | "true"))
+            .unwrap_or(false);
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether the global registry records anything. Defaults to the
+/// `MRHS_TELEMETRY` environment variable (read once).
+pub fn enabled() -> bool {
+    flag().load(Ordering::Relaxed)
+}
+
+/// Turns global recording on or off at runtime (overrides the
+/// environment default).
+pub fn set_enabled(on: bool) {
+    flag().store(on, Ordering::Relaxed);
+}
+
+/// The process-global registry. Accessible even while disabled (e.g. to
+/// snapshot whatever was recorded before disabling).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `v` to the named global counter (no-op while disabled).
+#[inline]
+pub fn counter_add(name: &str, v: u64) {
+    if enabled() {
+        global().counter_add(name, v);
+    }
+}
+
+/// Opens an RAII span on the global registry; the guard records the
+/// elapsed wall-clock into the span on drop. While disabled this
+/// returns an inert guard without reading the clock.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if enabled() {
+        global().span(name)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Times `f`, returning its result and the elapsed duration, and
+/// records the duration under `name` when telemetry is enabled. The
+/// clock is read whether or not telemetry is on — this is the helper
+/// for call sites (the MRHS driver) that need the duration themselves;
+/// `StepTimings` is built from exactly these durations, making it a
+/// thin view over the recorded spans.
+#[inline]
+pub fn time_span<T>(name: &str, f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let out = f();
+    let dt = t.elapsed();
+    if enabled() {
+        global().record_span(name, dt);
+    }
+    (out, dt)
+}
+
+/// Records an externally measured duration under `name` (no-op while
+/// disabled) — how the distributed engine reports phase timings that
+/// its worker threads measured themselves.
+#[inline]
+pub fn record_span_secs(name: &str, secs: f64) {
+    if enabled() {
+        global().record_span(name, Duration::from_secs_f64(secs.max(0.0)));
+    }
+}
+
+/// Records a nanosecond sample into the named global histogram (no-op
+/// while disabled).
+#[inline]
+pub fn histogram_record_ns(name: &str, ns: u64) {
+    if enabled() {
+        global().histogram_record_ns(name, ns);
+    }
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_global_records_nothing() {
+        // Tests run in one process; use names unique to this test and
+        // force the flag off around it.
+        let was = enabled();
+        set_enabled(false);
+        counter_add("test/disabled_counter", 3);
+        {
+            let _g = span("test/disabled_span");
+        }
+        let snap = snapshot();
+        assert!(!snap.counters.contains_key("test/disabled_counter"));
+        assert!(!snap.spans.contains_key("test/disabled_span"));
+        set_enabled(was);
+    }
+
+    #[test]
+    fn enabled_global_records() {
+        let was = enabled();
+        set_enabled(true);
+        counter_add("test/enabled_counter", 2);
+        counter_add("test/enabled_counter", 5);
+        let ((), dt) = time_span("test/enabled_span", || {
+            std::hint::black_box(());
+        });
+        let snap = snapshot();
+        assert_eq!(snap.counters["test/enabled_counter"], 7);
+        let s = &snap.spans["test/enabled_span"];
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= dt.as_nanos() as u64);
+        set_enabled(was);
+    }
+}

@@ -1,0 +1,274 @@
+//! The metrics registry: atomic counters, span timers, histograms.
+//!
+//! Names are interned in per-kind maps guarded by plain mutexes; the
+//! hot path after interning is a lock-free atomic add. A GSPMV records
+//! a handful of counters per *call* (never per row), so the lock is
+//! taken a few times per multiply — noise next to the multiply itself.
+
+use crate::snapshot::{HistSnapshot, Snapshot, SpanStat};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of log₂ buckets in a histogram: bucket `i` counts samples
+/// `v` with `64 - v.leading_zeros() == i`, i.e. `2^(i-1) ≤ v < 2^i`
+/// (bucket 0 holds `v == 0`). 64 buckets cover the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+pub(crate) struct SpanCell {
+    pub total_ns: AtomicU64,
+    pub count: AtomicU64,
+}
+
+pub(crate) struct HistCell {
+    pub count: AtomicU64,
+    pub sum: AtomicU64,
+    pub buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Thread-safe metrics registry. The free functions in the crate root
+/// forward to a process-global instance; tests and tools may hold
+/// private instances (a private registry always records — the global
+/// enable flag only gates the global one).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<HashMap<String, Arc<SpanCell>>>,
+    hists: Mutex<HashMap<String, Arc<HistCell>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().unwrap();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    fn span_cell(&self, name: &str) -> Arc<SpanCell> {
+        let mut map = self.spans.lock().unwrap();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(SpanCell {
+                    total_ns: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                });
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    fn hist_cell(&self, name: &str) -> Arc<HistCell> {
+        let mut map = self.hists.lock().unwrap();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(HistCell {
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                });
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// Adds `v` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        self.counter_cell(name).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Opens an RAII span: the returned guard adds the elapsed
+    /// wall-clock to `name` when dropped.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard { active: Some((self.span_cell(name), Instant::now())) }
+    }
+
+    /// Records an externally measured duration under `name`.
+    pub fn record_span(&self, name: &str, dt: Duration) {
+        let cell = self.span_cell(name);
+        cell.total_ns.fetch_add(
+            dt.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        cell.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one nanosecond sample into the named histogram.
+    pub fn histogram_record_ns(&self, name: &str, ns: u64) {
+        let cell = self.hist_cell(name);
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum.fetch_add(ns, Ordering::Relaxed);
+        let bucket = (64 - ns.leading_zeros()) as usize;
+        cell.buckets[bucket.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    SpanStat {
+                        count: v.count.load(Ordering::Relaxed),
+                        total_ns: v.total_ns.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect();
+        let histograms = self
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| {
+                let buckets: Vec<(u8, u64)> = v
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i as u8, n))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistSnapshot {
+                        count: v.count.load(Ordering::Relaxed),
+                        sum: v.sum.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        Snapshot { counters, spans, histograms }
+    }
+}
+
+/// RAII span timer: records the time from construction to drop. An
+/// inert guard (telemetry disabled) carries no clock reading and
+/// records nothing.
+pub struct SpanGuard {
+    active: Option<(Arc<SpanCell>, Instant)>,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing on drop.
+    pub fn inert() -> Self {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((cell, start)) = self.active.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+            cell.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("a", 1);
+        r.counter_add("a", 2);
+        r.counter_add("b", 5);
+        assert_eq!(r.counter_value("a"), 3);
+        assert_eq!(r.counter_value("b"), 5);
+        assert_eq!(r.counter_value("never"), 0);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let r = Registry::new();
+        {
+            let _g = r.span("s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = r.snapshot();
+        let s = &snap.spans["s"];
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= 1_000_000, "{}", s.total_ns);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let r = Registry::new();
+        r.histogram_record_ns("h", 0);
+        r.histogram_record_ns("h", 1);
+        r.histogram_record_ns("h", 2);
+        r.histogram_record_ns("h", 3);
+        r.histogram_record_ns("h", 1024);
+        let snap = r.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        // v=0 → bucket 0; v=1 → bucket 1; v∈{2,3} → bucket 2; 1024 → 11.
+        let get = |b: u8| {
+            h.buckets.iter().find(|(i, _)| *i == b).map(|(_, n)| *n).unwrap_or(0)
+        };
+        assert_eq!(get(0), 1);
+        assert_eq!(get(1), 1);
+        assert_eq!(get(2), 2);
+        assert_eq!(get(11), 1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_nothing() {
+        let r = std::sync::Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = std::sync::Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    r.counter_add("contended", 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter_value("contended"), 80_000);
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration tests for the telemetry crate: snapshot/diff arithmetic
+//! on the global registry, and lossless concurrent counting from the
+//! rayon worker pool (the same pool the GSPMV kernels record from).
+
+use mrhs_telemetry as telemetry;
+
+/// Bracketing an experiment with two snapshots isolates exactly its own
+/// increments, and the diffs of adjacent brackets add back up to the
+/// enclosing diff.
+#[test]
+fn snapshot_diff_brackets_an_experiment() {
+    telemetry::set_enabled(true);
+    // Unique names: integration tests share the process-global registry
+    // across #[test] threads.
+    let base = telemetry::snapshot();
+
+    telemetry::counter_add("itest/bracket/flops", 100);
+    let mid = telemetry::snapshot();
+    telemetry::counter_add("itest/bracket/flops", 250);
+    telemetry::counter_add("itest/bracket/bytes", 4096);
+    let end = telemetry::snapshot();
+
+    let first = mid.diff(&base);
+    let second = end.diff(&mid);
+    let whole = end.diff(&base);
+
+    assert_eq!(first.counter("itest/bracket/flops"), 100);
+    assert_eq!(second.counter("itest/bracket/flops"), 250);
+    assert_eq!(second.counter("itest/bracket/bytes"), 4096);
+    assert_eq!(
+        whole.counter("itest/bracket/flops"),
+        first.counter("itest/bracket/flops")
+            + second.counter("itest/bracket/flops")
+    );
+    assert_eq!(whole.counter("itest/bracket/bytes"), 4096);
+}
+
+/// Span stats bracket the same way counters do.
+#[test]
+fn snapshot_diff_isolates_span_counts() {
+    telemetry::set_enabled(true);
+    let base = telemetry::snapshot();
+    for _ in 0..3 {
+        let _g = telemetry::span("itest/span/inner");
+    }
+    let d = telemetry::snapshot().diff(&base);
+    assert_eq!(d.spans["itest/span/inner"].count, 3);
+}
+
+/// Concurrent increments from the rayon pool — the exact pattern the
+/// parallel GSPMV paths use — must lose no updates.
+#[test]
+fn rayon_pool_increments_lose_nothing() {
+    telemetry::set_enabled(true);
+    let base = telemetry::snapshot();
+
+    const TASKS: u64 = 64;
+    const PER_TASK: u64 = 1_000;
+    rayon::scope(|s| {
+        for _ in 0..TASKS {
+            s.spawn(|_| {
+                for _ in 0..PER_TASK {
+                    telemetry::counter_add("itest/rayon/contended", 1);
+                }
+            });
+        }
+    });
+
+    let d = telemetry::snapshot().diff(&base);
+    assert_eq!(d.counter("itest/rayon/contended"), TASKS * PER_TASK);
+}
