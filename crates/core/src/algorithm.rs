@@ -208,9 +208,12 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
 
     let mut steps = Vec::with_capacity(m);
 
-    // Reused per-step column buffers (no per-iteration allocation).
-    let mut zk = vec![0.0; n];
-    let mut uk = vec![0.0; n];
+    // Reused per-step column buffers (no per-iteration allocation),
+    // filled through the same `gather_columns_into` helper the solve
+    // service's batcher uses; a width-1 `MultiVec`'s flat buffer *is*
+    // the column, so the scalar solvers consume it directly.
+    let mut zk = MultiVec::zeros(n, 1);
+    let mut uk = MultiVec::zeros(n, 1);
 
     // -- Alg. 2 steps 4–14: every step warm-starts from its column ----
     for k in 0..m {
@@ -233,12 +236,12 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
 
         // f_B(k) = S(R_k)·z_k; the head step's is column 0 of the block.
         let fbk = if k == 0 {
-            rhs.column(0)
+            rhs.gather_columns(&[0]).into_flat()
         } else {
-            z.copy_column_into(k, &mut zk);
+            z.gather_columns_into(&[k], &mut zk);
             let (fbk, dt) = time_span("mrhs/cheb_single", || {
                 let mut fbk = vec![0.0; n];
-                cheb.apply(&rk, &zk, &mut fbk);
+                cheb.apply(&rk, zk.as_slice(), &mut fbk);
                 let mut ext = vec![0.0; n];
                 system.add_external_forces(&mut ext);
                 for (v, e) in fbk.iter_mut().zip(&ext) {
@@ -251,14 +254,17 @@ pub fn run_mrhs_chunk<S: ResistanceSystem, N: NoiseSource>(
         };
 
         // First solve, warm-started from the auxiliary solution u'_k.
-        u.copy_column_into(k, &mut uk);
-        let guess = (k > 0 && cfg.record_guess_errors).then(|| uk.clone());
-        let (res1, dt) =
-            time_span("mrhs/first_solve", || cg(&rk, &fbk, &mut uk, &cfg.solve));
+        u.gather_columns_into(&[k], &mut uk);
+        let guess =
+            (k > 0 && cfg.record_guess_errors).then(|| uk.as_slice().to_vec());
+        let (res1, dt) = time_span("mrhs/first_solve", || {
+            cg(&rk, &fbk, uk.as_mut_slice(), &cfg.solve)
+        });
         timings.first_solve += dt;
-        let guess_relative_error = guess.map(|g| relative_error(&uk, &g));
+        let guess_relative_error = guess.map(|g| relative_error(uk.as_slice(), &g));
 
-        let stats = midpoint_second_half(system, &cheb, &uk, &fbk, cfg, timings);
+        let stats =
+            midpoint_second_half(system, &cheb, uk.as_slice(), &fbk, cfg, timings);
         steps.push(StepStats {
             first_solve_iterations: res1.iterations,
             guess_relative_error,

@@ -1,0 +1,408 @@
+//! Bounded pending-request queue and the coalescing dispatch policy.
+//!
+//! The policy balances the two costs in the paper's Eq. 8 trade-off:
+//! dispatching too narrow wastes the amortized matrix stream (each
+//! block iteration streams the matrix once for *all* pending columns),
+//! while waiting too long to fill a batch adds queueing latency. A
+//! batch for the head request's matrix is dispatched when
+//!
+//! * the pending width for that matrix reaches `max_batch` (the
+//!   configured `m_s` target), or
+//! * the head request has lingered for `linger`, or
+//! * the head request's deadline minus the current solve-time estimate
+//!   is due (draining a partial batch beats expiring it), or
+//! * the service is shutting down (`flush`).
+//!
+//! Requests whose deadline passes while still queued are expired
+//! without being solved. The queue is bounded in *columns* (the unit
+//! that costs memory bandwidth), and `try_push` rejects when full so
+//! the server can push back instead of buffering unboundedly.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::registry::{MatrixHandle, PreparedMatrix};
+use crate::request::Completion;
+use mrhs_sparse::MultiVec;
+
+/// Dispatch-policy knobs (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Target coalesced width — clamp of `perfmodel::m_optimal` to the
+    /// bandwidth→compute switch point `m_s`.
+    pub max_batch: usize,
+    /// Queue bound, in columns.
+    pub queue_capacity: usize,
+    /// How long the oldest pending request may wait for batchmates.
+    pub linger: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            queue_capacity: 64,
+            linger: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A queued request.
+pub(crate) struct Pending {
+    pub matrix: Arc<PreparedMatrix>,
+    pub handle: MatrixHandle,
+    pub rhs: MultiVec,
+    pub tol: f64,
+    pub enqueued: Instant,
+    pub deadline: Option<Instant>,
+    pub completion: Arc<Completion>,
+}
+
+impl Pending {
+    pub(crate) fn width(&self) -> usize {
+        self.rhs.m()
+    }
+}
+
+/// Outcome of one dispatch poll.
+pub(crate) enum Poll {
+    /// A batch to solve now (all entries share one matrix handle).
+    Batch(Vec<Pending>),
+    /// Nothing ready; next trigger at the given instant.
+    Wait(Instant),
+    /// Queue is empty.
+    Empty,
+}
+
+/// The bounded queue plus the dispatch policy. Not thread-safe by
+/// itself — the server wraps it in a mutex/condvar pair.
+pub(crate) struct Batcher {
+    policy: BatchPolicy,
+    queue: VecDeque<Pending>,
+    columns: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(
+            policy.queue_capacity >= policy.max_batch,
+            "queue must hold at least one full batch"
+        );
+        Batcher { policy, queue: VecDeque::new(), columns: 0 }
+    }
+
+    /// Queued columns (the bounded resource).
+    pub(crate) fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Queued requests.
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Accepts a request, or hands it back when the column bound would
+    /// be exceeded.
+    pub(crate) fn try_push(&mut self, p: Pending) -> Result<(), Pending> {
+        let w = p.width();
+        if self.columns + w > self.policy.queue_capacity {
+            return Err(p);
+        }
+        self.columns += w;
+        self.queue.push_back(p);
+        Ok(())
+    }
+
+    /// Moves requests whose deadline has passed into `expired`.
+    fn expire(&mut self, now: Instant, expired: &mut Vec<Pending>) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            match self.queue[i].deadline {
+                Some(d) if now >= d => {
+                    let p = self.queue.remove(i).unwrap();
+                    self.columns -= p.width();
+                    expired.push(p);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// The instant at which the head request stops waiting for
+    /// batchmates: its linger expiry, pulled earlier when its deadline
+    /// (minus the current solve-time estimate) is closer. The margin
+    /// floor keeps the drain trigger strictly before the deadline even
+    /// while the solve estimate is still zero — otherwise the wakeup
+    /// that should dispatch the request lands exactly on the deadline
+    /// and expires it instead.
+    fn head_trigger(&self, head: &Pending, solve_est: Duration) -> Instant {
+        const DRAIN_MARGIN: Duration = Duration::from_millis(5);
+        let mut t = head.enqueued + self.policy.linger;
+        if let Some(d) = head.deadline {
+            let margin = solve_est.max(DRAIN_MARGIN);
+            t = t.min(d.checked_sub(margin).unwrap_or(head.enqueued));
+        }
+        t
+    }
+
+    /// One dispatch decision. `flush` forces partial batches out
+    /// (shutdown drain); `solve_est` is the server's running estimate
+    /// of one batch solve, used to drain deadline-pressed batches early
+    /// enough to still meet the deadline.
+    pub(crate) fn poll(
+        &mut self,
+        now: Instant,
+        flush: bool,
+        solve_est: Duration,
+        expired: &mut Vec<Pending>,
+    ) -> Poll {
+        self.expire(now, expired);
+        let head = match self.queue.front() {
+            Some(h) => h,
+            None => return Poll::Empty,
+        };
+
+        let pending_width: usize = self
+            .queue
+            .iter()
+            .filter(|p| p.handle == head.handle)
+            .map(Pending::width)
+            .sum();
+        let trigger = self.head_trigger(head, solve_est);
+        let ready =
+            flush || pending_width >= self.policy.max_batch || now >= trigger;
+        if !ready {
+            // Wake early enough to expire any queued deadline, too.
+            let wake = self
+                .queue
+                .iter()
+                .filter_map(|p| p.deadline)
+                .fold(trigger, Instant::min);
+            return Poll::Wait(wake);
+        }
+
+        // Select FIFO among same-handle requests. The head always goes
+        // (even if wider than max_batch — it is solved as its own
+        // batch); later requests join while they fit.
+        let handle = head.handle;
+        let mut picked = Vec::new();
+        let mut width = 0usize;
+        let mut i = 0;
+        while i < self.queue.len() {
+            let p = &self.queue[i];
+            let fits = width + p.width() <= self.policy.max_batch;
+            if p.handle == handle && (picked.is_empty() || fits) {
+                let p = self.queue.remove(i).unwrap();
+                width += p.width();
+                self.columns -= p.width();
+                picked.push(p);
+                if width >= self.policy.max_batch {
+                    break;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Poll::Batch(picked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MatrixRegistry;
+    use mrhs_sparse::{Block3, BlockTripletBuilder};
+
+    fn registry_with(n: usize) -> (MatrixRegistry, Vec<MatrixHandle>) {
+        let reg = MatrixRegistry::new();
+        let mut handles = Vec::new();
+        for k in 0..n {
+            let mut t = BlockTripletBuilder::square(2);
+            t.add(0, 0, Block3::scaled_identity(3.0 + k as f64));
+            t.add(1, 1, Block3::scaled_identity(3.0 + k as f64));
+            handles.push(reg.register_full(&format!("m{k}"), t.build()));
+        }
+        (reg, handles)
+    }
+
+    fn pending(
+        reg: &MatrixRegistry,
+        h: MatrixHandle,
+        width: usize,
+        at: Instant,
+        deadline: Option<Duration>,
+    ) -> Pending {
+        let m = reg.get(h).unwrap();
+        Pending {
+            rhs: MultiVec::zeros(m.dim(), width),
+            matrix: m,
+            handle: h,
+            tol: 1e-6,
+            enqueued: at,
+            deadline: deadline.map(|d| at + d),
+            completion: Arc::new(Completion::new()),
+        }
+    }
+
+    fn policy(max_batch: usize, cap: usize, linger_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            queue_capacity: cap,
+            linger: Duration::from_millis(linger_ms),
+        }
+    }
+
+    #[test]
+    fn fills_to_max_batch_and_dispatches_immediately() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(4, 16, 1000));
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        }
+        let mut exp = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => {
+                assert_eq!(batch.len(), 4, "coalesces to max_batch");
+            }
+            _ => panic!("expected a full batch"),
+        }
+        assert_eq!(b.len(), 1, "fifth request stays queued");
+        assert!(exp.is_empty());
+    }
+
+    #[test]
+    fn partial_batch_waits_for_linger_then_drains() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(8, 16, 10));
+        let t0 = Instant::now();
+        b.try_push(pending(&reg, hs[0], 2, t0, None)).ok().unwrap();
+        let mut exp = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Wait(until) => {
+                assert_eq!(until, t0 + Duration::from_millis(10));
+            }
+            _ => panic!("partial batch must linger"),
+        }
+        match b.poll(
+            t0 + Duration::from_millis(11),
+            false,
+            Duration::ZERO,
+            &mut exp,
+        ) {
+            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            _ => panic!("linger expiry must drain the partial batch"),
+        }
+    }
+
+    #[test]
+    fn flush_drains_partial_batches_without_linger() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let t0 = Instant::now();
+        b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        let mut exp = Vec::new();
+        match b.poll(t0, true, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            _ => panic!("flush must dispatch immediately"),
+        }
+    }
+
+    #[test]
+    fn batches_never_mix_matrix_handles() {
+        let (reg, hs) = registry_with(2);
+        let mut b = Batcher::new(policy(4, 16, 0));
+        let t0 = Instant::now();
+        b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        b.try_push(pending(&reg, hs[1], 1, t0, None)).ok().unwrap();
+        b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        let mut exp = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => {
+                assert_eq!(batch.len(), 2);
+                assert!(batch.iter().all(|p| p.handle == hs[0]));
+            }
+            _ => panic!("expected a batch"),
+        }
+        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].handle, hs[1]);
+            }
+            _ => panic!("expected the other matrix's batch"),
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_are_removed_not_solved() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(4, 16, 10_000));
+        let t0 = Instant::now();
+        b.try_push(pending(&reg, hs[0], 1, t0, Some(Duration::ZERO))).ok().unwrap();
+        b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        let mut exp = Vec::new();
+        let r =
+            b.poll(t0 + Duration::from_millis(1), false, Duration::ZERO, &mut exp);
+        assert_eq!(exp.len(), 1, "zero deadline expires in queue");
+        assert!(matches!(r, Poll::Wait(_)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.columns(), 1);
+    }
+
+    #[test]
+    fn deadline_pressure_drains_before_linger() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let t0 = Instant::now();
+        // Deadline 20ms out, solves take ~5ms: must dispatch by ~15ms,
+        // long before the 10s linger.
+        b.try_push(pending(&reg, hs[0], 1, t0, Some(Duration::from_millis(20))))
+            .ok()
+            .unwrap();
+        let mut exp = Vec::new();
+        let est = Duration::from_millis(5);
+        match b.poll(t0, false, est, &mut exp) {
+            Poll::Wait(until) => {
+                assert_eq!(until, t0 + Duration::from_millis(15));
+            }
+            _ => panic!("should wait until deadline pressure"),
+        }
+        match b.poll(t0 + Duration::from_millis(16), false, est, &mut exp) {
+            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            _ => panic!("deadline pressure must dispatch"),
+        }
+        assert!(exp.is_empty(), "drained, not expired");
+    }
+
+    #[test]
+    fn try_push_bounds_queued_columns() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(4, 4, 0));
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        }
+        let back = b.try_push(pending(&reg, hs[0], 1, t0, None));
+        assert!(back.is_err(), "fifth column must be rejected");
+        assert_eq!(b.columns(), 4);
+    }
+
+    #[test]
+    fn oversized_request_dispatches_as_its_own_batch() {
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(4, 16, 0));
+        let t0 = Instant::now();
+        b.try_push(pending(&reg, hs[0], 6, t0, None)).ok().unwrap();
+        b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
+        let mut exp = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(batch[0].width(), 6);
+            }
+            _ => panic!("expected the wide request alone"),
+        }
+    }
+}

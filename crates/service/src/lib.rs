@@ -1,0 +1,44 @@
+//! A request-coalescing block-solve server.
+//!
+//! The paper's central observation (Eq. 8) is that a GSPMV with `m`
+//! right-hand sides costs about twice one RHS up to the
+//! bandwidth→compute switch point `m_s`, because the matrix is streamed
+//! from memory once regardless of `m`. Algorithm 2 exploits this by
+//! *manufacturing* a batch out of future time steps of one simulation.
+//! This crate exploits it the other way around, the way an inference
+//! stack does: many independent clients each submit a single-RHS (or
+//! small multi-RHS) solve against a *shared* registered matrix, and the
+//! server coalesces whatever is pending into one block-CG solve whose
+//! width targets `m_s` (continuous batching).
+//!
+//! The moving parts:
+//!
+//! * [`MatrixRegistry`] — prepared operators (full BCRS,
+//!   symmetric-storage, or any boxed [`LinearOperator`] such as a
+//!   cluster `DistEngine`) keyed by an opaque [`MatrixHandle`];
+//! * [`Batcher`] — a bounded FIFO of pending requests with a
+//!   linger/deadline drain policy and backpressure
+//!   ([`SubmitError::QueueFull`] carries a `retry_after` hint);
+//! * [`SolveService`] — worker threads that gather pending right-hand
+//!   sides into a `MultiVec`, run block CG with per-column tolerances,
+//!   and scatter solutions back to per-request [`Ticket`]s;
+//! * solo-retry failure isolation: a column that fails inside a batch
+//!   (breakdown, non-convergence, a poisoned NaN right-hand side) is
+//!   retried with a plain single-RHS CG before the request is failed,
+//!   so one pathological RHS cannot take down its batchmates;
+//! * [`ArrivalTrace`] — Poisson/bursty arrival traces for the
+//!   `service-bench` driver.
+//!
+//! [`LinearOperator`]: mrhs_solvers::LinearOperator
+
+pub mod batcher;
+pub mod registry;
+pub mod request;
+pub mod server;
+pub mod trace;
+
+pub use batcher::BatchPolicy;
+pub use registry::{MatrixHandle, MatrixRegistry, PreparedMatrix, StorageKind};
+pub use request::{RequestOptions, SolveError, SolveOutput, SubmitError, Ticket};
+pub use server::{model_batch_width, ServiceConfig, ServiceStats, SolveService};
+pub use trace::{Arrival, ArrivalTrace};

@@ -1,0 +1,503 @@
+//! The solve service: worker threads draining the [`Batcher`] into
+//! coalesced block-CG solves.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use mrhs_perfmodel::mrhs_model::SolveCounts;
+use mrhs_perfmodel::{GspmvModel, MrhsModel};
+use mrhs_solvers::{block_cg_with_options, cg, BlockCgOptions, SolveConfig};
+use mrhs_sparse::MultiVec;
+use mrhs_telemetry as telemetry;
+
+use crate::batcher::{BatchPolicy, Batcher, Pending, Poll};
+use crate::registry::{MatrixHandle, MatrixRegistry};
+use crate::request::{
+    Completion, RequestOptions, SolveError, SolveOutput, SubmitError, Ticket,
+};
+
+/// The width the service should coalesce to: the Eq. 9 minimizer
+/// `m_optimal`, clamped to the bandwidth→compute switch point `m_s`
+/// (Eq. 8) — beyond `m_s` each extra column pays full compute cost, so
+/// there is no serving win in batching wider — then snapped **down** to
+/// the nearest kernel-specialized width. The GSPMV and dense multivector
+/// kernels only monomorphize the widths in
+/// [`mrhs_sparse::SPECIALIZED_WIDTHS`]; an off-grid width (say 5) falls
+/// onto generic fallback loops whose per-iteration cost dwarfs the
+/// Eq. 8 amortization it was meant to buy.
+pub fn model_batch_width(
+    gspmv: &GspmvModel,
+    counts: SolveCounts,
+    cap: usize,
+) -> usize {
+    let model = MrhsModel { gspmv: *gspmv, counts };
+    let m_opt = model.m_optimal(cap.max(1));
+    let target = match gspmv.switch_point() {
+        Some(ms) => m_opt.min(ms).max(1),
+        None => m_opt.max(1),
+    };
+    snap_to_specialized(target)
+}
+
+/// Largest kernel-specialized width `<= target` (the set always
+/// contains 1, so this is total).
+fn snap_to_specialized(target: usize) -> usize {
+    mrhs_sparse::SPECIALIZED_WIDTHS
+        .iter()
+        .copied()
+        .filter(|&w| w <= target)
+        .max()
+        .unwrap_or(1)
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue. One worker already realizes
+    /// the Eq. 8 coalescing win (the matrix is streamed once per block
+    /// iteration for every batched column); more workers add
+    /// concurrency across *different* matrices.
+    pub workers: usize,
+    /// Queue bound, linger, and the target batch width (`m_s`).
+    pub policy: BatchPolicy,
+    /// Default relative tolerance when a request does not set one.
+    pub default_tol: f64,
+    /// Iteration cap for batched solves and solo retries.
+    pub max_iter: usize,
+    /// Retry failed batch members with a single-RHS CG before failing
+    /// them (failure isolation; see module docs of [`crate`]).
+    pub solo_retry: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            policy: BatchPolicy::default(),
+            default_tol: 1e-6,
+            max_iter: 1000,
+            solo_retry: true,
+        }
+    }
+}
+
+/// Monotonic counters describing service activity so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed ([`SolveError::DidNotConverge`]).
+    pub failed: u64,
+    /// Requests expired in queue ([`SolveError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Coalesced block solves dispatched.
+    pub batches: u64,
+    /// Total columns across all dispatched batches.
+    pub coalesced_columns: u64,
+    /// Batches dispatched at exactly the target width.
+    pub full_batches: u64,
+    /// Columns that went through the solo-retry path.
+    pub solo_retries: u64,
+    /// The configured target width (for efficiency calculations).
+    pub target_width: u64,
+}
+
+impl ServiceStats {
+    /// Achieved width / target width, averaged over batches — 1.0 when
+    /// every solve runs at the model-optimal width.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.batches == 0 || self.target_width == 0 {
+            return 0.0;
+        }
+        self.coalesced_columns as f64 / (self.batches * self.target_width) as f64
+    }
+}
+
+struct Inner {
+    registry: MatrixRegistry,
+    cfg: ServiceConfig,
+    state: Mutex<Batcher>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// EWMA of batch solve time, nanoseconds (retry-after and
+    /// deadline-pressure estimates).
+    ewma_solve_ns: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    coalesced_columns: AtomicU64,
+    full_batches: AtomicU64,
+    solo_retries: AtomicU64,
+}
+
+/// A running solve service. Dropping it shuts down and joins the
+/// workers (draining the queue first).
+pub struct SolveService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl SolveService {
+    /// Starts worker threads over the given registry.
+    pub fn start(registry: MatrixRegistry, cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let inner = Arc::new(Inner {
+            registry,
+            state: Mutex::new(Batcher::new(cfg.policy)),
+            cfg,
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            ewma_solve_ns: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_columns: AtomicU64::new(0),
+            full_batches: AtomicU64::new(0),
+            solo_retries: AtomicU64::new(0),
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|k| {
+                let inner = inner.clone();
+                thread::Builder::new()
+                    .name(format!("mrhs-service-{k}"))
+                    .spawn(move || worker_main(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        SolveService { inner, workers: Mutex::new(workers) }
+    }
+
+    /// The registry this service serves from (register matrices here).
+    pub fn registry(&self) -> &MatrixRegistry {
+        &self.inner.registry
+    }
+
+    /// Submits a (possibly multi-column) solve request.
+    pub fn submit(
+        &self,
+        handle: MatrixHandle,
+        rhs: MultiVec,
+        opts: RequestOptions,
+    ) -> Result<Ticket, SubmitError> {
+        let inner = &*self.inner;
+        let matrix =
+            inner.registry.get(handle).ok_or(SubmitError::UnknownMatrix)?;
+        if rhs.n() != matrix.dim() {
+            return Err(SubmitError::ShapeMismatch {
+                expected: matrix.dim(),
+                got: rhs.n(),
+            });
+        }
+        let now = Instant::now();
+        let completion = Arc::new(Completion::new());
+        let pending = Pending {
+            matrix,
+            handle,
+            rhs,
+            tol: opts.tol.unwrap_or(inner.cfg.default_tol),
+            enqueued: now,
+            deadline: opts.deadline.map(|d| now + d),
+            completion: completion.clone(),
+        };
+        {
+            let mut st = inner.state.lock().unwrap();
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return Err(SubmitError::ShuttingDown);
+            }
+            telemetry::histogram_record_ns(
+                "service/queue_depth_cols",
+                st.columns() as u64,
+            );
+            telemetry::histogram_record_ns(
+                "service/queue_depth_reqs",
+                st.len() as u64,
+            );
+            if st.try_push(pending).is_err() {
+                inner.rejected.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter_add("service/rejected", 1);
+                return Err(SubmitError::QueueFull {
+                    retry_after: self.solve_estimate(),
+                });
+            }
+        }
+        inner.accepted.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("service/accepted", 1);
+        inner.cv.notify_all();
+        Ok(Ticket { shared: completion, submitted: now })
+    }
+
+    /// Convenience: submit one right-hand side with default options.
+    pub fn submit_one(
+        &self,
+        handle: MatrixHandle,
+        rhs: &[f64],
+    ) -> Result<Ticket, SubmitError> {
+        let mut mv = MultiVec::zeros(rhs.len(), 1);
+        mv.set_column(0, rhs);
+        self.submit(handle, mv, RequestOptions::default())
+    }
+
+    /// Current activity counters.
+    pub fn stats(&self) -> ServiceStats {
+        let i = &*self.inner;
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            accepted: ld(&i.accepted),
+            rejected: ld(&i.rejected),
+            completed: ld(&i.completed),
+            failed: ld(&i.failed),
+            expired: ld(&i.expired),
+            batches: ld(&i.batches),
+            coalesced_columns: ld(&i.coalesced_columns),
+            full_batches: ld(&i.full_batches),
+            solo_retries: ld(&i.solo_retries),
+            target_width: i.cfg.policy.max_batch as u64,
+        }
+    }
+
+    /// The running batch solve-time estimate (the `retry_after` hint).
+    pub fn solve_estimate(&self) -> Duration {
+        let ns = self.inner.ewma_solve_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(ns).max(Duration::from_micros(100))
+    }
+
+    /// Stops accepting requests, drains the queue, and joins the
+    /// workers. Propagates worker panics (a lost/duplicated completion
+    /// panics the worker). Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            h.join().expect("service worker panicked");
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        // Swallow panics here: `shutdown()` is the propagating path,
+        // and a second panic while unwinding would abort.
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(inner: &Inner) {
+    let mut expired: Vec<Pending> = Vec::new();
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                let flush = inner.shutdown.load(Ordering::SeqCst);
+                let est = Duration::from_nanos(
+                    inner.ewma_solve_ns.load(Ordering::Relaxed),
+                );
+                match st.poll(Instant::now(), flush, est, &mut expired) {
+                    Poll::Batch(b) => break Some(b),
+                    Poll::Empty => {
+                        if !expired.is_empty() {
+                            break None;
+                        }
+                        if flush {
+                            return;
+                        }
+                        let (g, _) = inner
+                            .cv
+                            .wait_timeout(st, Duration::from_millis(100))
+                            .unwrap();
+                        st = g;
+                    }
+                    Poll::Wait(until) => {
+                        if !expired.is_empty() {
+                            break None;
+                        }
+                        let dur = until
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(100))
+                            .max(Duration::from_micros(50));
+                        let (g, _) = inner.cv.wait_timeout(st, dur).unwrap();
+                        st = g;
+                    }
+                }
+            }
+        };
+        for p in expired.drain(..) {
+            let waited = p.enqueued.elapsed();
+            inner.expired.fetch_add(1, Ordering::Relaxed);
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("service/expired", 1);
+            p.completion.complete(Err(SolveError::DeadlineExceeded { waited }));
+        }
+        if let Some(batch) = batch {
+            solve_batch(inner, batch);
+        }
+    }
+}
+
+/// Runs one coalesced block solve and scatters results back to the
+/// per-request completions.
+fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
+    let dispatched = Instant::now();
+    let matrix = batch[0].matrix.clone();
+    let n = matrix.dim();
+    let width: usize = batch.iter().map(Pending::width).sum();
+
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    inner.coalesced_columns.fetch_add(width as u64, Ordering::Relaxed);
+    if width == inner.cfg.policy.max_batch {
+        inner.full_batches.fetch_add(1, Ordering::Relaxed);
+    }
+    telemetry::counter_add("service/batches", 1);
+    telemetry::counter_add(&format!("service/batch_width/{width:02}"), 1);
+    telemetry::counter_add("service/coalesced_columns", width as u64);
+    telemetry::histogram_record_ns("service/batch_width", width as u64);
+
+    // Gather pending right-hand sides into one MultiVec.
+    let mut b = MultiVec::zeros(n, width);
+    let mut tols = Vec::with_capacity(width);
+    let mut offsets = Vec::with_capacity(batch.len());
+    let mut col = 0usize;
+    for p in &batch {
+        offsets.push(col);
+        let cols: Vec<usize> = (col..col + p.width()).collect();
+        b.scatter_columns(&cols, &p.rhs);
+        tols.extend(std::iter::repeat_n(p.tol, p.width()));
+        col += p.width();
+        telemetry::record_span_secs(
+            "service/queue_wait",
+            dispatched.duration_since(p.enqueued).as_secs_f64(),
+        );
+    }
+
+    let min_tol = tols.iter().cloned().fold(f64::INFINITY, f64::min);
+    let opts = BlockCgOptions {
+        solve: SolveConfig { tol: min_tol, max_iter: inner.cfg.max_iter },
+        record_residual_history: false,
+        column_tols: Some(tols.clone()),
+    };
+    let mut x = MultiVec::zeros(n, width);
+    let res = {
+        let _g = telemetry::span("service/solve");
+        block_cg_with_options(matrix.operator(), &b, &mut x, &opts)
+    };
+
+    // Per-column acceptance: the solution and final residual must be
+    // finite (a NaN right-hand side poisons every column through the
+    // coupled m×m Gram solves) and the residual either under this
+    // column's threshold or marked converged during the iteration.
+    let mut col_finite = vec![true; width];
+    for row in x.as_slice().chunks_exact(width) {
+        for (finite, v) in col_finite.iter_mut().zip(row) {
+            *finite &= v.is_finite();
+        }
+    }
+    let b_norms = b.norms();
+    let threshold = |j: usize| tols[j] * b_norms[j].max(f64::MIN_POSITIVE);
+    let mut ok: Vec<bool> = (0..width)
+        .map(|j| {
+            let rn = res.residual_norms[j];
+            col_finite[j]
+                && rn.is_finite()
+                && (rn <= threshold(j) || res.column_converged_at[j].is_some())
+        })
+        .collect();
+
+    // Failure isolation: retry failed columns solo so one pathological
+    // RHS cannot poison its batchmates.
+    let mut solo_retried = vec![false; width];
+    let mut iters = res.column_iterations.clone();
+    let mut rel_res: Vec<f64> = (0..width)
+        .map(|j| res.residual_norms[j] / b_norms[j].max(f64::MIN_POSITIVE))
+        .collect();
+    if inner.cfg.solo_retry && ok.iter().any(|&o| !o) {
+        let cfg_base = SolveConfig {
+            tol: inner.cfg.default_tol,
+            max_iter: inner.cfg.max_iter,
+        };
+        for j in 0..width {
+            if ok[j] {
+                continue;
+            }
+            solo_retried[j] = true;
+            inner.solo_retries.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("service/solo_retries", 1);
+            let bj = b.column(j);
+            let mut xj = vec![0.0; n];
+            let cfg = SolveConfig { tol: tols[j], ..cfg_base };
+            let r = {
+                let _g = telemetry::span("service/solo_retry");
+                cg(matrix.operator(), &bj, &mut xj, &cfg)
+            };
+            iters[j] = r.iterations;
+            rel_res[j] = r.residual_norm / b_norms[j].max(f64::MIN_POSITIVE);
+            if r.converged {
+                x.set_column(j, &xj);
+                ok[j] = true;
+            }
+        }
+    }
+
+    let solve_time = dispatched.elapsed();
+    update_ewma(&inner.ewma_solve_ns, solve_time);
+    telemetry::record_span_secs("service/solve_total", solve_time.as_secs_f64());
+
+    let finished = Instant::now();
+    for (p, &off) in batch.iter().zip(&offsets) {
+        let w = p.width();
+        let cols: Vec<usize> = (off..off + w).collect();
+        let all_ok = cols.iter().all(|&j| ok[j]);
+        let retried = cols.iter().any(|&j| solo_retried[j]);
+        if all_ok {
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("service/completed", 1);
+            p.completion.complete(Ok(SolveOutput {
+                solution: x.gather_columns(&cols),
+                iterations: cols.iter().map(|&j| iters[j]).max().unwrap(),
+                batch_width: width,
+                solo_retried: retried,
+                queue_wait: dispatched.duration_since(p.enqueued),
+                solve_time,
+                latency: finished.duration_since(p.enqueued),
+            }));
+        } else {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("service/failed", 1);
+            let worst = cols.iter().map(|&j| rel_res[j]).fold(0.0f64, |a, r| {
+                if r.is_nan() {
+                    f64::NAN
+                } else {
+                    a.max(r)
+                }
+            });
+            let its = cols.iter().map(|&j| iters[j]).max().unwrap();
+            p.completion.complete(Err(SolveError::DidNotConverge {
+                relative_residual: worst,
+                iterations: its,
+            }));
+        }
+    }
+}
+
+fn update_ewma(cell: &AtomicU64, sample: Duration) {
+    let s = sample.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 { s } else { old / 2 + s / 2 };
+    cell.store(new, Ordering::Relaxed);
+}

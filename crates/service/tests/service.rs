@@ -1,0 +1,403 @@
+//! End-to-end service behavior: coalescing, failure isolation,
+//! deadlines, and the DistEngine-backed registry path.
+
+use std::time::Duration;
+
+use mrhs_cluster::{DistEngine, DistributedMatrix};
+use mrhs_service::{
+    BatchPolicy, MatrixRegistry, RequestOptions, ServiceConfig, SolveError,
+    SolveService, SubmitError,
+};
+use mrhs_solvers::{cg, LinearOperator, SolveConfig};
+use mrhs_sparse::partition::contiguous_partition;
+use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder, MultiVec};
+
+fn laplacian(nb: usize) -> BcrsMatrix {
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        t.add(i, i, Block3::scaled_identity(4.0));
+        if i + 1 < nb {
+            t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+        }
+    }
+    t.build()
+}
+
+fn pseudo_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn solo_reference(a: &BcrsMatrix, b: &[f64], tol: f64) -> Vec<f64> {
+    let mut x = vec![0.0; b.len()];
+    let r = cg(a, b, &mut x, &SolveConfig { tol, max_iter: 1000 });
+    assert!(r.converged);
+    x
+}
+
+#[test]
+fn single_request_round_trips() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(10);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let svc = SolveService::start(reg, ServiceConfig::default());
+
+    let b = pseudo_rhs(n, 42);
+    let out = svc.submit_one(h, &b).unwrap().wait().unwrap();
+    let want = solo_reference(&a, &b, 1e-6);
+    for (got, want) in out.solution.column(0).iter().zip(&want) {
+        assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+    }
+    assert!(out.batch_width >= 1);
+    assert!(!out.solo_retried);
+    svc.shutdown();
+    let st = svc.stats();
+    assert_eq!(st.accepted, 1);
+    assert_eq!(st.completed, 1);
+}
+
+#[test]
+fn concurrent_requests_coalesce_to_target_width() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(12);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            queue_capacity: 64,
+            // Long linger: the batch must fill by width, not drain by
+            // time, so widths are deterministic.
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let rhss: Vec<Vec<f64>> = (0..8).map(|k| pseudo_rhs(n, 100 + k)).collect();
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    for (t, b) in tickets.into_iter().zip(&rhss) {
+        let out = t.wait().unwrap();
+        let want = solo_reference(&a, b, 1e-6);
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+        assert!(
+            out.batch_width >= 2,
+            "requests submitted together should share a batch \
+             (width {})",
+            out.batch_width
+        );
+    }
+    svc.shutdown();
+    let st = svc.stats();
+    assert_eq!(st.completed, 8);
+    assert!(
+        st.batches <= 4,
+        "8 requests at target width 4 need at most 4 batches, got {}",
+        st.batches
+    );
+    assert!(st.full_batches >= 1, "at least one batch must fill to 4");
+    assert!(st.coalescing_efficiency() > 0.4);
+}
+
+#[test]
+fn poisoned_rhs_fails_alone_batchmates_complete() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(8);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let mut rhss: Vec<Vec<f64>> = (0..4).map(|k| pseudo_rhs(n, 200 + k)).collect();
+    rhss[1][3] = f64::NAN; // poison one column of one request
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    // The poisoned request fails alone...
+    match &results[1] {
+        Err(SolveError::DidNotConverge { relative_residual, .. }) => {
+            assert!(relative_residual.is_nan());
+        }
+        other => panic!("poisoned request must fail, got {other:?}"),
+    }
+    // ...while its batchmates complete with correct solutions. A NaN
+    // column poisons *every* column of the coupled block solve, so the
+    // mates only survive through the solo-retry path.
+    for (k, r) in results.iter().enumerate() {
+        if k == 1 {
+            continue;
+        }
+        let out = r.as_ref().expect("batchmate must complete");
+        assert_eq!(
+            out.batch_width, 4,
+            "mate must actually have shared the poisoned batch"
+        );
+        assert!(out.solo_retried, "mates complete via solo retry");
+        let want = solo_reference(&a, &rhss[k], 1e-6);
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+    }
+    svc.shutdown();
+    let st = svc.stats();
+    assert_eq!(st.completed, 3);
+    assert_eq!(st.failed, 1);
+    assert!(st.solo_retries >= 3);
+}
+
+#[test]
+fn multi_column_requests_ride_along() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(9);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 6,
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let mut wide = MultiVec::zeros(n, 3);
+    let cols: Vec<Vec<f64>> = (0..3).map(|k| pseudo_rhs(n, 300 + k)).collect();
+    for (k, c) in cols.iter().enumerate() {
+        wide.set_column(k, c);
+    }
+    let t_wide = svc.submit(h, wide, RequestOptions::default()).unwrap();
+    let narrow = pseudo_rhs(n, 400);
+    let t_narrow = svc.submit_one(h, &narrow).unwrap();
+
+    let out = t_wide.wait().unwrap();
+    assert_eq!(out.solution.shape(), (n, 3));
+    for (k, c) in cols.iter().enumerate() {
+        let want = solo_reference(&a, c, 1e-6);
+        for (got, want) in out.solution.column(k).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+    }
+    assert!(out.batch_width >= 3);
+    t_narrow.wait().unwrap();
+    svc.shutdown();
+}
+
+#[test]
+fn per_request_tolerances_are_respected() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(10);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 2,
+            queue_capacity: 16,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let b0 = pseudo_rhs(n, 500);
+    let b1 = pseudo_rhs(n, 501);
+    let loose = svc
+        .submit(
+            h,
+            {
+                let mut mv = MultiVec::zeros(n, 1);
+                mv.set_column(0, &b0);
+                mv
+            },
+            RequestOptions { tol: Some(1e-2), ..Default::default() },
+        )
+        .unwrap();
+    let tight = svc
+        .submit(
+            h,
+            {
+                let mut mv = MultiVec::zeros(n, 1);
+                mv.set_column(0, &b1);
+                mv
+            },
+            RequestOptions { tol: Some(1e-10), ..Default::default() },
+        )
+        .unwrap();
+    let (lo, ti) = (loose.wait().unwrap(), tight.wait().unwrap());
+    assert!(
+        lo.iterations <= ti.iterations,
+        "loose column ({}) must stop no later than tight ({})",
+        lo.iterations,
+        ti.iterations
+    );
+    // The tight request really hit 1e-10.
+    let mut r = vec![0.0; n];
+    let x1 = ti.solution.column(0);
+    a.apply(&x1, &mut r);
+    let rn =
+        r.iter().zip(&b1).map(|(ax, b)| (ax - b) * (ax - b)).sum::<f64>().sqrt();
+    let bn = b1.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(rn <= 1e-9 * bn, "rel residual {:.2e}", rn / bn);
+    svc.shutdown();
+}
+
+#[test]
+fn submit_errors_are_reported_cleanly() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(4);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let stale = {
+        let tmp = laplacian(4);
+        let h2 = reg.register_full("gone", tmp);
+        reg.unregister(h2);
+        h2
+    };
+    let svc = SolveService::start(reg, ServiceConfig::default());
+
+    assert_eq!(
+        svc.submit_one(stale, &vec![1.0; n]).unwrap_err(),
+        SubmitError::UnknownMatrix
+    );
+    assert_eq!(
+        svc.submit_one(h, &vec![1.0; n + 3]).unwrap_err(),
+        SubmitError::ShapeMismatch { expected: n, got: n + 3 }
+    );
+    svc.shutdown();
+    assert_eq!(
+        svc.submit_one(h, &vec![1.0; n]).unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+}
+
+#[test]
+fn zero_deadline_expires_in_queue() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(6);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 8,
+            queue_capacity: 16,
+            linger: Duration::from_millis(200),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+    let t = svc
+        .submit(
+            h,
+            {
+                let mut mv = MultiVec::zeros(n, 1);
+                mv.set_column(0, &pseudo_rhs(n, 1));
+                mv
+            },
+            RequestOptions { deadline: Some(Duration::ZERO), ..Default::default() },
+        )
+        .unwrap();
+    match t.wait() {
+        Err(SolveError::DeadlineExceeded { .. }) => {}
+        other => panic!("zero deadline must expire, got {other:?}"),
+    }
+    svc.shutdown();
+    assert_eq!(svc.stats().expired, 1);
+}
+
+#[test]
+fn deadline_pressure_drains_partial_batch_early() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(6);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 8,
+            queue_capacity: 16,
+            // Pathological linger: only deadline pressure can drain.
+            linger: Duration::from_secs(60),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+    let t = svc
+        .submit(
+            h,
+            {
+                let mut mv = MultiVec::zeros(n, 1);
+                mv.set_column(0, &pseudo_rhs(n, 2));
+                mv
+            },
+            RequestOptions {
+                deadline: Some(Duration::from_millis(100)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let out = t.wait().expect("deadline-pressed request must be served");
+    assert!(
+        out.latency < Duration::from_secs(5),
+        "must drain near the deadline, not the 60s linger \
+         (latency {:?})",
+        out.latency
+    );
+    svc.shutdown();
+}
+
+#[test]
+fn dist_engine_backed_registration_serves_requests() {
+    let a = laplacian(8);
+    let n = a.n_rows();
+    // Single partition: the distributed row permutation is identity,
+    // so solutions compare directly with the shared-memory path.
+    let part = contiguous_partition(&a, 1);
+    let dm = DistributedMatrix::new(&a, &part);
+    assert!(
+        dm.permutation().iter().enumerate().all(|(i, &p)| i == p),
+        "1-partition permutation must be identity"
+    );
+    let engine = DistEngine::new(dm);
+
+    let reg = MatrixRegistry::new();
+    let h = reg.register_operator("lap-dist", Box::new(engine));
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 3,
+            queue_capacity: 16,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let rhss: Vec<Vec<f64>> = (0..3).map(|k| pseudo_rhs(n, 600 + k)).collect();
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    for (t, b) in tickets.into_iter().zip(&rhss) {
+        let out = t.wait().unwrap();
+        let want = solo_reference(&a, b, 1e-6);
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+    }
+    svc.shutdown();
+}

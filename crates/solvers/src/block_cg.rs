@@ -35,6 +35,11 @@ pub struct BlockCgResult {
     pub residual_norms: Vec<f64>,
     /// Iteration at which each column first met its tolerance.
     pub column_converged_at: Vec<Option<usize>>,
+    /// Block iterations each column *effectively paid for*: the
+    /// iteration at which it first met its tolerance, or `iterations`
+    /// for columns that never converged. The solve-service batcher uses
+    /// these to attribute cost per coalesced request.
+    pub column_iterations: Vec<usize>,
     /// `Some(k)` if one of the small `m×m` solves failed during
     /// iteration `k` (rank-deficient block residual — the numerical
     /// hazard of block methods); the solve stopped there with
@@ -51,18 +56,25 @@ pub struct BlockCgResult {
 
 /// Options for a block-CG solve. [`SolveConfig`] stays the small Copy
 /// struct every solver shares; the block-specific switches live here.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BlockCgOptions {
     /// Tolerance and iteration cap.
     pub solve: SolveConfig,
     /// Record the per-column, per-iteration residual norms into
     /// [`BlockCgResult::residual_history`].
     pub record_residual_history: bool,
+    /// Per-column relative tolerances overriding `solve.tol`
+    /// column-by-column (length `m` when present). Coalesced solves use
+    /// this so every batched request keeps its own stopping criterion:
+    /// an early-converged column is marked done at its own tolerance
+    /// and stops contributing to the convergence test, instead of
+    /// riding along to the tightest batchmate's tolerance.
+    pub column_tols: Option<Vec<f64>>,
 }
 
 impl From<SolveConfig> for BlockCgOptions {
     fn from(solve: SolveConfig) -> Self {
-        BlockCgOptions { solve, record_residual_history: false }
+        BlockCgOptions { solve, record_residual_history: false, column_tols: None }
     }
 }
 
@@ -144,8 +156,19 @@ where
     let init_span = telemetry::span("solver/block_cg/init");
 
     let b_norms = b.norms();
-    let thresholds: Vec<f64> =
-        b_norms.iter().map(|bn| cfg.tol * bn.max(f64::MIN_POSITIVE)).collect();
+    let thresholds: Vec<f64> = match &opts.column_tols {
+        Some(tols) => {
+            assert_eq!(tols.len(), m, "column_tols length must equal m");
+            b_norms
+                .iter()
+                .zip(tols)
+                .map(|(bn, t)| t * bn.max(f64::MIN_POSITIVE))
+                .collect()
+        }
+        None => {
+            b_norms.iter().map(|bn| cfg.tol * bn.max(f64::MIN_POSITIVE)).collect()
+        }
+    };
 
     // R = B − A·X
     let mut r = MultiVec::zeros(n, m);
@@ -171,6 +194,7 @@ where
             iterations: 0,
             converged: true,
             residual_norms: norms,
+            column_iterations: vec![0; m],
             column_converged_at,
             breakdown: None,
             residual_history: history,
@@ -229,18 +253,36 @@ where
 
     let converged =
         breakdown.is_none() && column_converged_at.iter().all(Option::is_some);
+    let column_iterations = column_converged_at
+        .iter()
+        .map(|c| c.unwrap_or(iterations))
+        .collect::<Vec<_>>();
     BlockCgResult {
         iterations,
         converged,
         residual_norms: diag_sqrt(&rho, m),
+        column_iterations,
         column_converged_at,
         breakdown,
         residual_history: history,
     }
 }
 
+/// Square roots of the Gram diagonal. Negative round-off clamps to
+/// zero, but NaN must propagate (`f64::max` would silently mask it):
+/// a poisoned column has residual NaN, not 0, and must never be
+/// reported as converged.
 fn diag_sqrt(gram: &[f64], m: usize) -> Vec<f64> {
-    (0..m).map(|j| gram[j * m + j].max(0.0).sqrt()).collect()
+    (0..m)
+        .map(|j| {
+            let v = gram[j * m + j];
+            if v.is_nan() {
+                f64::NAN
+            } else {
+                v.max(0.0).sqrt()
+            }
+        })
+        .collect()
 }
 
 /// Appends one per-column entry; a no-op when history recording is off
@@ -544,6 +586,7 @@ mod tests {
         let opts = BlockCgOptions {
             solve: SolveConfig { tol: 1e-8, max_iter: 400 },
             record_residual_history: true,
+            ..Default::default()
         };
         let mut hook_iters = Vec::new();
         let mut x = MultiVec::zeros(n, m);
@@ -586,6 +629,7 @@ mod tests {
         let opts = BlockCgOptions {
             solve: SolveConfig { tol: 1e-8, max_iter: 400 },
             record_residual_history: true,
+            ..Default::default()
         };
         let mut iterates = Vec::new();
         let mut x = MultiVec::zeros(n, m);
@@ -607,6 +651,52 @@ mod tests {
                 last = e;
             }
         }
+    }
+
+    #[test]
+    fn column_tols_stop_each_column_at_its_own_tolerance() {
+        let a = laplacian(30);
+        let n = a.n_rows();
+        let m = 3;
+        let b = pseudo_multivec(n, m, 19);
+        let tols = vec![1e-2, 1e-6, 1e-10];
+        let opts = BlockCgOptions {
+            solve: SolveConfig { tol: 1e-6, max_iter: 800 },
+            record_residual_history: true,
+            column_tols: Some(tols.clone()),
+        };
+        let mut x = MultiVec::zeros(n, m);
+        let res = block_cg_with_options(&a, &b, &mut x, &opts);
+        assert!(res.converged, "{res:?}");
+
+        let b_norms = b.norms();
+        for j in 0..m {
+            let at = res.column_converged_at[j].expect("converged");
+            assert_eq!(res.column_iterations[j], at);
+            // The recorded history shows the column first crossed *its
+            // own* threshold at `at`, not the uniform solve.tol.
+            let threshold = tols[j] * b_norms[j];
+            let h = &res.residual_history[j];
+            assert!(h[at] <= threshold, "col {j}: {} > {threshold}", h[at]);
+            if at > 0 {
+                assert!(h[at - 1] > threshold, "col {j} converged early");
+            }
+        }
+        // Loose columns stop earlier than tight ones.
+        assert!(res.column_iterations[0] <= res.column_iterations[2]);
+    }
+
+    #[test]
+    fn column_iterations_cap_at_total_for_unconverged_columns() {
+        let a = laplacian(40);
+        let n = a.n_rows();
+        let b = pseudo_multivec(n, 2, 29);
+        // Unreachable tolerance within the iteration budget.
+        let cfg = SolveConfig { tol: 1e-300, max_iter: 3 };
+        let mut x = MultiVec::zeros(n, 2);
+        let res = block_cg(&a, &b, &mut x, &cfg);
+        assert!(!res.converged);
+        assert_eq!(res.column_iterations, vec![res.iterations; 2]);
     }
 
     #[test]

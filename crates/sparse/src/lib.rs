@@ -49,7 +49,7 @@ pub use bcrs::BcrsMatrix;
 pub use block::Block3;
 pub use csr::CsrMatrix;
 pub use gspmv::{gspmv, gspmv_chunked, gspmv_serial, spmv, spmv_serial};
-pub use multivec::MultiVec;
+pub use multivec::{MultiVec, SPECIALIZED_WIDTHS};
 pub use stats::MatrixStats;
 pub use symmetric::SymmetricBcrs;
 pub use triplet::BlockTripletBuilder;

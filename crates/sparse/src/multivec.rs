@@ -6,9 +6,16 @@
 
 use std::ops::Range;
 
-/// Dispatches a const-generic helper on the common square column counts
-/// (the same set the GSPMV kernels specialize), yielding `Some(result)`
-/// or `None` for other sizes.
+/// The column counts with monomorphized fast paths, shared by the GSPMV
+/// kernels and the dense multivector ops below. Widths outside this set
+/// fall back to generic (markedly slower) loops, so width-choosing
+/// layers — the solve service's batcher in particular — should snap to
+/// a member of this set.
+pub const SPECIALIZED_WIDTHS: [usize; 10] = [1, 2, 4, 8, 12, 16, 24, 32, 42, 48];
+
+/// Dispatches a const-generic helper on [`SPECIALIZED_WIDTHS`] (the
+/// same set the GSPMV kernels specialize), yielding `Some(result)` or
+/// `None` for other sizes.
 macro_rules! dispatch_square_m {
     ($m:expr, $f:ident, ($($args:expr),*)) => {
         match $m {
@@ -27,47 +34,66 @@ macro_rules! dispatch_square_m {
     };
 }
 
+/// Copies the row-major `M×M` coefficient block onto the stack so the
+/// streaming loops below read it from registers/L1, not through a heap
+/// pointer LLVM must re-load each row.
+#[inline(always)]
+fn tile<const M: usize>(c: &[f64]) -> [[f64; M]; M] {
+    let mut t = [[0.0f64; M]; M];
+    for k in 0..M {
+        t[k].copy_from_slice(&c[k * M..(k + 1) * M]);
+    }
+    t
+}
+
 /// Monomorphized Gram kernel: fixed-width inner loops, accumulators in a
-/// stack tile.
+/// stack tile (a heap destination would force a store per row; the tile
+/// lets LLVM keep the partial sums in vector registers across the
+/// length-n stream).
 fn gram_fixed<const M: usize>(a: &MultiVec, b: &MultiVec) -> Vec<f64> {
-    let mut g = vec![0.0f64; M * M];
+    let mut acc = [[0.0f64; M]; M];
     for (srow, orow) in a.data.chunks_exact(M).zip(b.data.chunks_exact(M)) {
         let o: &[f64; M] = orow.try_into().unwrap();
         for i in 0..M {
             let s = srow[i];
-            let gi: &mut [f64] = &mut g[i * M..(i + 1) * M];
             for j in 0..M {
-                gi[j] += s * o[j];
+                acc[i][j] += s * o[j];
             }
         }
+    }
+    let mut g = vec![0.0f64; M * M];
+    for i in 0..M {
+        g[i * M..(i + 1) * M].copy_from_slice(&acc[i]);
     }
     g
 }
 
 /// Monomorphized `X += P·C` kernel.
 fn add_mul_fixed<const M: usize>(x: &mut MultiVec, p: &MultiVec, c: &[f64]) {
+    let ct = tile::<M>(c);
     for (drow, orow) in x.data.chunks_exact_mut(M).zip(p.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
+        let mut acc: [f64; M] = *d;
         for k in 0..M {
             let s = orow[k];
-            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
             for j in 0..M {
-                d[j] += s * crow[j];
+                acc[j] += s * ct[k][j];
             }
         }
+        *d = acc;
     }
 }
 
 /// Monomorphized `P ← R + P·C` kernel.
 fn assign_add_mul_fixed<const M: usize>(p: &mut MultiVec, r: &MultiVec, c: &[f64]) {
+    let ct = tile::<M>(c);
     for (drow, orow) in p.data.chunks_exact_mut(M).zip(r.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
         let mut tmp: [f64; M] = *TryInto::<&[f64; M]>::try_into(orow).unwrap();
         for k in 0..M {
             let s = d[k];
-            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
             for j in 0..M {
-                tmp[j] += s * crow[j];
+                tmp[j] += s * ct[k][j];
             }
         }
         *d = tmp;
@@ -80,23 +106,26 @@ fn sub_mul_then_gram_fixed<const M: usize>(
     q: &MultiVec,
     c: &[f64],
 ) -> Vec<f64> {
-    let mut g = vec![0.0f64; M * M];
+    let ct = tile::<M>(c);
+    let mut acc = [[0.0f64; M]; M];
     for (drow, orow) in r.data.chunks_exact_mut(M).zip(q.data.chunks_exact(M)) {
         let d: &mut [f64; M] = drow.try_into().unwrap();
         for k in 0..M {
             let s = orow[k];
-            let crow: &[f64; M] = c[k * M..(k + 1) * M].try_into().unwrap();
             for j in 0..M {
-                d[j] -= s * crow[j];
+                d[j] -= s * ct[k][j];
             }
         }
         for i in 0..M {
             let s = d[i];
-            let gi: &mut [f64] = &mut g[i * M..(i + 1) * M];
             for j in 0..M {
-                gi[j] += s * d[j];
+                acc[i][j] += s * d[j];
             }
         }
+    }
+    let mut g = vec![0.0f64; M * M];
+    for i in 0..M {
+        g[i * M..(i + 1) * M].copy_from_slice(&acc[i]);
     }
     g
 }
@@ -163,6 +192,15 @@ impl MultiVec {
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Consumes the multivector, returning its flat row-major buffer
+    /// without copying. For a width-1 multivector the buffer *is* the
+    /// column, which is how gathered single columns hand off to
+    /// scalar-vector call sites.
+    #[inline]
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
     }
 
     /// Entry accessor.
@@ -393,6 +431,59 @@ impl MultiVec {
         }
     }
 
+    /// Gathers the listed columns into a packed `n × cols.len()`
+    /// multivector (allocating form of
+    /// [`MultiVec::gather_columns_into`]).
+    pub fn gather_columns(&self, cols: &[usize]) -> MultiVec {
+        let mut out = MultiVec::zeros(self.n, cols.len());
+        self.gather_columns_into(cols, &mut out);
+        out
+    }
+
+    /// Gathers the listed columns into a caller-provided multivector of
+    /// shape `n × cols.len()` — the allocation-free form used by
+    /// per-step call sites (the MRHS driver) and the solve-service
+    /// batcher. Duplicate sources are permitted (a gather only reads).
+    pub fn gather_columns_into(&self, cols: &[usize], dst: &mut MultiVec) {
+        assert_eq!(dst.n, self.n, "gather_columns: row-count mismatch");
+        assert_eq!(dst.m, cols.len(), "gather_columns: width mismatch");
+        for &c in cols {
+            assert!(c < self.m, "gather_columns: column {c} out of range");
+        }
+        let (ms, md) = (self.m, dst.m);
+        for (drow, srow) in
+            dst.data.chunks_exact_mut(md).zip(self.data.chunks_exact(ms))
+        {
+            for (d, &c) in drow.iter_mut().zip(cols) {
+                *d = srow[c];
+            }
+        }
+    }
+
+    /// Scatters `src`'s columns into the listed columns of `self`
+    /// (`self[:, cols[i]] ← src[:, i]`). `cols` must be duplicate-free
+    /// (debug-asserted): aliased destinations would make the result
+    /// depend on the scatter order.
+    pub fn scatter_columns(&mut self, cols: &[usize], src: &MultiVec) {
+        assert_eq!(src.n, self.n, "scatter_columns: row-count mismatch");
+        assert_eq!(src.m, cols.len(), "scatter_columns: width mismatch");
+        for &c in cols {
+            assert!(c < self.m, "scatter_columns: column {c} out of range");
+        }
+        debug_assert!(
+            cols.iter().enumerate().all(|(i, a)| !cols[..i].contains(a)),
+            "scatter_columns: duplicate destination column (aliasing)"
+        );
+        let (md, ms) = (self.m, src.m);
+        for (drow, srow) in
+            self.data.chunks_exact_mut(md).zip(src.data.chunks_exact(ms))
+        {
+            for (&c, s) in cols.iter().zip(srow) {
+                drow[c] = *s;
+            }
+        }
+    }
+
     /// Gathers the scalar-row range `rows` into a packed multivector
     /// (distributed halo exchange helper).
     pub fn gather_rows(&self, rows: Range<usize>) -> MultiVec {
@@ -522,6 +613,57 @@ mod tests {
         p.assign_add_mul_dense(&r, &beta);
         assert_eq!(p.column(0), vec![3.0, 1.0]);
         assert_eq!(p.column(1), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_columns_packs_and_permutes() {
+        let mv = MultiVec::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let g = mv.gather_columns(&[2, 0]);
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.column(0), vec![3., 6.]);
+        assert_eq!(g.column(1), vec![1., 4.]);
+        // Duplicate sources are fine for a gather.
+        let g = mv.gather_columns(&[1, 1]);
+        assert_eq!(g.column(0), g.column(1));
+    }
+
+    #[test]
+    fn gather_columns_into_reuses_buffer() {
+        let mv = MultiVec::from_flat(3, 2, (0..6).map(|v| v as f64).collect());
+        let mut dst = MultiVec::zeros(3, 1);
+        mv.gather_columns_into(&[1], &mut dst);
+        assert_eq!(dst.as_slice(), &[1.0, 3.0, 5.0]);
+        mv.gather_columns_into(&[0], &mut dst);
+        assert_eq!(dst.as_slice(), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn scatter_columns_round_trips_gather() {
+        let src = MultiVec::from_flat(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let cols = [4usize, 0, 2];
+        let mut wide = MultiVec::zeros(2, 5);
+        wide.scatter_columns(&cols, &src);
+        let back = wide.gather_columns(&cols);
+        assert_eq!(back, src);
+        // Untouched columns stay zero.
+        assert_eq!(wide.column(1), vec![0.0, 0.0]);
+        assert_eq!(wide.column(3), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_columns_rejects_out_of_range() {
+        let mv = MultiVec::zeros(2, 2);
+        mv.gather_columns(&[2]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "aliasing")]
+    fn scatter_columns_rejects_duplicate_destinations() {
+        let src = MultiVec::zeros(2, 2);
+        let mut dst = MultiVec::zeros(2, 3);
+        dst.scatter_columns(&[1, 1], &src);
     }
 
     #[test]
