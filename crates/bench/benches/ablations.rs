@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mrhs_sparse::gspmv::{gspmv_serial_generic, gspmv_serial_naive};
 use mrhs_sparse::reorder::{permute_symmetric, reverse_cuthill_mckee};
 use mrhs_sparse::{
-    gspmv, gspmv_serial, BcrsMatrix, CsrMatrix, MultiVec, SymmetricBcrs,
+    backend_available, gspmv, gspmv_serial, gspmv_serial_with, BcrsMatrix,
+    CsrMatrix, DedupBcrs, KernelKind, MultiVec, SymmetricBcrs,
 };
 use mrhs_stokes::{assemble_resistance, ResistanceConfig, SystemBuilder};
 
@@ -34,6 +35,15 @@ fn bench_kernel_variants(c: &mut Criterion) {
     });
     group.bench_function("naive", |b| {
         b.iter(|| gspmv_serial_naive(&a, &x, &mut y));
+    });
+    if backend_available(KernelKind::Simd) {
+        group.bench_function("simd", |b| {
+            b.iter(|| gspmv_serial_with(KernelKind::Simd, &a, &x, &mut y));
+        });
+    }
+    let d = DedupBcrs::from_bcrs(&a);
+    group.bench_function("dedup", |b| {
+        b.iter(|| d.gspmv_serial(&x, &mut y));
     });
     group.finish();
 }

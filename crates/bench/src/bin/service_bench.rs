@@ -464,6 +464,8 @@ fn write_report(
             os: std::env::consts::OS.into(),
             arch: std::env::consts::ARCH.into(),
             threads: rayon::current_num_threads() as u64,
+            isa: mrhs_sparse::detect_isa().as_str().into(),
+            kernel_backend: mrhs_sparse::active_backend().name().into(),
             stream_bandwidth_bps: host.bandwidth,
             kernel_flops: host.flops,
             model_k: host.k,

@@ -237,3 +237,79 @@ pub fn fig2_paper_model(_opts: &Options) {
         );
     }
 }
+
+/// Kernel-backend ablation: serial GSPMV times per width for the
+/// monomorphized scalar path, the strip-mined generic fallback, the
+/// fully-runtime naive kernel, the explicit-SIMD backend (when the host
+/// has a vector ISA), and dedup storage through the active backend.
+/// Reports absolute seconds and speedups relative to the scalar path —
+/// the measured record behind EXPERIMENTS.md and the README feature
+/// matrix.
+pub fn ablation(opts: &Options) {
+    use mrhs_perfmodel::measure::{time_gspmv_dedup, time_gspmv_with};
+    use mrhs_sparse::{
+        active_backend, backend_available, detect_isa, DedupBcrs, KernelKind,
+    };
+
+    let n = kernel_particles(opts);
+    section("Kernel-backend ablation: serial GSPMV per width");
+    let a = sd_matrix(n, TABLE1_CUTOFFS[1].1, opts.seed);
+    let s = a.stats();
+    let d = DedupBcrs::from_bcrs(&a);
+    println!(
+        "isa = {}, active backend = {}; nb = {}, nnzb = {}, dedup ratio {:.3} \
+         ({} unique of {} blocks)",
+        detect_isa().as_str(),
+        active_backend().name(),
+        s.nb,
+        s.nnzb,
+        d.dedup_ratio(),
+        d.unique_blocks(),
+        d.nnz_blocks()
+    );
+    let simd = backend_available(KernelKind::Simd);
+    println!(
+        "{:>4} {:>11} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "m",
+        "scalar s",
+        "generic s",
+        "naive s",
+        "simd s",
+        "dedup s",
+        "simd x",
+        "dedup x"
+    );
+    for m in [1usize, 2, 4, 8, 12, 16, 24, 32, 48] {
+        let t_scalar = time_gspmv_with(KernelKind::Scalar, &a, m, opts.reps);
+        let t_generic = time_gspmv_with(KernelKind::Generic, &a, m, opts.reps);
+        let x = mrhs_sparse::MultiVec::from_flat(
+            a.n_cols(),
+            m,
+            vec![1.0; a.n_cols() * m],
+        );
+        let mut y = mrhs_sparse::MultiVec::zeros(a.n_rows(), m);
+        mrhs_sparse::gspmv::gspmv_serial_naive(&a, &x, &mut y); // warm-up
+        let t_naive = (0..opts.reps.max(3))
+            .map(|_| {
+                let t = std::time::Instant::now();
+                mrhs_sparse::gspmv::gspmv_serial_naive(&a, &x, &mut y);
+                std::hint::black_box(&y);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min);
+        let t_simd =
+            simd.then(|| time_gspmv_with(KernelKind::Simd, &a, m, opts.reps));
+        let t_dedup = time_gspmv_dedup(&d, m, opts.reps);
+        println!(
+            "{:>4} {:>11.3e} {:>11.3e} {:>11.3e} {:>11} {:>11.3e} {:>9} {:>8.2}x",
+            m,
+            t_scalar,
+            t_generic,
+            t_naive,
+            t_simd.map_or("-".into(), |t| format!("{t:.3e}")),
+            t_dedup,
+            t_simd.map_or("-".into(), |t| format!("{:.2}x", t_scalar / t)),
+            t_scalar / t_dedup
+        );
+    }
+}

@@ -8,8 +8,8 @@
 //! `--symmetric` switches `fig2` to the symmetric-storage kernels
 //! (`repro fig2 --symmetric`).
 //! where `<experiment>` is one of `table1 table2 table3 table4 table5
-//! table6 table7 table8 fig1 fig2 fig2-model fig3 fig4 fig5 fig6 fig7
-//! fig8 verify-exchange engine all quick`.
+//! table6 table7 table8 fig1 fig2 fig2-model ablation fig3 fig4 fig5
+//! fig6 fig7 fig8 verify-exchange engine all quick`.
 //!
 //! Sizes default to a laptop-scale 2,000 particles (the paper's
 //! 300,000 scaled down); densities, iteration counts, and every trend
@@ -44,6 +44,7 @@ fn main() {
             }
         }
         "fig2-model" => kernels::fig2_paper_model(&opts),
+        "ablation" => kernels::ablation(&opts),
         "fig3" => cluster_exp::fig3(&opts),
         "fig4" => cluster_exp::fig4(&opts),
         "table3" => cluster_exp::table3(&opts),
@@ -92,8 +93,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: repro <table1|table2|table3|table4|table5|table6|table7|\
-                 table8|fig1|fig2|fig2-model|fig3|fig4|fig5|fig6|fig7|fig8|\
-                 verify-exchange|engine|cluster-mrhs|all|quick> [--particles N] [--reps N] \
+                 table8|fig1|fig2|fig2-model|ablation|fig3|fig4|fig5|fig6|fig7|\
+                 fig8|verify-exchange|engine|cluster-mrhs|all|quick> [--particles N] [--reps N] \
                  [--seed N] [--full] [--symmetric] [--json <path>]"
             );
             std::process::exit(2);

@@ -11,11 +11,15 @@
 
 use crate::common::{sd_matrix, section, Options, TABLE1_CUTOFFS};
 use mrhs_cluster::{DistEngine, DistributedMatrix};
-use mrhs_perfmodel::measure::{host_profile, time_gspmv};
+use mrhs_perfmodel::measure::{
+    host_profile, time_gspmv, time_gspmv_dedup, time_gspmv_with,
+};
 use mrhs_perfmodel::GspmvModel;
 use mrhs_solvers::{block_cg, SolveConfig};
 use mrhs_sparse::partition::contiguous_partition;
-use mrhs_sparse::MultiVec;
+use mrhs_sparse::{
+    active_backend, backend_available, detect_isa, DedupBcrs, KernelKind, MultiVec,
+};
 use mrhs_telemetry::derived::{gbps, gflops, relative_residual, span_consistency};
 use mrhs_telemetry::report::{
     BenchReport, KernelMetric, MachineInfo, SCHEMA_VERSION,
@@ -90,6 +94,47 @@ pub fn write(path: &str, experiment: &str, opts: &Options, before: &Snapshot) {
         kernels.push(metric);
     }
 
+    // Per-backend GSPMV rows: every kernel backend available on this
+    // host, forced explicitly, plus dedup storage through the active
+    // backend — the ablation record behind the feature matrix.
+    let dedup = DedupBcrs::from_bcrs(&a);
+    println!(
+        "per-backend pass (isa = {}, active = {}, dedup ratio {:.2})",
+        detect_isa().as_str(),
+        active_backend().name(),
+        dedup.dedup_ratio()
+    );
+    for &m in &REPORT_MS {
+        let matrix_bytes = 4.0 * nb + 76.0 * nnzb;
+        let vector_bytes = 24.0 * m as f64 * nb;
+        let flops = 18.0 * nnzb * m as f64;
+        let model_secs = model.time(m);
+        let mut push = |name: String, secs: f64, matrix_bytes: f64| {
+            kernels.push(KernelMetric {
+                name,
+                m: m as u64,
+                calls: opts.reps.max(3) as u64,
+                measured_secs: secs,
+                matrix_bytes,
+                vector_bytes,
+                flops,
+                measured_gbps: gbps(matrix_bytes + vector_bytes, secs),
+                measured_gflops: gflops(flops, secs),
+                model_secs,
+                model_gbps: gbps(model.memory_traffic(m), model_secs),
+                residual: relative_residual(secs, model_secs),
+            });
+        };
+        for kind in KernelKind::ALL {
+            if backend_available(kind) {
+                let secs = time_gspmv_with(kind, &a, m, opts.reps);
+                push(format!("gspmv_{}", kind.as_str()), secs, matrix_bytes);
+            }
+        }
+        let secs = time_gspmv_dedup(&dedup, m, opts.reps);
+        push("gspmv_dedup".into(), secs, dedup.stream_bytes() as f64);
+    }
+
     // Solver spans: one block CG solve on the same SPD matrix.
     let n = a.n_rows();
     let m_rhs = 4;
@@ -126,6 +171,8 @@ pub fn write(path: &str, experiment: &str, opts: &Options, before: &Snapshot) {
             os: std::env::consts::OS.into(),
             arch: std::env::consts::ARCH.into(),
             threads: rayon::current_num_threads() as u64,
+            isa: detect_isa().as_str().into(),
+            kernel_backend: active_backend().name().into(),
             stream_bandwidth_bps: host.bandwidth,
             kernel_flops: host.flops,
             model_k: host.k,

@@ -36,6 +36,14 @@ fn quick_json_report_round_trips_and_validates() {
     // The instrumented pass must have produced model-comparable GSPMV
     // rows and solver/engine span trees.
     assert!(report.kernels.iter().any(|k| k.name == "gspmv" && k.m == 1));
+    // Schema v2: the report records the detected ISA, the dispatched
+    // kernel backend, and per-backend ablation rows.
+    assert!(["avx512", "avx2", "neon", "portable"]
+        .contains(&report.machine.isa.as_str()));
+    assert!(["simd", "scalar", "generic"]
+        .contains(&report.machine.kernel_backend.as_str()));
+    assert!(report.kernels.iter().any(|k| k.name == "gspmv_scalar"));
+    assert!(report.kernels.iter().any(|k| k.name == "gspmv_dedup"));
     assert!(report.span_consistency.iter().any(|c| c.parent == "solver/block_cg"));
     assert!(report
         .span_consistency

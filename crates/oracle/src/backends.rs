@@ -22,7 +22,10 @@
 use crate::corpus::CorpusEntry;
 use mrhs_cluster::{DistEngine, DistributedMatrix};
 use mrhs_sparse::partition::{contiguous_partition, Partition};
-use mrhs_sparse::{gspmv_chunked, gspmv_serial, MultiVec};
+use mrhs_sparse::{
+    backend_available, gspmv_chunked, gspmv_chunked_with, gspmv_serial,
+    gspmv_serial_with, DedupBcrs, KernelKind, MultiVec,
+};
 
 /// One GSPMV implementation under test.
 pub trait GspmvBackend: Sync {
@@ -205,6 +208,75 @@ impl GspmvBackend for SymAuto {
     }
 }
 
+/// Full-storage serial GSPMV through an explicitly forced kernel
+/// backend (scalar / SIMD / generic). Each kind gets its own bitwise
+/// group: different backends round FMA chains differently, so they are
+/// only *tolerance*-equal to each other, while serial/chunked/dedup
+/// within one kind must match bit for bit.
+pub struct KindFull(pub KernelKind);
+
+impl GspmvBackend for KindFull {
+    fn name(&self) -> String {
+        format!("full_serial[{}]", self.0.as_str())
+    }
+    fn supports(&self, _: &CorpusEntry) -> bool {
+        true
+    }
+    fn run(&self, entry: &CorpusEntry, x: &MultiVec) -> MultiVec {
+        let mut y = MultiVec::zeros(entry.matrix.n_rows(), x.m());
+        gspmv_serial_with(self.0, &entry.matrix, x, &mut y);
+        y
+    }
+    fn bitwise_group(&self) -> Option<String> {
+        Some(format!("full[{}]", self.0.as_str()))
+    }
+}
+
+/// Chunked GSPMV through a forced kernel backend — per-row accumulation
+/// order is chunk-independent, so it shares the kind's bitwise group.
+pub struct KindChunked(pub KernelKind, pub usize);
+
+impl GspmvBackend for KindChunked {
+    fn name(&self) -> String {
+        format!("full_chunked[{}]({})", self.0.as_str(), self.1)
+    }
+    fn supports(&self, _: &CorpusEntry) -> bool {
+        true
+    }
+    fn run(&self, entry: &CorpusEntry, x: &MultiVec) -> MultiVec {
+        let mut y = MultiVec::zeros(entry.matrix.n_rows(), x.m());
+        gspmv_chunked_with(self.0, &entry.matrix, x, &mut y, self.1);
+        y
+    }
+    fn bitwise_group(&self) -> Option<String> {
+        Some(format!("full[{}]", self.0.as_str()))
+    }
+}
+
+/// Serial GSPMV on deduplicated block storage through a forced kernel
+/// backend. Dedup shares the row kernels with full storage (same block
+/// values, fetched through the pool), so it joins the kind's bitwise
+/// group — proving dedup is a pure storage transform, not a numeric one.
+pub struct DedupSerial(pub KernelKind);
+
+impl GspmvBackend for DedupSerial {
+    fn name(&self) -> String {
+        format!("dedup_serial[{}]", self.0.as_str())
+    }
+    fn supports(&self, _: &CorpusEntry) -> bool {
+        true
+    }
+    fn run(&self, entry: &CorpusEntry, x: &MultiVec) -> MultiVec {
+        let d = DedupBcrs::from_bcrs(&entry.matrix);
+        let mut y = MultiVec::zeros(d.n_rows(), x.m());
+        d.gspmv_serial_with(self.0, x, &mut y);
+        y
+    }
+    fn bitwise_group(&self) -> Option<String> {
+        Some(format!("full[{}]", self.0.as_str()))
+    }
+}
+
 /// The distributed engine at `n` simulated nodes. Construction spawns
 /// worker threads and permutes the matrix, so this backend trims the
 /// `m` grid and builds a fresh engine per run (engines hold the
@@ -281,6 +353,16 @@ pub fn standard_backends() -> Vec<Box<dyn GspmvBackend>> {
     }
     for p in [1usize, 3, 5] {
         v.push(Box::new(DistBackend { parts: p }));
+    }
+    // Every kernel backend available on this host, forced explicitly:
+    // serial, chunked, and dedup-storage runs per kind must be
+    // bit-identical within the kind and tolerance-equal across kinds.
+    for kind in KernelKind::ALL {
+        if backend_available(kind) {
+            v.push(Box::new(KindFull(kind)));
+            v.push(Box::new(KindChunked(kind, 3)));
+            v.push(Box::new(DedupSerial(kind)));
+        }
     }
     v
 }

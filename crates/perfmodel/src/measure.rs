@@ -10,7 +10,8 @@
 use crate::machine::MachineProfile;
 use crate::model::FA_FLOPS;
 use mrhs_sparse::{
-    gspmv_serial, BcrsMatrix, Block3, BlockTripletBuilder, MultiVec, SymmetricBcrs,
+    gspmv_serial, gspmv_serial_with, BcrsMatrix, Block3, BlockTripletBuilder,
+    DedupBcrs, KernelKind, MultiVec, SymmetricBcrs,
 };
 use std::time::Instant;
 
@@ -70,6 +71,50 @@ pub fn time_gspmv(a: &BcrsMatrix, m: usize, reps: usize) -> f64 {
         .map(|_| {
             let t = Instant::now();
             gspmv_serial(a, &x, &mut y);
+            std::hint::black_box(&y);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times one serial GSPMV through an explicitly forced kernel backend
+/// (see `mrhs_sparse::backend`): minimum over `reps` runs, in seconds.
+/// The per-backend probe behind the kernel ablation bench.
+///
+/// # Panics
+/// When `kind` is unavailable on this host; gate with
+/// [`mrhs_sparse::backend_available`].
+pub fn time_gspmv_with(
+    kind: KernelKind,
+    a: &BcrsMatrix,
+    m: usize,
+    reps: usize,
+) -> f64 {
+    let n = a.n_cols();
+    let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+    let mut y = MultiVec::zeros(a.n_rows(), m);
+    gspmv_serial_with(kind, a, &x, &mut y); // warm-up
+    (0..reps.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            gspmv_serial_with(kind, a, &x, &mut y);
+            std::hint::black_box(&y);
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Times one serial dedup-storage GSPMV through the active backend:
+/// minimum over `reps` runs, in seconds.
+pub fn time_gspmv_dedup(d: &DedupBcrs, m: usize, reps: usize) -> f64 {
+    let n = d.n_cols();
+    let x = MultiVec::from_flat(n, m, vec![1.0; n * m]);
+    let mut y = MultiVec::zeros(d.n_rows(), m);
+    d.gspmv_serial(&x, &mut y); // warm-up
+    (0..reps.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            d.gspmv_serial(&x, &mut y);
             std::hint::black_box(&y);
             t.elapsed().as_secs_f64()
         })

@@ -22,11 +22,11 @@ use crate::request::{
 /// `m_optimal`, clamped to the bandwidth→compute switch point `m_s`
 /// (Eq. 8) — beyond `m_s` each extra column pays full compute cost, so
 /// there is no serving win in batching wider — then snapped **down** to
-/// the nearest kernel-specialized width. The GSPMV and dense multivector
-/// kernels only monomorphize the widths in
-/// [`mrhs_sparse::SPECIALIZED_WIDTHS`]; an off-grid width (say 5) falls
-/// onto generic fallback loops whose per-iteration cost dwarfs the
-/// Eq. 8 amortization it was meant to buy.
+/// the nearest kernel-specialized width. The *active* kernel backend
+/// ([`mrhs_sparse::active_backend`]) advertises the widths it
+/// specializes (monomorphized or SIMD-tiled); an off-grid width (say 5)
+/// falls onto generic fallback loops whose per-iteration cost dwarfs
+/// the Eq. 8 amortization it was meant to buy.
 pub fn model_batch_width(
     gspmv: &GspmvModel,
     counts: SolveCounts,
@@ -44,7 +44,8 @@ pub fn model_batch_width(
 /// Largest kernel-specialized width `<= target` (the set always
 /// contains 1, so this is total).
 fn snap_to_specialized(target: usize) -> usize {
-    mrhs_sparse::SPECIALIZED_WIDTHS
+    mrhs_sparse::active_backend()
+        .specialized_widths()
         .iter()
         .copied()
         .filter(|&w| w <= target)

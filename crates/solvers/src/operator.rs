@@ -6,7 +6,7 @@
 //! (whose operator spans partitions) and lets tests count kernel
 //! invocations via [`CountingOperator`].
 
-use mrhs_sparse::{gspmv, spmv, BcrsMatrix, MultiVec, SymmetricBcrs};
+use mrhs_sparse::{gspmv, spmv, BcrsMatrix, DedupBcrs, MultiVec, SymmetricBcrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A square linear operator `y = A·x` of scalar dimension `dim`.
@@ -44,6 +44,21 @@ impl LinearOperator for BcrsMatrix {
 
     fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
         gspmv(self, x, y);
+    }
+}
+
+impl LinearOperator for DedupBcrs {
+    fn dim(&self) -> usize {
+        assert_eq!(self.n_rows(), self.n_cols());
+        self.n_rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.gspmv(x, y);
     }
 }
 

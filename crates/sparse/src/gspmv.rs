@@ -3,82 +3,130 @@
 //! The paper's "basic kernel" multiplies one 3×3 block by a 3×`m` slab of
 //! the multivector with the multiplication of each matrix element
 //! unrolled by `m` (§IV-A1, produced there by a code generator emitting
-//! SSE/AVX). Here the code generator is the Rust compiler: the kernel is
-//! monomorphized over `const M: usize` so that the `m`-wide inner loops
-//! are fixed-trip-count arrays that LLVM unrolls and autovectorizes.
-//! A generic any-`m` fallback handles the remaining sizes, and an
-//! ablation bench compares the two.
+//! SSE/AVX). This module holds the *portable* kernels: monomorphized
+//! over `const M: usize` so the `m`-wide inner loops are
+//! fixed-trip-count arrays that LLVM unrolls and autovectorizes, plus a
+//! strip-mined generic any-`m` fallback and a naive ablation baseline.
+//! The explicit-SIMD kernels live in `crate::simd`, and every public
+//! entry point here routes its row ranges through the process-wide
+//! [`crate::backend::active_backend`] — override with
+//! `MRHS_KERNEL_BACKEND=scalar|simd|generic`.
+//!
+//! All row kernels are generic over [`BlockGet`], the block-fetch
+//! abstraction that lets full storage (`&[Block3]`) and dedup storage
+//! (pool-indirect indices, `crate::dedup`) share one kernel body — and
+//! therefore produce bitwise-identical results.
 //!
 //! Thread blocking follows the paper: block rows are split into chunks of
 //! balanced non-zero count and each chunk writes a disjoint slice of `Y`.
 
+use crate::backend::{self, KernelBackend, KernelKind};
 use crate::bcrs::BcrsMatrix;
+use crate::block::Block3;
 use crate::instrument;
 use crate::multivec::MultiVec;
 use crate::BLOCK_DIM;
 use std::ops::Range;
 
-/// Counts one full-storage GSPMV call under `gspmv/m{m}/…` and opens
-/// its `kernel/gspmv/m{m}` span. The matrix stream is what BCRS
-/// physically holds: 72 B per block, 4 B per column index, 4 B per row
-/// pointer. Called only from the public entry points, never from the
-/// internal row kernels, so delegation does not double-count.
-fn instrument_full(a: &BcrsMatrix, m: usize) -> mrhs_telemetry::SpanGuard {
+/// Block fetch for row kernels: entry `k` of the CSR structure resolves
+/// to a 3×3 block. Full storage fetches `blocks[k]`; dedup storage
+/// fetches `pool[pool_idx[k]]`. `Copy + Sync` so chunked drivers can
+/// hand the same view to every rayon job.
+pub(crate) trait BlockGet: Copy + Sync {
+    fn block(&self, k: usize) -> &Block3;
+}
+
+impl BlockGet for &[Block3] {
+    #[inline(always)]
+    fn block(&self, k: usize) -> &Block3 {
+        &self[k]
+    }
+}
+
+/// Counts one full-storage GSPMV call under `gspmv/m{m}/…`, tags the
+/// dispatched backend, and opens the `kernel/gspmv/m{m}` span. The
+/// matrix stream is what BCRS physically holds: 72 B per block, 4 B per
+/// column index, 4 B per row pointer. Called only from the public entry
+/// points, never from the internal row kernels, so delegation does not
+/// double-count.
+fn instrument_full(
+    a: &BcrsMatrix,
+    m: usize,
+    b: &dyn KernelBackend,
+) -> mrhs_telemetry::SpanGuard {
     let nb = a.nb_rows() as u64;
     let nnzb = a.nnz_blocks() as u64;
     instrument::record_kernel_call("gspmv", m, nb, nnzb, 4 * nb + 76 * nnzb);
+    instrument::record_backend(b.name());
     instrument::kernel_span("gspmv", m)
 }
 
 /// The `m` sizes with dedicated monomorphized kernels. Mirrors the set of
 /// generated kernels in the paper's experiments (m up to 32 on clusters,
 /// 42 on single node; sizes in between fall back to the generic kernel).
-pub const SPECIALIZED_M: &[usize] = &[1, 2, 4, 8, 12, 16, 24, 32, 42, 48];
+/// This is [`crate::backend::WIDTH_GRID`] — the per-backend grid is
+/// exposed through [`crate::backend::KernelBackend::specialized_widths`].
+pub const SPECIALIZED_M: &[usize] = &backend::WIDTH_GRID;
 
 /// Single-vector SPMV on plain slices: `y = A·x`.
 ///
 /// `x` must have `a.n_cols()` entries and `y` must have `a.n_rows()`.
+/// Runs the active backend's row kernel at `m = 1` (the SIMD backend
+/// delegates widths below one vector to the monomorphized kernels, so
+/// this is the scalar fixed-`1` kernel everywhere today).
 pub fn spmv_serial(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_cols(), "x length mismatch");
     assert_eq!(y.len(), a.n_rows(), "y length mismatch");
-    spmv_rows(a, x, y, 0..a.nb_rows());
+    backend::active_backend().gspmv_rows(a, x, y, 1, 0..a.nb_rows());
 }
 
-fn spmv_rows(a: &BcrsMatrix, x: &[f64], y: &mut [f64], rows: Range<usize>) {
-    let y_base = rows.start * BLOCK_DIM;
-    for bi in rows {
-        let (cols, blocks) = a.block_row(bi);
-        let mut acc = [0.0f64; BLOCK_DIM];
-        for (c, b) in cols.iter().zip(blocks) {
-            let xc =
-                &x[*c as usize * BLOCK_DIM..*c as usize * BLOCK_DIM + BLOCK_DIM];
-            let v = b.mul_vec([xc[0], xc[1], xc[2]]);
-            acc[0] += v[0];
-            acc[1] += v[1];
-            acc[2] += v[2];
-        }
-        let yo = bi * BLOCK_DIM - y_base;
-        y[yo..yo + BLOCK_DIM].copy_from_slice(&acc);
-    }
-}
-
-/// Serial GSPMV: `Y = A·X` with `X`, `Y` row-major multivectors.
-///
-/// Dispatches to a monomorphized kernel when `X.m()` is in
-/// [`SPECIALIZED_M`], otherwise uses the generic any-`m` kernel.
+/// Serial GSPMV: `Y = A·X` with `X`, `Y` row-major multivectors,
+/// through the active backend.
 pub fn gspmv_serial(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    gspmv_serial_impl(backend::active_backend(), a, x, y);
+}
+
+/// Serial GSPMV through an explicitly chosen backend kind — the entry
+/// point ablations and the oracle registry use to pin a specific
+/// implementation regardless of `MRHS_KERNEL_BACKEND`.
+///
+/// # Panics
+/// When `kind` is unavailable on this host (SIMD without a vector ISA);
+/// gate with [`crate::backend::backend_available`].
+pub fn gspmv_serial_with(
+    kind: KernelKind,
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+) {
+    gspmv_serial_impl(require_backend(kind), a, x, y);
+}
+
+fn gspmv_serial_impl(
+    b: &dyn KernelBackend,
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+) {
     check_shapes(a, x, y);
     let m = x.m();
-    let _span = instrument_full(a, m);
-    let rows = 0..a.nb_rows();
-    dispatch_rows(a, x.as_slice(), y.as_mut_slice(), m, rows);
+    let _span = instrument_full(a, m, b);
+    b.gspmv_rows(a, x.as_slice(), y.as_mut_slice(), m, 0..a.nb_rows());
 }
 
 /// Serial GSPMV that always uses the generic (non-unrolled) kernel.
 /// Exists for the unrolled-vs-generic ablation bench.
 pub fn gspmv_serial_generic(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
     check_shapes(a, x, y);
-    gspmv_rows_generic(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
+    gspmv_rows_generic(
+        a.row_ptr(),
+        a.col_idx(),
+        a.blocks(),
+        x.as_slice(),
+        y.as_mut_slice(),
+        x.m(),
+        0..a.nb_rows(),
+    );
 }
 
 /// Parallel GSPMV: block rows are chunked with balanced non-zero counts
@@ -88,14 +136,34 @@ pub fn gspmv_serial_generic(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
 /// fixed per-row order, so the result is **bitwise identical** to
 /// [`gspmv_serial`] for any chunking, pool width, or interleaving.
 pub fn gspmv(a: &BcrsMatrix, x: &MultiVec, y: &mut MultiVec) {
+    gspmv_impl(backend::active_backend(), a, x, y);
+}
+
+/// Auto parallel GSPMV through an explicitly chosen backend kind
+/// (panics when unavailable, like [`gspmv_serial_with`]).
+pub fn gspmv_with(
+    kind: KernelKind,
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+) {
+    gspmv_impl(require_backend(kind), a, x, y);
+}
+
+fn gspmv_impl(
+    b: &dyn KernelBackend,
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+) {
     check_shapes(a, x, y);
-    let _span = instrument_full(a, x.m());
+    let _span = instrument_full(a, x.m(), b);
     let nthreads = rayon::current_num_threads();
     if nthreads <= 1 || a.nnz_blocks() < 1 << 14 {
-        dispatch_rows(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
+        b.gspmv_rows(a, x.as_slice(), y.as_mut_slice(), x.m(), 0..a.nb_rows());
         return;
     }
-    gspmv_chunked_impl(a, x, y, nthreads * 4);
+    gspmv_chunked_impl(b, a, x, y, nthreads * 4);
 }
 
 /// Parallel GSPMV with an explicit chunk count — the entry point the
@@ -108,12 +176,34 @@ pub fn gspmv_chunked(
     y: &mut MultiVec,
     nchunks: usize,
 ) {
+    let b = backend::active_backend();
     check_shapes(a, x, y);
-    let _span = instrument_full(a, x.m());
-    gspmv_chunked_impl(a, x, y, nchunks);
+    let _span = instrument_full(a, x.m(), b);
+    gspmv_chunked_impl(b, a, x, y, nchunks);
+}
+
+/// Chunked GSPMV through an explicitly chosen backend kind (panics when
+/// unavailable, like [`gspmv_serial_with`]).
+pub fn gspmv_chunked_with(
+    kind: KernelKind,
+    a: &BcrsMatrix,
+    x: &MultiVec,
+    y: &mut MultiVec,
+    nchunks: usize,
+) {
+    let b = require_backend(kind);
+    check_shapes(a, x, y);
+    let _span = instrument_full(a, x.m(), b);
+    gspmv_chunked_impl(b, a, x, y, nchunks);
+}
+
+fn require_backend(kind: KernelKind) -> &'static dyn KernelBackend {
+    backend::backend_for(kind)
+        .expect("requested kernel backend unavailable on this host")
 }
 
 fn gspmv_chunked_impl(
+    b: &dyn KernelBackend,
     a: &BcrsMatrix,
     x: &MultiVec,
     y: &mut MultiVec,
@@ -137,18 +227,20 @@ fn gspmv_chunked_impl(
     let xs = x.as_slice();
     rayon::scope(|s| {
         for (rows, yslice) in jobs {
-            s.spawn(move |_| dispatch_rows(a, xs, yslice, m, rows));
+            s.spawn(move |_| b.gspmv_rows(a, xs, yslice, m, rows));
         }
     });
 }
 
-/// Parallel single-vector SPMV.
+/// Parallel single-vector SPMV (the `m = 1` instantiation of the
+/// parallel driver, with the same serial-fallback threshold).
 pub fn spmv(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_cols());
     assert_eq!(y.len(), a.n_rows());
+    let b = backend::active_backend();
     let nthreads = rayon::current_num_threads();
     if nthreads <= 1 || a.nnz_blocks() < 1 << 14 {
-        spmv_rows(a, x, y, 0..a.nb_rows());
+        b.gspmv_rows(a, x, y, 1, 0..a.nb_rows());
         return;
     }
     let chunks = balanced_row_chunks(a, nthreads * 4);
@@ -163,7 +255,7 @@ pub fn spmv(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
     }
     rayon::scope(|s| {
         for (rows, yslice) in jobs {
-            s.spawn(move |_| spmv_rows(a, x, yslice, rows));
+            s.spawn(move |_| b.gspmv_rows(a, x, yslice, 1, rows));
         }
     });
 }
@@ -171,15 +263,23 @@ pub fn spmv(a: &BcrsMatrix, x: &[f64], y: &mut [f64]) {
 /// Splits the block rows of `a` into at most `nchunks` contiguous ranges
 /// with approximately equal stored-block counts. Every block row appears
 /// in exactly one range.
-#[allow(clippy::single_range_in_vec_init)]
 pub fn balanced_row_chunks(a: &BcrsMatrix, nchunks: usize) -> Vec<Range<usize>> {
-    let nb = a.nb_rows();
-    let nnzb = a.nnz_blocks();
+    balanced_chunks_from_parts(a.row_ptr(), a.nb_rows(), a.nnz_blocks(), nchunks)
+}
+
+/// The chunking policy on raw CSR parts, shared with dedup storage so
+/// both formats chunk identically for a given structure.
+#[allow(clippy::single_range_in_vec_init)]
+pub(crate) fn balanced_chunks_from_parts(
+    row_ptr: &[usize],
+    nb: usize,
+    nnzb: usize,
+    nchunks: usize,
+) -> Vec<Range<usize>> {
     if nb == 0 || nchunks <= 1 {
         return vec![0..nb];
     }
     let target = (nnzb / nchunks).max(1);
-    let row_ptr = a.row_ptr();
     let mut chunks = Vec::with_capacity(nchunks);
     let mut start = 0usize;
     let mut next_cut = target;
@@ -200,49 +300,65 @@ pub fn balanced_row_chunks(a: &BcrsMatrix, nchunks: usize) -> Vec<Range<usize>> 
 }
 
 fn check_shapes(a: &BcrsMatrix, x: &MultiVec, y: &MultiVec) {
-    assert_eq!(x.n(), a.n_cols(), "X row count must equal matrix columns");
-    assert_eq!(y.n(), a.n_rows(), "Y row count must equal matrix rows");
+    check_mv_shapes(a.n_rows(), a.n_cols(), x, y);
+}
+
+/// Shape checks shared with [`crate::dedup::DedupBcrs`].
+pub(crate) fn check_mv_shapes(
+    n_rows: usize,
+    n_cols: usize,
+    x: &MultiVec,
+    y: &MultiVec,
+) {
+    assert_eq!(x.n(), n_cols, "X row count must equal matrix columns");
+    assert_eq!(y.n(), n_rows, "Y row count must equal matrix rows");
     assert_eq!(x.m(), y.m(), "X and Y must have the same number of columns");
 }
 
-/// Row-range kernel dispatch: monomorphized when possible.
-pub(crate) fn dispatch_rows(
-    a: &BcrsMatrix,
+/// Row-range dispatch of the portable monomorphized kernels — the
+/// scalar backend's row kernel, also the delegation target for SIMD at
+/// widths below one vector.
+pub(crate) fn dispatch_rows_scalar<B: BlockGet>(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    blocks: B,
     x: &[f64],
     y: &mut [f64],
     m: usize,
     rows: Range<usize>,
 ) {
     match m {
-        1 => gspmv_rows_fixed::<1>(a, x, y, rows),
-        2 => gspmv_rows_fixed::<2>(a, x, y, rows),
-        4 => gspmv_rows_fixed::<4>(a, x, y, rows),
-        8 => gspmv_rows_fixed::<8>(a, x, y, rows),
-        12 => gspmv_rows_fixed::<12>(a, x, y, rows),
-        16 => gspmv_rows_fixed::<16>(a, x, y, rows),
-        24 => gspmv_rows_fixed::<24>(a, x, y, rows),
-        32 => gspmv_rows_fixed::<32>(a, x, y, rows),
-        42 => gspmv_rows_fixed::<42>(a, x, y, rows),
-        48 => gspmv_rows_fixed::<48>(a, x, y, rows),
-        _ => gspmv_rows_generic(a, x, y, m, rows),
+        1 => gspmv_rows_fixed::<1, B>(row_ptr, col_idx, blocks, x, y, rows),
+        2 => gspmv_rows_fixed::<2, B>(row_ptr, col_idx, blocks, x, y, rows),
+        4 => gspmv_rows_fixed::<4, B>(row_ptr, col_idx, blocks, x, y, rows),
+        8 => gspmv_rows_fixed::<8, B>(row_ptr, col_idx, blocks, x, y, rows),
+        12 => gspmv_rows_fixed::<12, B>(row_ptr, col_idx, blocks, x, y, rows),
+        16 => gspmv_rows_fixed::<16, B>(row_ptr, col_idx, blocks, x, y, rows),
+        24 => gspmv_rows_fixed::<24, B>(row_ptr, col_idx, blocks, x, y, rows),
+        32 => gspmv_rows_fixed::<32, B>(row_ptr, col_idx, blocks, x, y, rows),
+        42 => gspmv_rows_fixed::<42, B>(row_ptr, col_idx, blocks, x, y, rows),
+        48 => gspmv_rows_fixed::<48, B>(row_ptr, col_idx, blocks, x, y, rows),
+        _ => gspmv_rows_generic(row_ptr, col_idx, blocks, x, y, m, rows),
     }
 }
 
 /// The monomorphized basic kernel: each 3×3 block multiplies a 3×M slab.
 /// `y` is the slice for `rows` only (disjoint output windows in the
 /// parallel driver).
-fn gspmv_rows_fixed<const M: usize>(
-    a: &BcrsMatrix,
+fn gspmv_rows_fixed<const M: usize, B: BlockGet>(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    blocks: B,
     x: &[f64],
     y: &mut [f64],
     rows: Range<usize>,
 ) {
     let y_base = rows.start * BLOCK_DIM * M;
     for bi in rows {
-        let (cols, blocks) = a.block_row(bi);
         let mut acc = [[0.0f64; M]; BLOCK_DIM];
-        for (c, b) in cols.iter().zip(blocks) {
-            let xoff = *c as usize * BLOCK_DIM * M;
+        for k in row_ptr[bi]..row_ptr[bi + 1] {
+            let b = blocks.block(k);
+            let xoff = col_idx[k] as usize * BLOCK_DIM * M;
             let xs = &x[xoff..xoff + BLOCK_DIM * M];
             let x0: &[f64; M] = xs[..M].try_into().unwrap();
             let x1: &[f64; M] = xs[M..2 * M].try_into().unwrap();
@@ -271,8 +387,10 @@ fn gspmv_rows_fixed<const M: usize>(
 /// runtime value; only the final `m mod 4` columns take the scalar
 /// path. The naive fully-runtime loop lives on in
 /// [`gspmv_rows_naive`] as the ablation baseline.
-fn gspmv_rows_generic(
-    a: &BcrsMatrix,
+pub(crate) fn gspmv_rows_generic<B: BlockGet>(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    blocks: B,
     x: &[f64],
     y: &mut [f64],
     m: usize,
@@ -281,10 +399,10 @@ fn gspmv_rows_generic(
     let y_base = rows.start * BLOCK_DIM * m;
     let mut acc = vec![0.0f64; BLOCK_DIM * m];
     for bi in rows {
-        let (cols, blocks) = a.block_row(bi);
         acc.fill(0.0);
-        for (c, b) in cols.iter().zip(blocks) {
-            let xoff = *c as usize * BLOCK_DIM * m;
+        for k in row_ptr[bi]..row_ptr[bi + 1] {
+            let b = blocks.block(k);
+            let xoff = col_idx[k] as usize * BLOCK_DIM * m;
             let xs = &x[xoff..xoff + BLOCK_DIM * m];
             for i in 0..BLOCK_DIM {
                 let ai = [b.get(i, 0), b.get(i, 1), b.get(i, 2)];
@@ -391,9 +509,9 @@ mod tests {
         t.build()
     }
 
-    /// Approximate multivector equality: the fused and sequential
-    /// kernels associate the three per-block FMAs differently, so
-    /// results differ at the last bit.
+    /// Approximate multivector equality: different kernels associate
+    /// the per-block FMAs differently, so results differ at the last
+    /// bit.
     fn assert_close(a: &MultiVec, b: &MultiVec, ctx: &str) {
         assert_eq!(a.shape(), b.shape(), "{ctx}");
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
@@ -491,6 +609,32 @@ mod tests {
             gspmv_serial_naive(&a, &x, &mut y3);
             assert_close(&y1, &y2, &format!("m={m} generic"));
             assert_close(&y1, &y3, &format!("m={m} naive"));
+        }
+    }
+
+    #[test]
+    fn every_available_backend_agrees_with_scalar() {
+        let a = test_matrix(13, 5);
+        let n = a.n_rows();
+        for m in [1usize, 4, 7, 8, 16, 19, 32] {
+            let mut x = MultiVec::zeros(n, m);
+            for j in 0..m {
+                x.set_column(j, &pseudo_vec(n, 53 + j as u64));
+            }
+            let mut want = MultiVec::zeros(n, m);
+            gspmv_serial_with(KernelKind::Scalar, &a, &x, &mut want);
+            for kind in KernelKind::ALL {
+                if !backend::backend_available(kind) {
+                    continue;
+                }
+                let mut got = MultiVec::zeros(n, m);
+                gspmv_serial_with(kind, &a, &x, &mut got);
+                assert_close(&want, &got, &format!("m={m} {:?}", kind));
+                // And the chunked driver stays bitwise within a kind.
+                let mut chunked = MultiVec::zeros(n, m);
+                gspmv_chunked_with(kind, &a, &x, &mut chunked, 3);
+                assert_eq!(got, chunked, "m={m} {:?} chunked", kind);
+            }
         }
     }
 

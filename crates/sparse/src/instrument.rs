@@ -30,6 +30,17 @@ pub(crate) fn kernel_span(kind: &str, m: usize) -> SpanGuard {
     }
 }
 
+/// Tags one kernel dispatch with the backend that ran it:
+/// `kernel_backend/{name}/calls`. This is how tests (and post-hoc bench
+/// analysis) verify which implementation `MRHS_KERNEL_BACKEND` actually
+/// selected — the counter is recorded by the same entry points that
+/// count the kernel call itself.
+pub(crate) fn record_backend(name: &str) {
+    if mrhs_telemetry::enabled() {
+        mrhs_telemetry::counter_add(&format!("kernel_backend/{name}/calls"), 1);
+    }
+}
+
 /// Records one kernel invocation: calls, flops, matrix/vector bytes,
 /// all under `{kind}/m{m}/…`. `applied_blocks` is the number of
 /// block·vector multiplications per vector (for symmetric storage each

@@ -28,27 +28,46 @@
 //!   recursive-coordinate-bisection comparator, used by the distributed
 //!   GSPMV simulator.
 //! * [`reorder`] — reverse Cuthill–McKee bandwidth reduction.
+//! * [`backend`] — the [`KernelBackend`] abstraction: scalar
+//!   (monomorphized), explicit-SIMD (`core::arch`, runtime-dispatched
+//!   on AVX-512/AVX2/NEON), and generic kernel families, selected once
+//!   per process with an `MRHS_KERNEL_BACKEND` override.
+//! * [`DedupBcrs`] — BCRS with a unique-block pool, streaming 8 B of
+//!   indices instead of 72 B of values for repeated blocks.
 //!
-//! Everything is plain safe Rust; the unrolled kernels are written so the
-//! `m`-wide inner loops autovectorize.
+//! The portable kernels are plain safe Rust written so the `m`-wide
+//! inner loops autovectorize; the explicit-SIMD kernels confine their
+//! `unsafe` to `core::arch` intrinsics behind runtime feature
+//! detection.
 
+pub mod backend;
 pub mod bcrs;
 pub mod block;
 pub mod csr;
+pub mod dedup;
 pub mod gspmv;
 mod instrument;
 pub mod io;
 pub mod multivec;
 pub mod partition;
 pub mod reorder;
+mod simd;
 pub mod stats;
 pub mod symmetric;
 pub mod triplet;
 
+pub use backend::{
+    active_backend, backend_available, backend_for, detect_isa, select_kind, Isa,
+    KernelBackend, KernelKind, WIDTH_GRID,
+};
 pub use bcrs::BcrsMatrix;
 pub use block::Block3;
 pub use csr::CsrMatrix;
-pub use gspmv::{gspmv, gspmv_chunked, gspmv_serial, spmv, spmv_serial};
+pub use dedup::{DedupBcrs, DEDUP_DEFAULT_MAX_RATIO};
+pub use gspmv::{
+    gspmv, gspmv_chunked, gspmv_chunked_with, gspmv_serial, gspmv_serial_with,
+    gspmv_with, spmv, spmv_serial,
+};
 pub use multivec::{MultiVec, SPECIALIZED_WIDTHS};
 pub use stats::MatrixStats;
 pub use symmetric::SymmetricBcrs;

@@ -10,8 +10,11 @@ use std::ops::Range;
 /// kernels and the dense multivector ops below. Widths outside this set
 /// fall back to generic (markedly slower) loops, so width-choosing
 /// layers — the solve service's batcher in particular — should snap to
-/// a member of this set.
-pub const SPECIALIZED_WIDTHS: [usize; 10] = [1, 2, 4, 8, 12, 16, 24, 32, 42, 48];
+/// a member of this set, preferably by querying
+/// `active_backend().specialized_widths()` (this constant is the same
+/// grid, [`crate::backend::WIDTH_GRID`], kept as a re-export so the
+/// grids cannot drift).
+pub const SPECIALIZED_WIDTHS: [usize; 10] = crate::backend::WIDTH_GRID;
 
 /// Dispatches a const-generic helper on [`SPECIALIZED_WIDTHS`] (the
 /// same set the GSPMV kernels specialize), yielding `Some(result)` or
@@ -331,6 +334,9 @@ impl MultiVec {
         assert_eq!(self.n, other.n);
         let (ma, mb) = (self.m, other.m);
         if ma == mb {
+            if let Some(isa) = crate::backend::simd_dense_isa(ma) {
+                return crate::simd::gram(isa, &self.data, &other.data, ma);
+            }
             if let Some(g) = dispatch_square_m!(ma, gram_fixed, (self, other)) {
                 return g;
             }
@@ -353,10 +359,14 @@ impl MultiVec {
         assert_eq!(self.n, other.n);
         assert_eq!(c.len(), other.m * self.m);
         let (m, mo) = (self.m, other.m);
-        if m == mo
-            && dispatch_square_m!(m, add_mul_fixed, (self, other, c)).is_some()
-        {
-            return;
+        if m == mo {
+            if let Some(isa) = crate::backend::simd_dense_isa(m) {
+                crate::simd::add_mul(isa, &mut self.data, &other.data, c, m);
+                return;
+            }
+            if dispatch_square_m!(m, add_mul_fixed, (self, other, c)).is_some() {
+                return;
+            }
         }
         for (drow, orow) in
             self.data.chunks_exact_mut(m).zip(other.data.chunks_exact(mo))
@@ -382,6 +392,15 @@ impl MultiVec {
         assert_eq!(self.shape(), other.shape());
         let m = self.m;
         assert_eq!(c.len(), m * m);
+        if let Some(isa) = crate::backend::simd_dense_isa(m) {
+            return crate::simd::sub_mul_gram(
+                isa,
+                &mut self.data,
+                &other.data,
+                c,
+                m,
+            );
+        }
         if let Some(g) =
             dispatch_square_m!(m, sub_mul_then_gram_fixed, (self, other, c))
         {
@@ -413,6 +432,10 @@ impl MultiVec {
         assert_eq!(self.shape(), other.shape());
         let m = self.m;
         assert_eq!(c.len(), m * m);
+        if let Some(isa) = crate::backend::simd_dense_isa(m) {
+            crate::simd::assign_add_mul(isa, &mut self.data, &other.data, c, m);
+            return;
+        }
         if dispatch_square_m!(m, assign_add_mul_fixed, (self, other, c)).is_some() {
             return;
         }

@@ -1,0 +1,995 @@
+//! Explicit-SIMD row kernels behind a thin vector wrapper.
+//!
+//! The kernel bodies are written once, generic over a minimal [`Vf64`]
+//! vector interface, and monomorphized per ISA inside concrete
+//! `#[target_feature]` wrappers — the wrapper provides the feature
+//! context, `#[inline(always)]` on the generic bodies guarantees the
+//! intrinsics land inside it. This is the runtime analogue of the
+//! paper's code generator: one kernel source, one binary, the widest
+//! ISA the *running* CPU offers.
+//!
+//! **Register tiling.** For each block row the `m` columns are
+//! processed in chunks of up to four vectors (`NV = 4 → 2 → 1`, then a
+//! scalar tail), and the 3×`NV·LANES` accumulator tile stays in
+//! registers across the entire row — every stored block contributes
+//! nine broadcast-FMAs per vector without touching memory for partial
+//! sums. A row's blocks are re-read once per chunk; they sit in L1 by
+//! the second pass, and the expensive stream (the matrix at large `m`,
+//! per Eq. 8) is only read for the first chunk.
+//!
+//! **Determinism.** Per output element the accumulation order is the
+//! stored block order — identical across chunk decompositions, so the
+//! serial/auto/chunked contracts of the scalar kernels carry over
+//! unchanged. The FMA contraction rounds differently from the scalar
+//! kernels' mul-then-add, so *cross-backend* agreement is tolerance
+//! (ULP) level, which the oracle suite checks explicitly.
+
+use crate::backend::Isa;
+use crate::block::Block3;
+use crate::gspmv::BlockGet;
+use crate::symmetric::SymmetricBcrs;
+use std::ops::Range;
+
+/// Lanes of the narrowest vector of `isa` — below this width a SIMD
+/// kernel would be pure scalar tail, so callers delegate to the
+/// monomorphized backend instead.
+pub(crate) fn min_vector_width(isa: Isa) -> usize {
+    match isa {
+        Isa::Avx512 => 8,
+        Isa::Avx2 => 4,
+        Isa::Neon => 2,
+        Isa::Portable => usize::MAX,
+    }
+}
+
+/// The minimal f64 vector interface the kernel bodies are generic
+/// over. All methods are `unsafe`: callers must hold the ISA's target
+/// features (guaranteed by the `#[target_feature]` wrappers below).
+trait Vf64: Copy {
+    const LANES: usize;
+    unsafe fn zero() -> Self;
+    unsafe fn splat(v: f64) -> Self;
+    unsafe fn load(p: *const f64) -> Self;
+    unsafe fn store(self, p: *mut f64);
+    /// Fused `self + a·b`.
+    unsafe fn fma(self, a: Self, b: Self) -> Self;
+    /// Fused `self − a·b`.
+    unsafe fn fnma(self, a: Self, b: Self) -> Self;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::Vf64;
+    use core::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub struct V4(__m256d);
+
+    impl Vf64 for V4 {
+        const LANES: usize = 4;
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            V4(_mm256_setzero_pd())
+        }
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            V4(_mm256_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            V4(_mm256_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm256_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn fma(self, a: Self, b: Self) -> Self {
+            V4(_mm256_fmadd_pd(a.0, b.0, self.0))
+        }
+        #[inline(always)]
+        unsafe fn fnma(self, a: Self, b: Self) -> Self {
+            V4(_mm256_fnmadd_pd(a.0, b.0, self.0))
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct V8(__m512d);
+
+    impl Vf64 for V8 {
+        const LANES: usize = 8;
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            V8(_mm512_setzero_pd())
+        }
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            V8(_mm512_set1_pd(v))
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            V8(_mm512_loadu_pd(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            _mm512_storeu_pd(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn fma(self, a: Self, b: Self) -> Self {
+            V8(_mm512_fmadd_pd(a.0, b.0, self.0))
+        }
+        #[inline(always)]
+        unsafe fn fnma(self, a: Self, b: Self) -> Self {
+            V8(_mm512_fnmadd_pd(a.0, b.0, self.0))
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::Vf64;
+    use core::arch::aarch64::*;
+
+    #[derive(Clone, Copy)]
+    pub struct V2(float64x2_t);
+
+    impl Vf64 for V2 {
+        const LANES: usize = 2;
+        #[inline(always)]
+        unsafe fn zero() -> Self {
+            V2(vdupq_n_f64(0.0))
+        }
+        #[inline(always)]
+        unsafe fn splat(v: f64) -> Self {
+            V2(vdupq_n_f64(v))
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> Self {
+            V2(vld1q_f64(p))
+        }
+        #[inline(always)]
+        unsafe fn store(self, p: *mut f64) {
+            vst1q_f64(p, self.0)
+        }
+        #[inline(always)]
+        unsafe fn fma(self, a: Self, b: Self) -> Self {
+            V2(vfmaq_f64(self.0, a.0, b.0))
+        }
+        #[inline(always)]
+        unsafe fn fnma(self, a: Self, b: Self) -> Self {
+            V2(vfmsq_f64(self.0, a.0, b.0))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic kernel bodies (ISA-independent, always inlined into the
+// per-ISA `#[target_feature]` wrappers).
+// ---------------------------------------------------------------------
+
+/// `acc (3×NV vectors) += B · x_slab[off..off+NV·LANES]` for one 3×3
+/// block. Nine broadcasts, `3·NV` x-loads, `9·NV` FMAs; LLVM CSEs the
+/// broadcasts across the unrolled `v` loop when registers allow.
+#[inline(always)]
+unsafe fn apply_fwd<V: Vf64, const NV: usize>(
+    bp: *const f64,
+    xb: *const f64,
+    m: usize,
+    acc: &mut [[V; NV]; 3],
+) {
+    for v in 0..NV {
+        let x0 = V::load(xb.add(v * V::LANES));
+        let x1 = V::load(xb.add(m + v * V::LANES));
+        let x2 = V::load(xb.add(2 * m + v * V::LANES));
+        for i in 0..3 {
+            acc[i][v] = acc[i][v]
+                .fma(V::splat(*bp.add(3 * i)), x0)
+                .fma(V::splat(*bp.add(3 * i + 1)), x1)
+                .fma(V::splat(*bp.add(3 * i + 2)), x2);
+        }
+    }
+}
+
+/// One register-tiled chunk (`NV` vectors wide, lane offset `off`) of a
+/// full-storage block row: accumulate every stored block, store once.
+#[inline(always)]
+unsafe fn row_chunk<V: Vf64, const NV: usize, B: BlockGet>(
+    ks: Range<usize>,
+    col_idx: &[u32],
+    blocks: B,
+    x: *const f64,
+    m: usize,
+    off: usize,
+    yrow: *mut f64,
+) {
+    let mut acc = [[V::zero(); NV]; 3];
+    for k in ks {
+        let c = *col_idx.get_unchecked(k) as usize;
+        let bp = blocks.block(k).0.as_ptr();
+        apply_fwd::<V, NV>(bp, x.add(c * 3 * m + off), m, &mut acc);
+    }
+    for i in 0..3 {
+        for v in 0..NV {
+            acc[i][v].store(yrow.add(i * m + off + v * V::LANES));
+        }
+    }
+}
+
+/// Scalar tail for the final `m − off` columns of a full-storage row.
+#[inline(always)]
+unsafe fn row_tail<B: BlockGet>(
+    ks: Range<usize>,
+    col_idx: &[u32],
+    blocks: B,
+    x: *const f64,
+    m: usize,
+    off: usize,
+    yrow: *mut f64,
+) {
+    for j in off..m {
+        let (mut a0, mut a1, mut a2) = (0.0f64, 0.0f64, 0.0f64);
+        for k in ks.clone() {
+            let c = *col_idx.get_unchecked(k) as usize;
+            let b = &blocks.block(k).0;
+            let xb = x.add(c * 3 * m + j);
+            let (x0, x1, x2) = (*xb, *xb.add(m), *xb.add(2 * m));
+            a0 += b[0] * x0 + b[1] * x1 + b[2] * x2;
+            a1 += b[3] * x0 + b[4] * x1 + b[5] * x2;
+            a2 += b[6] * x0 + b[7] * x1 + b[8] * x2;
+        }
+        *yrow.add(j) = a0;
+        *yrow.add(m + j) = a1;
+        *yrow.add(2 * m + j) = a2;
+    }
+}
+
+/// Full-storage GSPMV row loop: chunk decomposition `4·L / 2·L / L`
+/// vectors plus scalar tail, accumulators in registers per chunk.
+#[inline(always)]
+unsafe fn rows_vf<V: Vf64, B: BlockGet>(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    blocks: B,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    rows: Range<usize>,
+) {
+    let y_base = rows.start * 3 * m;
+    let xp = x.as_ptr();
+    for bi in rows {
+        let ks = row_ptr[bi]..row_ptr[bi + 1];
+        let yrow = y.as_mut_ptr().add(bi * 3 * m - y_base);
+        let mut off = 0;
+        while off + 4 * V::LANES <= m {
+            row_chunk::<V, 4, B>(ks.clone(), col_idx, blocks, xp, m, off, yrow);
+            off += 4 * V::LANES;
+        }
+        if off + 2 * V::LANES <= m {
+            row_chunk::<V, 2, B>(ks.clone(), col_idx, blocks, xp, m, off, yrow);
+            off += 2 * V::LANES;
+        }
+        if off + V::LANES <= m {
+            row_chunk::<V, 1, B>(ks.clone(), col_idx, blocks, xp, m, off, yrow);
+            off += V::LANES;
+        }
+        if off < m {
+            row_tail::<B>(ks, col_idx, blocks, xp, m, off, yrow);
+        }
+    }
+}
+
+/// One chunk of a symmetric pass-1 row: diagonal plus forward upper
+/// blocks, overwriting the window row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sym_row_chunk<V: Vf64, const NV: usize>(
+    dp: *const f64,
+    ks: Range<usize>,
+    col_idx: &[u32],
+    blocks: &[Block3],
+    x: *const f64,
+    bi: usize,
+    m: usize,
+    off: usize,
+    wrow: *mut f64,
+) {
+    let mut acc = [[V::zero(); NV]; 3];
+    apply_fwd::<V, NV>(dp, x.add(bi * 3 * m + off), m, &mut acc);
+    for k in ks {
+        let c = *col_idx.get_unchecked(k) as usize;
+        let bp = blocks.get_unchecked(k).0.as_ptr();
+        apply_fwd::<V, NV>(bp, x.add(c * 3 * m + off), m, &mut acc);
+    }
+    for i in 0..3 {
+        for v in 0..NV {
+            acc[i][v].store(wrow.add(i * m + off + v * V::LANES));
+        }
+    }
+}
+
+/// Scalar tail of a symmetric pass-1 row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn sym_row_tail(
+    dp: *const f64,
+    ks: Range<usize>,
+    col_idx: &[u32],
+    blocks: &[Block3],
+    x: *const f64,
+    bi: usize,
+    m: usize,
+    off: usize,
+    wrow: *mut f64,
+) {
+    for j in off..m {
+        let xb = x.add(bi * 3 * m + j);
+        let (x0, x1, x2) = (*xb, *xb.add(m), *xb.add(2 * m));
+        let mut a = [
+            *dp * x0 + *dp.add(1) * x1 + *dp.add(2) * x2,
+            *dp.add(3) * x0 + *dp.add(4) * x1 + *dp.add(5) * x2,
+            *dp.add(6) * x0 + *dp.add(7) * x1 + *dp.add(8) * x2,
+        ];
+        for k in ks.clone() {
+            let c = *col_idx.get_unchecked(k) as usize;
+            let b = &blocks.get_unchecked(k).0;
+            let xb = x.add(c * 3 * m + j);
+            let (x0, x1, x2) = (*xb, *xb.add(m), *xb.add(2 * m));
+            a[0] += b[0] * x0 + b[1] * x1 + b[2] * x2;
+            a[1] += b[3] * x0 + b[4] * x1 + b[5] * x2;
+            a[2] += b[6] * x0 + b[7] * x1 + b[8] * x2;
+        }
+        for (i, av) in a.iter().enumerate() {
+            *wrow.add(i * m + j) = *av;
+        }
+    }
+}
+
+/// `y (3×m) += Bᵀ · xi (3×m)` — the symmetric pass-2 scatter term,
+/// vector chunks with a scalar tail, read-modify-write on `y`.
+#[inline(always)]
+unsafe fn accumulate_t<V: Vf64>(
+    bp: *const f64,
+    xi: *const f64,
+    y: *mut f64,
+    m: usize,
+) {
+    let mut j = 0;
+    while j + V::LANES <= m {
+        let x0 = V::load(xi.add(j));
+        let x1 = V::load(xi.add(m + j));
+        let x2 = V::load(xi.add(2 * m + j));
+        for i in 0..3 {
+            // (Bᵀ)_{i,c} = B_{c,i} = bp[3c + i]
+            V::load(y.add(i * m + j))
+                .fma(V::splat(*bp.add(i)), x0)
+                .fma(V::splat(*bp.add(3 + i)), x1)
+                .fma(V::splat(*bp.add(6 + i)), x2)
+                .store(y.add(i * m + j));
+        }
+        j += V::LANES;
+    }
+    while j < m {
+        let (x0, x1, x2) = (*xi.add(j), *xi.add(m + j), *xi.add(2 * m + j));
+        for i in 0..3 {
+            *y.add(i * m + j) +=
+                *bp.add(i) * x0 + *bp.add(3 + i) * x1 + *bp.add(6 + i) * x2;
+        }
+        j += 1;
+    }
+}
+
+/// Symmetric two-phase row kernel, same window/slab contract as the
+/// scalar `sym_rows_fixed`.
+#[inline(always)]
+unsafe fn sym_rows_vf<V: Vf64>(
+    s: &SymmetricBcrs,
+    x: &[f64],
+    window: &mut [f64],
+    slab: &mut [f64],
+    slab_base: usize,
+    m: usize,
+    rows: Range<usize>,
+) {
+    let (row_ptr, col_idx, blocks) = s.upper_parts();
+    let diag = s.diag_blocks();
+    let y_base = rows.start * 3 * m;
+    let xp = x.as_ptr();
+    // Pass 1 — overwrite window rows with diagonal + forward terms.
+    for bi in rows.clone() {
+        let ks = row_ptr[bi]..row_ptr[bi + 1];
+        let wrow = window.as_mut_ptr().add(bi * 3 * m - y_base);
+        let dp = diag[bi].0.as_ptr();
+        let mut off = 0;
+        while off + 4 * V::LANES <= m {
+            sym_row_chunk::<V, 4>(
+                dp,
+                ks.clone(),
+                col_idx,
+                blocks,
+                xp,
+                bi,
+                m,
+                off,
+                wrow,
+            );
+            off += 4 * V::LANES;
+        }
+        if off + 2 * V::LANES <= m {
+            sym_row_chunk::<V, 2>(
+                dp,
+                ks.clone(),
+                col_idx,
+                blocks,
+                xp,
+                bi,
+                m,
+                off,
+                wrow,
+            );
+            off += 2 * V::LANES;
+        }
+        if off + V::LANES <= m {
+            sym_row_chunk::<V, 1>(
+                dp,
+                ks.clone(),
+                col_idx,
+                blocks,
+                xp,
+                bi,
+                m,
+                off,
+                wrow,
+            );
+            off += V::LANES;
+        }
+        if off < m {
+            sym_row_tail(dp, ks, col_idx, blocks, xp, bi, m, off, wrow);
+        }
+    }
+    // Pass 2 — scatter transpose terms into the window or the slab.
+    for bi in rows.clone() {
+        let xi = xp.add(bi * 3 * m);
+        for k in row_ptr[bi]..row_ptr[bi + 1] {
+            let bj = col_idx[k] as usize;
+            let bp = blocks[k].0.as_ptr();
+            let target: *mut f64 = if bj < rows.end {
+                window.as_mut_ptr().add(bj * 3 * m - y_base)
+            } else {
+                slab.as_mut_ptr().add((bj - slab_base) * 3 * m)
+            };
+            accumulate_t::<V>(bp, xi, target, m);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense MultiVec kernel bodies (Gram, X += P·C, P ← R + P·C, fused
+// sub-mul-gram) — row-streamed m-wide broadcast-FMA loops.
+// ---------------------------------------------------------------------
+
+/// `g[i·m..] += s · src` over vector chunks with a scalar tail.
+#[inline(always)]
+unsafe fn axpy_row<V: Vf64>(dst: *mut f64, s: f64, src: *const f64, m: usize) {
+    let sv = V::splat(s);
+    let mut j = 0;
+    while j + V::LANES <= m {
+        V::load(dst.add(j)).fma(sv, V::load(src.add(j))).store(dst.add(j));
+        j += V::LANES;
+    }
+    while j < m {
+        *dst.add(j) += s * *src.add(j);
+        j += 1;
+    }
+}
+
+/// Gram matrix `aᵀ·b` for equal widths `m`; `a`, `b` are `n×m`
+/// row-major.
+#[inline(always)]
+unsafe fn gram_vf<V: Vf64>(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+    let mut g = vec![0.0f64; m * m];
+    let gp = g.as_mut_ptr();
+    let n = a.len() / m;
+    for r in 0..n {
+        let srow = a.as_ptr().add(r * m);
+        let orow = b.as_ptr().add(r * m);
+        for i in 0..m {
+            axpy_row::<V>(gp.add(i * m), *srow.add(i), orow, m);
+        }
+    }
+    g
+}
+
+/// `x += p · C` with `C` row-major `m×m`.
+#[inline(always)]
+unsafe fn add_mul_vf<V: Vf64>(x: &mut [f64], p: &[f64], c: &[f64], m: usize) {
+    let n = p.len() / m;
+    let cp = c.as_ptr();
+    for r in 0..n {
+        let drow = x.as_mut_ptr().add(r * m);
+        let prow = p.as_ptr().add(r * m);
+        let mut j = 0;
+        while j + V::LANES <= m {
+            let mut acc = V::load(drow.add(j));
+            for k in 0..m {
+                acc = acc.fma(V::splat(*prow.add(k)), V::load(cp.add(k * m + j)));
+            }
+            acc.store(drow.add(j));
+            j += V::LANES;
+        }
+        while j < m {
+            let mut acc = *drow.add(j);
+            for k in 0..m {
+                acc += *prow.add(k) * *cp.add(k * m + j);
+            }
+            *drow.add(j) = acc;
+            j += 1;
+        }
+    }
+}
+
+/// `p ← r + p · C`; the coefficients come from the *original* `p` row,
+/// staged through `scratch` (length ≥ m) before the row is overwritten.
+#[inline(always)]
+unsafe fn assign_add_mul_vf<V: Vf64>(
+    p: &mut [f64],
+    r: &[f64],
+    c: &[f64],
+    m: usize,
+    scratch: &mut [f64],
+) {
+    let n = r.len() / m;
+    let cp = c.as_ptr();
+    for row in 0..n {
+        let drow = p.as_mut_ptr().add(row * m);
+        let rrow = r.as_ptr().add(row * m);
+        std::ptr::copy_nonoverlapping(drow, scratch.as_mut_ptr(), m);
+        let s = scratch.as_ptr();
+        let mut j = 0;
+        while j + V::LANES <= m {
+            let mut acc = V::load(rrow.add(j));
+            for k in 0..m {
+                acc = acc.fma(V::splat(*s.add(k)), V::load(cp.add(k * m + j)));
+            }
+            acc.store(drow.add(j));
+            j += V::LANES;
+        }
+        while j < m {
+            let mut acc = *rrow.add(j);
+            for k in 0..m {
+                acc += *s.add(k) * *cp.add(k * m + j);
+            }
+            *drow.add(j) = acc;
+            j += 1;
+        }
+    }
+}
+
+/// Fused `r ← r − q·C; G = rᵀ·r` in one pass over the rows.
+#[inline(always)]
+unsafe fn sub_mul_gram_vf<V: Vf64>(
+    rm: &mut [f64],
+    q: &[f64],
+    c: &[f64],
+    m: usize,
+) -> Vec<f64> {
+    let n = q.len() / m;
+    let mut g = vec![0.0f64; m * m];
+    let gp = g.as_mut_ptr();
+    let cp = c.as_ptr();
+    for row in 0..n {
+        let drow = rm.as_mut_ptr().add(row * m);
+        let qrow = q.as_ptr().add(row * m);
+        let mut j = 0;
+        while j + V::LANES <= m {
+            let mut acc = V::load(drow.add(j));
+            for k in 0..m {
+                acc = acc.fnma(V::splat(*qrow.add(k)), V::load(cp.add(k * m + j)));
+            }
+            acc.store(drow.add(j));
+            j += V::LANES;
+        }
+        while j < m {
+            let mut acc = *drow.add(j);
+            for k in 0..m {
+                acc -= *qrow.add(k) * *cp.add(k * m + j);
+            }
+            *drow.add(j) = acc;
+            j += 1;
+        }
+        for i in 0..m {
+            axpy_row::<V>(gp.add(i * m), *drow.add(i), drow, m);
+        }
+    }
+    g
+}
+
+// ---------------------------------------------------------------------
+// Concrete per-ISA wrappers. `#[target_feature]` provides the feature
+// context the inlined generic bodies compile against.
+// ---------------------------------------------------------------------
+
+macro_rules! isa_wrappers {
+    ($vec:ty, $mod_name:ident $(, $feat:literal)?) => {
+        mod $mod_name {
+            use super::*;
+
+            $(#[target_feature(enable = $feat)])?
+            pub unsafe fn gspmv_rows<B: BlockGet>(
+                row_ptr: &[usize],
+                col_idx: &[u32],
+                blocks: B,
+                x: &[f64],
+                y: &mut [f64],
+                m: usize,
+                rows: Range<usize>,
+            ) {
+                rows_vf::<$vec, B>(row_ptr, col_idx, blocks, x, y, m, rows)
+            }
+
+            $(#[target_feature(enable = $feat)])?
+            #[allow(clippy::too_many_arguments)]
+            pub unsafe fn sym_rows(
+                s: &SymmetricBcrs,
+                x: &[f64],
+                window: &mut [f64],
+                slab: &mut [f64],
+                slab_base: usize,
+                m: usize,
+                rows: Range<usize>,
+            ) {
+                sym_rows_vf::<$vec>(s, x, window, slab, slab_base, m, rows)
+            }
+
+            $(#[target_feature(enable = $feat)])?
+            pub unsafe fn gram(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+                gram_vf::<$vec>(a, b, m)
+            }
+
+            $(#[target_feature(enable = $feat)])?
+            pub unsafe fn add_mul(x: &mut [f64], p: &[f64], c: &[f64], m: usize) {
+                add_mul_vf::<$vec>(x, p, c, m)
+            }
+
+            $(#[target_feature(enable = $feat)])?
+            pub unsafe fn assign_add_mul(
+                p: &mut [f64],
+                r: &[f64],
+                c: &[f64],
+                m: usize,
+                scratch: &mut [f64],
+            ) {
+                assign_add_mul_vf::<$vec>(p, r, c, m, scratch)
+            }
+
+            $(#[target_feature(enable = $feat)])?
+            pub unsafe fn sub_mul_gram(
+                rm: &mut [f64],
+                q: &[f64],
+                c: &[f64],
+                m: usize,
+            ) -> Vec<f64> {
+                sub_mul_gram_vf::<$vec>(rm, q, c, m)
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+isa_wrappers!(x86::V4, avx2, "avx2,fma");
+#[cfg(target_arch = "x86_64")]
+isa_wrappers!(x86::V8, avx512, "avx512f");
+#[cfg(target_arch = "aarch64")]
+isa_wrappers!(arm::V2, neon);
+
+// ---------------------------------------------------------------------
+// Safe dispatchers. Safety: `isa` comes from `backend::detect_isa`
+// (runtime feature detection), so the target features are present.
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gspmv_rows<B: BlockGet>(
+    isa: Isa,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    blocks: B,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    rows: Range<usize>,
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            avx512::gspmv_rows(row_ptr, col_idx, blocks, x, y, m, rows)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            avx2::gspmv_rows(row_ptr, col_idx, blocks, x, y, m, rows)
+        },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe {
+            neon::gspmv_rows(row_ptr, col_idx, blocks, x, y, m, rows)
+        },
+        _ => crate::gspmv::dispatch_rows_scalar(
+            row_ptr, col_idx, blocks, x, y, m, rows,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sym_rows(
+    isa: Isa,
+    s: &SymmetricBcrs,
+    x: &[f64],
+    window: &mut [f64],
+    slab: &mut [f64],
+    slab_base: usize,
+    m: usize,
+    rows: Range<usize>,
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe {
+            avx512::sym_rows(s, x, window, slab, slab_base, m, rows)
+        },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe {
+            avx2::sym_rows(s, x, window, slab, slab_base, m, rows)
+        },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe {
+            neon::sym_rows(s, x, window, slab, slab_base, m, rows)
+        },
+        _ => crate::symmetric::dispatch_sym_rows_scalar(
+            s, x, window, slab, slab_base, m, rows,
+        ),
+    }
+}
+
+pub(crate) fn gram(isa: Isa, a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::gram(a, b, m) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::gram(a, b, m) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::gram(a, b, m) },
+        _ => unreachable!("SIMD dense kernel dispatched without a vector ISA"),
+    }
+}
+
+pub(crate) fn add_mul(isa: Isa, x: &mut [f64], p: &[f64], c: &[f64], m: usize) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::add_mul(x, p, c, m) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::add_mul(x, p, c, m) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::add_mul(x, p, c, m) },
+        _ => unreachable!("SIMD dense kernel dispatched without a vector ISA"),
+    }
+}
+
+pub(crate) fn assign_add_mul(
+    isa: Isa,
+    p: &mut [f64],
+    r: &[f64],
+    c: &[f64],
+    m: usize,
+) {
+    let mut scratch = vec![0.0f64; m];
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::assign_add_mul(p, r, c, m, &mut scratch) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::assign_add_mul(p, r, c, m, &mut scratch) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::assign_add_mul(p, r, c, m, &mut scratch) },
+        _ => unreachable!("SIMD dense kernel dispatched without a vector ISA"),
+    }
+}
+
+pub(crate) fn sub_mul_gram(
+    isa: Isa,
+    rm: &mut [f64],
+    q: &[f64],
+    c: &[f64],
+    m: usize,
+) -> Vec<f64> {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx512 => unsafe { avx512::sub_mul_gram(rm, q, c, m) },
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::sub_mul_gram(rm, q, c, m) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::sub_mul_gram(rm, q, c, m) },
+        _ => unreachable!("SIMD dense kernel dispatched without a vector ISA"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{backend_for, detect_isa, KernelKind};
+    use crate::triplet::BlockTripletBuilder;
+    use crate::{Block3, MultiVec};
+
+    fn test_matrix(nb: usize, bandwidth: usize) -> crate::BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for bi in 0..nb {
+            t.add(bi, bi, Block3::scaled_identity(8.0));
+            for d in 1..=bandwidth {
+                if bi + d < nb {
+                    let mut b = Block3::ZERO;
+                    for v in b.0.iter_mut() {
+                        *v = rng();
+                    }
+                    t.add_symmetric_pair(bi, bi + d, b);
+                }
+            }
+        }
+        t.build()
+    }
+
+    fn pseudo_mv(n: usize, m: usize, seed: u64) -> MultiVec {
+        MultiVec::from_flat(
+            n,
+            m,
+            (0..n * m)
+                .map(|v| {
+                    (((v as u64).wrapping_mul(seed | 1).wrapping_add(0x9e3779b9)
+                        % 29) as f64)
+                        - 14.0
+                })
+                .collect(),
+        )
+    }
+
+    /// The SIMD row kernel agrees with the scalar reference across the
+    /// grid and across off-grid widths (every chunk/tail combination),
+    /// on whatever vector ISA this host has.
+    #[test]
+    fn simd_rows_match_scalar_all_widths() {
+        let Some(simd) = backend_for(KernelKind::Simd) else {
+            eprintln!("no vector ISA detected; skipping");
+            return;
+        };
+        let scalar = backend_for(KernelKind::Scalar).unwrap();
+        let a = test_matrix(33, 4);
+        let n = a.n_rows();
+        for m in [1usize, 2, 3, 4, 5, 7, 8, 9, 12, 13, 16, 17, 24, 31, 32, 48] {
+            let x = pseudo_mv(n, m, 11 + m as u64);
+            let mut y1 = MultiVec::zeros(n, m);
+            let mut y2 = MultiVec::zeros(n, m);
+            scalar.gspmv_rows(
+                &a,
+                x.as_slice(),
+                y1.as_mut_slice(),
+                m,
+                0..a.nb_rows(),
+            );
+            simd.gspmv_rows(&a, x.as_slice(), y2.as_mut_slice(), m, 0..a.nb_rows());
+            for (u, v) in y1.as_slice().iter().zip(y2.as_slice()) {
+                assert!(
+                    (u - v).abs() <= 1e-12 * u.abs().max(v.abs()).max(1.0),
+                    "isa={} m={m}: {u} vs {v}",
+                    detect_isa().as_str()
+                );
+            }
+        }
+    }
+
+    /// Dense SIMD kernels agree with the portable implementations.
+    #[test]
+    fn simd_dense_kernels_match_reference() {
+        let isa = detect_isa();
+        if isa == Isa::Portable {
+            eprintln!("no vector ISA detected; skipping");
+            return;
+        }
+        for m in [4usize, 5, 8, 12, 16, 17] {
+            if m < min_vector_width(isa) {
+                continue;
+            }
+            let n = 37;
+            let a = pseudo_mv(n, m, 3);
+            let b = pseudo_mv(n, m, 5);
+            let c: Vec<f64> =
+                (0..m * m).map(|v| ((v % 7) as f64 - 3.0) * 0.25).collect();
+
+            // gram
+            let got = gram(isa, a.as_slice(), b.as_slice(), m);
+            let mut want = vec![0.0f64; m * m];
+            for r in 0..n {
+                for i in 0..m {
+                    for j in 0..m {
+                        want[i * m + j] += a.get(r, i) * b.get(r, j);
+                    }
+                }
+            }
+            for (u, v) in want.iter().zip(&got) {
+                assert!((u - v).abs() <= 1e-12 * u.abs().max(1.0), "gram m={m}");
+            }
+
+            // add_mul
+            let mut x1 = pseudo_mv(n, m, 7);
+            let mut x2 = x1.clone();
+            add_mul(isa, x1.as_mut_slice(), b.as_slice(), &c, m);
+            for r in 0..n {
+                for j in 0..m {
+                    let mut acc = x2.get(r, j);
+                    for k in 0..m {
+                        acc += b.get(r, k) * c[k * m + j];
+                    }
+                    *x2.get_mut(r, j) = acc;
+                }
+            }
+            for (u, v) in x2.as_slice().iter().zip(x1.as_slice()) {
+                assert!((u - v).abs() <= 1e-12 * u.abs().max(1.0), "add_mul m={m}");
+            }
+
+            // assign_add_mul: p ← r + p·C
+            let mut p1 = pseudo_mv(n, m, 9);
+            let p0 = p1.clone();
+            let rv = pseudo_mv(n, m, 13);
+            assign_add_mul(isa, p1.as_mut_slice(), rv.as_slice(), &c, m);
+            for r in 0..n {
+                for j in 0..m {
+                    let mut acc = rv.get(r, j);
+                    for k in 0..m {
+                        acc += p0.get(r, k) * c[k * m + j];
+                    }
+                    let got = p1.get(r, j);
+                    assert!(
+                        (acc - got).abs() <= 1e-12 * acc.abs().max(1.0),
+                        "assign_add_mul m={m}"
+                    );
+                }
+            }
+
+            // sub_mul_gram: r ← r − q·C; G = rᵀr
+            let mut r1 = pseudo_mv(n, m, 15);
+            let r0 = r1.clone();
+            let q = pseudo_mv(n, m, 17);
+            let g = sub_mul_gram(isa, r1.as_mut_slice(), q.as_slice(), &c, m);
+            let mut rwant = MultiVec::zeros(n, m);
+            for r in 0..n {
+                for j in 0..m {
+                    let mut acc = r0.get(r, j);
+                    for k in 0..m {
+                        acc -= q.get(r, k) * c[k * m + j];
+                    }
+                    *rwant.get_mut(r, j) = acc;
+                }
+            }
+            for (u, v) in rwant.as_slice().iter().zip(r1.as_slice()) {
+                assert!(
+                    (u - v).abs() <= 1e-11 * u.abs().max(1.0),
+                    "sub_mul m={m}: {u} vs {v}"
+                );
+            }
+            let mut gwant = vec![0.0f64; m * m];
+            for r in 0..n {
+                for i in 0..m {
+                    for j in 0..m {
+                        gwant[i * m + j] += rwant.get(r, i) * rwant.get(r, j);
+                    }
+                }
+            }
+            for (u, v) in gwant.iter().zip(&g) {
+                assert!(
+                    (u - v).abs() <= 1e-10 * u.abs().max(1.0),
+                    "sub_mul_gram m={m}: {u} vs {v}"
+                );
+            }
+        }
+    }
+}

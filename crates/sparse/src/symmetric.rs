@@ -170,6 +170,7 @@ impl SymmetricBcrs {
             applied,
             self.stream_bytes() as u64,
         );
+        crate::instrument::record_backend(crate::backend::active_backend().name());
         crate::instrument::kernel_span("gspmv_sym", m)
     }
 
@@ -409,15 +410,33 @@ const CHUNK_GRAIN: usize = 1 << 11;
 /// the chunk count, so it is capped rather than scaling with the pool).
 const MAX_CHUNKS: usize = 64;
 
-/// Row-range symmetric kernel dispatch, monomorphized over the same
-/// specialized sizes as [`crate::gspmv::SPECIALIZED_M`].
+/// Row-range symmetric kernel dispatch through the process-wide active
+/// backend (see [`crate::backend`]).
 ///
 /// Computes, for block rows `rows`:
 /// * direct contributions (diagonal + forward + transpose terms landing
 ///   in `rows`) into `window` (the `Y` slice for exactly those rows),
 /// * transpose contributions landing at row `slab_base` or below into
 ///   `slab` (row-major rows `slab_base..nb`, accumulated, not zeroed).
+#[allow(clippy::too_many_arguments)]
 fn dispatch_sym_rows(
+    s: &SymmetricBcrs,
+    x: &[f64],
+    window: &mut [f64],
+    slab: &mut [f64],
+    slab_base: usize,
+    m: usize,
+    rows: Range<usize>,
+) {
+    crate::backend::active_backend()
+        .sym_rows(s, x, window, slab, slab_base, m, rows);
+}
+
+/// The portable monomorphized symmetric row kernel — the scalar
+/// backend's implementation of [`dispatch_sym_rows`]'s contract, also
+/// the SIMD backend's delegation target for widths below one vector.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dispatch_sym_rows_scalar(
     s: &SymmetricBcrs,
     x: &[f64],
     window: &mut [f64],
@@ -522,8 +541,9 @@ fn block_madd_fixed<const M: usize>(
 }
 
 /// Any-`m` fallback with the same two-pass structure as
-/// [`sym_rows_fixed`].
-fn sym_rows_generic(
+/// [`sym_rows_fixed`] — also the generic backend's symmetric kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sym_rows_generic(
     s: &SymmetricBcrs,
     x: &[f64],
     window: &mut [f64],

@@ -1,0 +1,35 @@
+//! `MRHS_KERNEL_BACKEND=generic` forces the strip-mined fallback.
+//!
+//! Own test binary: the override env var is read once, at the first
+//! `active_backend()` call (see `backend_dispatch_scalar.rs`).
+
+use mrhs_sparse::{Block3, BlockTripletBuilder, KernelKind, MultiVec};
+
+#[test]
+fn env_override_forces_generic_backend() {
+    std::env::set_var("MRHS_KERNEL_BACKEND", "generic");
+    mrhs_telemetry::set_enabled(true);
+
+    let b = mrhs_sparse::active_backend();
+    assert_eq!(b.kind(), KernelKind::Generic);
+    assert_eq!(b.name(), "generic");
+
+    let mut t = BlockTripletBuilder::square(4);
+    for i in 0..4 {
+        t.add(i, i, Block3::scaled_identity(2.0));
+    }
+    let a = t.build();
+    let x = MultiVec::from_flat(12, 8, vec![1.0; 12 * 8]);
+    let mut y = MultiVec::zeros(12, 8);
+    mrhs_sparse::gspmv_serial(&a, &x, &mut y);
+
+    let snap = mrhs_telemetry::snapshot();
+    assert!(
+        snap.counters.get("kernel_backend/generic/calls").copied().unwrap_or(0)
+            >= 1,
+        "generic dispatch not recorded: {:?}",
+        snap.counters
+    );
+    assert!(!snap.counters.contains_key("kernel_backend/scalar/calls"));
+    assert!(!snap.counters.contains_key("kernel_backend/simd/calls"));
+}

@@ -18,7 +18,8 @@ use crate::json::Json;
 use crate::snapshot::Snapshot;
 
 /// Current schema version; bump on any incompatible field change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added `machine.isa` and `machine.kernel_backend`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Span decompositions must close within this relative tolerance.
 pub const SPAN_CONSISTENCY_TOL: f64 = 0.05;
@@ -33,6 +34,12 @@ pub struct MachineInfo {
     pub arch: String,
     /// Worker-pool width the run used.
     pub threads: u64,
+    /// Detected SIMD instruction set (`avx512` / `avx2` / `neon` /
+    /// `portable`).
+    pub isa: String,
+    /// Kernel backend the run dispatched to (`simd` / `scalar` /
+    /// `generic`).
+    pub kernel_backend: String,
     /// Measured STREAM-triad bandwidth, bytes/second (Eq. 8's `B`).
     pub stream_bandwidth_bps: f64,
     /// Measured basic-kernel compute rate, flops/second (Eq. 8's `F`).
@@ -102,6 +109,11 @@ impl BenchReport {
             ("os".into(), Json::Str(self.machine.os.clone())),
             ("arch".into(), Json::Str(self.machine.arch.clone())),
             ("threads".into(), Json::from_u64(self.machine.threads)),
+            ("isa".into(), Json::Str(self.machine.isa.clone())),
+            (
+                "kernel_backend".into(),
+                Json::Str(self.machine.kernel_backend.clone()),
+            ),
             (
                 "stream_bandwidth_bps".into(),
                 Json::Num(self.machine.stream_bandwidth_bps),
@@ -179,6 +191,8 @@ impl BenchReport {
             os: string(mj, "os")?,
             arch: string(mj, "arch")?,
             threads: uint(mj, "threads")?,
+            isa: string(mj, "isa")?,
+            kernel_backend: string(mj, "kernel_backend")?,
             stream_bandwidth_bps: num(mj, "stream_bandwidth_bps")?,
             kernel_flops: num(mj, "kernel_flops")?,
             model_k: num(mj, "model_k")?,
@@ -259,6 +273,12 @@ impl BenchReport {
         if !self.machine.model_k.is_finite() {
             problems.push("machine.model_k must be finite".into());
         }
+        if self.machine.isa.is_empty() {
+            problems.push("machine.isa must be non-empty".into());
+        }
+        if self.machine.kernel_backend.is_empty() {
+            problems.push("machine.kernel_backend must be non-empty".into());
+        }
         if self.kernels.is_empty() {
             problems.push("no kernel metrics recorded".into());
         }
@@ -320,6 +340,8 @@ mod tests {
                 os: "linux".into(),
                 arch: "x86_64".into(),
                 threads: 4,
+                isa: "avx2".into(),
+                kernel_backend: "simd".into(),
                 stream_bandwidth_bps: 13.7e9,
                 kernel_flops: 19.6e9,
                 model_k: 3.0,
