@@ -22,6 +22,9 @@ pub struct Options {
     /// `--json <path>`: enable telemetry for the run and write a
     /// validated [`mrhs_telemetry::report::BenchReport`] there.
     pub json: Option<String>,
+    /// Run the SpMPV variant of an experiment (currently `ablation`):
+    /// fused matrix-power kernels vs repeated GSPMV sweeps.
+    pub spmpv: bool,
 }
 
 impl Default for Options {
@@ -32,6 +35,7 @@ impl Default for Options {
             seed: 20120521,
             symmetric: false,
             json: None,
+            spmpv: false,
         }
     }
 }
@@ -65,6 +69,7 @@ impl Options {
                 }
                 "--full" => o.particles = 300_000,
                 "--symmetric" => o.symmetric = true,
+                "--spmpv" => o.spmpv = true,
                 "--json" => {
                     o.json =
                         Some(it.next().cloned().expect("--json needs a file path"));

@@ -6,10 +6,11 @@
 //!       [--symmetric]
 //! ```
 //! `--symmetric` switches `fig2` to the symmetric-storage kernels
-//! (`repro fig2 --symmetric`).
+//! (`repro fig2 --symmetric`); `--spmpv` switches `ablation` to the
+//! fused matrix-power comparison (`repro ablation --spmpv`).
 //! where `<experiment>` is one of `table1 table2 table3 table4 table5
 //! table6 table7 table8 fig1 fig2 fig2-model ablation fig3 fig4 fig5
-//! fig6 fig7 fig8 verify-exchange engine all quick`.
+//! fig6 fig7 fig8 verify-exchange engine engine-powers all quick`.
 //!
 //! Sizes default to a laptop-scale 2,000 particles (the paper's
 //! 300,000 scaled down); densities, iteration counts, and every trend
@@ -44,12 +45,19 @@ fn main() {
             }
         }
         "fig2-model" => kernels::fig2_paper_model(&opts),
-        "ablation" => kernels::ablation(&opts),
+        "ablation" => {
+            if opts.spmpv {
+                kernels::ablation_spmpv(&opts)
+            } else {
+                kernels::ablation(&opts)
+            }
+        }
         "fig3" => cluster_exp::fig3(&opts),
         "fig4" => cluster_exp::fig4(&opts),
         "table3" => cluster_exp::table3(&opts),
         "verify-exchange" => cluster_exp::verify_exchange(&opts),
         "engine" => cluster_exp::engine(&opts),
+        "engine-powers" => cluster_exp::engine_powers(&opts),
         "cluster-mrhs" => cluster_exp::cluster_mrhs(&opts),
         "table4" => sd_exp::table4(&opts),
         "fig5" => sd_exp::fig5(&opts),
@@ -71,6 +79,7 @@ fn main() {
             cluster_exp::table3(&opts);
             cluster_exp::verify_exchange(&opts);
             cluster_exp::engine(&opts);
+            cluster_exp::engine_powers(&opts);
             cluster_exp::cluster_mrhs(&opts);
             sd_exp::table4(&opts);
             sd_exp::fig5(&opts);
@@ -94,8 +103,9 @@ fn main() {
             eprintln!(
                 "usage: repro <table1|table2|table3|table4|table5|table6|table7|\
                  table8|fig1|fig2|fig2-model|ablation|fig3|fig4|fig5|fig6|fig7|\
-                 fig8|verify-exchange|engine|cluster-mrhs|all|quick> [--particles N] [--reps N] \
-                 [--seed N] [--full] [--symmetric] [--json <path>]"
+                 fig8|verify-exchange|engine|engine-powers|cluster-mrhs|all|quick> \
+                 [--particles N] [--reps N] [--seed N] [--full] [--symmetric] \
+                 [--spmpv] [--json <path>]"
             );
             std::process::exit(2);
         }

@@ -49,5 +49,5 @@ pub mod tolerance;
 pub use backends::{standard_backends, GspmvBackend};
 pub use corpus::{corpus, m_values, pseudo_multivec, CorpusEntry, Scale};
 pub use reference::Dense;
-pub use runner::{run_differential, run_standard, Report};
+pub use runner::{run_differential, run_power_differential, run_standard, Report};
 pub use tolerance::TolModel;

@@ -377,6 +377,39 @@ mod tests {
     }
 
     #[test]
+    fn drain_trigger_on_deadline_dispatches_instead_of_expiring() {
+        // Regression: with a zero solve estimate the drain trigger used
+        // to land exactly on the deadline, and since `poll` expires
+        // before it dispatches, the wakeup that was scheduled to drain
+        // the request expired it instead. The `DRAIN_MARGIN` floor must
+        // keep the trigger strictly before the deadline and the poll at
+        // that trigger must produce a batch, not an expiry.
+        let (reg, hs) = registry_with(1);
+        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let t0 = Instant::now();
+        let deadline = Duration::from_millis(20);
+        b.try_push(pending(&reg, hs[0], 1, t0, Some(deadline))).ok().unwrap();
+
+        let mut exp = Vec::new();
+        let wake = match b.poll(t0, false, Duration::ZERO, &mut exp) {
+            Poll::Wait(until) => until,
+            _ => panic!("should wait for deadline pressure"),
+        };
+        assert!(
+            wake < t0 + deadline,
+            "drain wakeup must be strictly before the deadline"
+        );
+
+        // Poll exactly at the scheduled wakeup — the boundary case.
+        match b.poll(wake, false, Duration::ZERO, &mut exp) {
+            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            Poll::Wait(_) => panic!("wakeup at the trigger must dispatch"),
+            Poll::Empty => panic!("request expired at its own drain trigger"),
+        }
+        assert!(exp.is_empty(), "dispatched, not expired");
+    }
+
+    #[test]
     fn try_push_bounds_queued_columns() {
         let (reg, hs) = registry_with(1);
         let mut b = Batcher::new(policy(4, 4, 0));

@@ -7,9 +7,18 @@
 //! only matrix–vector products — `C_max` of them, 30 in the paper — and
 //! with a block of noise vectors they all become GSPMV (Alg. 2 step 2,
 //! "Cheb vectors").
+//!
+//! Operators that expose a fused evaluation
+//! ([`LinearOperator::apply_chebyshev`] — `BcrsMatrix` routes it
+//! through the level-blocked SpMPV wavefront) serve the whole sum in
+//! ~one matrix stream per fused group. Everything else runs the
+//! generic three-term recurrence below, which rotates three reusable
+//! buffers and reads `z` directly for the first step — no clone, no
+//! hidden workspace contract.
 
 use crate::operator::LinearOperator;
 use mrhs_sparse::MultiVec;
+use std::cell::RefCell;
 
 /// A fixed-degree Chebyshev approximation of `√λ` on `[lo, hi]`.
 #[derive(Clone, Debug)]
@@ -95,8 +104,11 @@ impl ChebyshevSqrt {
             .fold(0.0, f64::max)
     }
 
-    /// Computes `Y = S(A)·Z` for a block of vectors using the three-term
-    /// Chebyshev recurrence; performs exactly `order` GSPMV applications.
+    /// Computes `Y = S(A)·Z` for a block of vectors; performs exactly
+    /// `order` operator applications. Operators with a fused path
+    /// ([`LinearOperator::apply_chebyshev`]) evaluate the whole sum in
+    /// level-blocked groups; everything else runs the generic
+    /// three-term recurrence over three reusable buffers.
     pub fn apply_multi<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
@@ -108,58 +120,83 @@ impl ChebyshevSqrt {
         let _span = mrhs_telemetry::span("solver/cheb/apply");
         mrhs_telemetry::counter_add("solver/cheb/applies", 1);
         mrhs_telemetry::counter_add("solver/cheb/terms", self.order() as u64);
-        let (n, m) = z.shape();
         let mid = 0.5 * (self.hi + self.lo);
         let half = 0.5 * (self.hi - self.lo);
-
-        // u_prev = Z ; u_cur = Ã·Z with Ã = (A − mid·I)/half
-        let mut u_prev = z.clone();
-        let mut u_cur = MultiVec::zeros(n, m);
-        let mut scratch = MultiVec::zeros(n, m);
-        apply_shifted(a, z, &mut u_cur, &mut scratch, mid, half);
-
-        // y = c0/2 · Z + c1 · u_cur
-        y.fill(0.0);
-        y.axpy(0.5 * self.coeffs[0], z);
-        y.axpy(self.coeffs[1], &u_cur);
-
-        for &c in self.coeffs.iter().skip(2) {
-            // u_next = 2·Ã·u_cur − u_prev, built in `u_prev`'s storage.
-            apply_shifted(a, &u_cur, &mut scratch, &mut u_prev, mid, half);
-            // scratch now holds Ã·u_cur (u_prev was used as workspace and
-            // then restored by apply_shifted's contract below).
-            let u_next = {
-                scratch.scale(2.0);
-                scratch.axpy(-1.0, &u_prev);
-                &scratch
-            };
-            y.axpy(c, u_next);
-            std::mem::swap(&mut u_prev, &mut u_cur);
-            std::mem::swap(&mut u_cur, &mut scratch);
+        if a.apply_chebyshev(z, mid, half, &self.coeffs, y) {
+            return;
         }
+        self.apply_multi_generic(a, z, y, mid, half);
+    }
+
+    /// The generic three-term recurrence: `u_0 = z` (read in place),
+    /// `u_1 = Ã·z`, `u_{p+1} = 2·Ã·u_p − u_{p−1}`, accumulated as
+    /// `y = c_0/2·z + Σ c_p·u_p`. The three `u` buffers come from a
+    /// thread-local pool, so steady-state calls allocate nothing.
+    fn apply_multi_generic<A: LinearOperator + ?Sized>(
+        &self,
+        a: &A,
+        z: &MultiVec,
+        y: &mut MultiVec,
+        mid: f64,
+        half: f64,
+    ) {
+        let (n, m) = z.shape();
+        with_pool(&RECURRENCE_POOL, 3, n, m, |bufs| {
+            let [cur, next, prev] = bufs else {
+                unreachable!("pool returns exactly three buffers")
+            };
+            // u_1 = Ã·z ; y = c0/2 · z + c1 · u_1
+            apply_shifted(a, z, cur, mid, half);
+            y.fill(0.0);
+            y.axpy(0.5 * self.coeffs[0], z);
+            y.axpy(self.coeffs[1], cur);
+
+            // First recurrence step reads u_0 = z directly; afterwards
+            // `prev` holds u_{p−1}.
+            let mut prev_is_z = true;
+            for &c in self.coeffs.iter().skip(2) {
+                apply_shifted(a, cur, next, mid, half);
+                next.scale(2.0);
+                next.axpy(-1.0, if prev_is_z { z } else { &*prev });
+                y.axpy(c, next);
+                prev_is_z = false;
+                // Rotate: prev ← u_p, cur ← u_{p+1}, next ← free.
+                std::mem::swap(prev, cur);
+                std::mem::swap(cur, next);
+            }
+        });
     }
 
     /// Single-vector convenience wrapper around [`Self::apply_multi`].
+    /// Stages `z`/`y` through a thread-local width-1 pair (a width-1
+    /// `MultiVec` has the vector's exact layout), so steady-state calls
+    /// allocate nothing.
     pub fn apply<A: LinearOperator + ?Sized>(
         &self,
         a: &A,
         z: &[f64],
         y: &mut [f64],
     ) {
-        let zm = MultiVec::from_vec(z.to_vec());
-        let mut ym = MultiVec::zeros(z.len(), 1);
-        self.apply_multi(a, &zm, &mut ym);
-        y.copy_from_slice(&ym.column(0));
+        assert_eq!(z.len(), y.len());
+        with_pool(&SINGLE_IO_POOL, 2, z.len(), 1, |bufs| {
+            let [zm, ym] = bufs else {
+                unreachable!("pool returns exactly two buffers")
+            };
+            zm.as_mut_slice().copy_from_slice(z);
+            self.apply_multi(a, zm, ym);
+            y.copy_from_slice(ym.as_slice());
+        });
     }
 }
 
-/// `out = (A·x − mid·x)/half`; `work` is untouched scratch the caller
-/// may reuse (kept as a parameter so the recurrence allocates nothing).
+/// `out = Ã·x = (A·x − mid·x)/half`. Pure out-of-place shift — it
+/// touches nothing but `out` (the old `_work` scratch parameter and the
+/// "restored by apply_shifted's contract" story are gone; the
+/// recurrence's buffer rotation lives entirely in `apply_multi_generic`).
 fn apply_shifted<A: LinearOperator + ?Sized>(
     a: &A,
     x: &MultiVec,
     out: &mut MultiVec,
-    _work: &mut MultiVec,
     mid: f64,
     half: f64,
 ) {
@@ -168,6 +205,35 @@ fn apply_shifted<A: LinearOperator + ?Sized>(
     for (o, xi) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
         *o = (*o - mid * xi) * inv;
     }
+}
+
+thread_local! {
+    /// Recurrence buffers (`u` rotation) for the generic path.
+    static RECURRENCE_POOL: RefCell<Vec<MultiVec>> =
+        const { RefCell::new(Vec::new()) };
+    /// Width-1 staging pair for the single-vector wrapper. Separate
+    /// pool so `apply` → `apply_multi` never re-borrows.
+    static SINGLE_IO_POOL: RefCell<Vec<MultiVec>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` over `count` pool buffers of shape `(n, m)`, reshaping the
+/// pool only when the request changes — repeated same-shape calls are
+/// allocation-free.
+fn with_pool<R>(
+    pool: &'static std::thread::LocalKey<RefCell<Vec<MultiVec>>>,
+    count: usize,
+    n: usize,
+    m: usize,
+    f: impl FnOnce(&mut [MultiVec]) -> R,
+) -> R {
+    pool.with(|cell| {
+        let mut bufs = cell.borrow_mut();
+        if bufs.len() != count || bufs.iter().any(|b| b.shape() != (n, m)) {
+            *bufs = (0..count).map(|_| MultiVec::zeros(n, m)).collect();
+        }
+        f(&mut bufs[..count])
+    })
 }
 
 #[cfg(test)]
@@ -278,6 +344,55 @@ mod tests {
         cheb.apply(&a, &z, &mut y);
         for v in &y {
             assert!((v - 2.0).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn fused_bcrs_path_matches_generic_recurrence() {
+        // The same operator as a BcrsMatrix (fused SpMPV hook) and as
+        // a DenseOperator (generic three-term recurrence) must agree.
+        use mrhs_sparse::{Block3, BlockTripletBuilder};
+        let nb = 8;
+        let mut t = BlockTripletBuilder::square(nb);
+        for i in 0..nb {
+            t.add(i, i, Block3::scaled_identity(4.0));
+            if i + 1 < nb {
+                t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-0.7));
+            }
+        }
+        let a = t.build();
+        let n = a.n_rows();
+        let dense = DenseOperator::new(n, a.to_dense());
+        let cheb = ChebyshevSqrt::new(1.0, 7.0, 25);
+        for m in [1usize, 3] {
+            let mut z = MultiVec::zeros(n, m);
+            for (i, v) in z.as_mut_slice().iter_mut().enumerate() {
+                *v = ((i * 13 % 17) as f64) / 17.0 - 0.5;
+            }
+            let mut y_fused = MultiVec::zeros(n, m);
+            cheb.apply_multi(&a, &z, &mut y_fused);
+            let mut y_generic = MultiVec::zeros(n, m);
+            cheb.apply_multi(&dense, &z, &mut y_generic);
+            for (u, v) in y_fused.as_slice().iter().zip(y_generic.as_slice()) {
+                assert!((u - v).abs() < 1e-10, "m={m}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_pool_survives_shape_changes() {
+        // Back-to-back applies at different dimensions must reshape the
+        // thread-local pools correctly.
+        for n_blocks in [2usize, 4, 2, 3] {
+            let a = BcrsMatrix::scaled_identity(n_blocks, 4.0);
+            let n = 3 * n_blocks;
+            let cheb = ChebyshevSqrt::new(1.0, 5.0, 20);
+            let z = vec![1.0; n];
+            let mut y = vec![0.0; n];
+            cheb.apply(&a, &z, &mut y);
+            for v in &y {
+                assert!((v - 2.0).abs() < 1e-4, "n={n}: {v}");
+            }
         }
     }
 

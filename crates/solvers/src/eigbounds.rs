@@ -21,8 +21,36 @@ pub struct SpectralBounds {
     pub hi: f64,
 }
 
+/// Safety factor for turning a power-iteration Rayleigh quotient into
+/// a Chebyshev interval's upper end. The Rayleigh quotient converges to
+/// `λ_max` **from below** (it is a weighted mean of eigenvalues, and
+/// with few iterations on a clustered spectrum it visibly undershoots),
+/// while [`crate::chebyshev::ChebyshevSqrt::new`] requires `[lo, hi]`
+/// to *bracket* the spectrum — an undershot `hi` silently degrades the
+/// approximation outside the interval. Any estimate fed to the
+/// Chebyshev interval must therefore be inflated; 1.5 covers the
+/// undershoot of short runs (a handful of iterations) on the clustered
+/// spectra the regression test pins, at the cost of a slightly wider
+/// (less accurate, never wrong) approximation interval.
+pub const POWER_UPPER_SAFETY: f64 = 1.5;
+
+/// Power iterations used to guard [`spectral_bounds`]'s upper end when
+/// no exact Gershgorin bracket is supplied. Public so operator-count
+/// tests can state "Lanczos steps + guard applies" exactly.
+pub const POWER_GUARD_ITERS: usize = 8;
+
+/// A `λ_max` estimate that is safe to use as a Chebyshev interval's
+/// upper end: the power-iteration Rayleigh quotient inflated by
+/// [`POWER_UPPER_SAFETY`] (see its docs for why the raw quotient must
+/// never feed `ChebyshevSqrt` directly).
+pub fn power_upper_bound<A: LinearOperator + ?Sized>(a: &A, iters: usize) -> f64 {
+    power_iteration(a, iters) * POWER_UPPER_SAFETY
+}
+
 /// Estimates `λ_max` by power iteration with a deterministic start
-/// vector. Returns the Rayleigh quotient after `iters` steps.
+/// vector. Returns the Rayleigh quotient after `iters` steps — a bound
+/// from **below**; inflate with [`power_upper_bound`] before using it
+/// as a bracketing interval's upper end.
 pub fn power_iteration<A: LinearOperator + ?Sized>(a: &A, iters: usize) -> f64 {
     let n = a.dim();
     assert!(n > 0);
@@ -102,12 +130,21 @@ pub fn spectral_bounds<A: LinearOperator + ?Sized>(
     // Ritz values lie inside the spectrum: widen outward.
     let mut lo = ritz_lo * 0.9;
     let mut hi = ritz_hi * 1.1;
-    if let Some((g_lo, g_hi)) = gershgorin {
-        // Gershgorin is a true bracket: never exceed it, and use it to
-        // tighten the widened Ritz estimates.
-        hi = hi.min(g_hi);
-        if g_lo > 0.0 {
-            lo = lo.max(g_lo);
+    match gershgorin {
+        Some((g_lo, g_hi)) => {
+            // Gershgorin is a true bracket: never exceed it, and use it
+            // to tighten the widened Ritz estimates.
+            hi = hi.min(g_hi);
+            if g_lo > 0.0 {
+                lo = lo.max(g_lo);
+            }
+        }
+        None => {
+            // Without an exact bracket, every estimate here converges
+            // from *below*; guard the top end with the inflated
+            // power-iteration bound so a Chebyshev interval built on
+            // these bounds actually brackets λ_max.
+            hi = hi.max(power_upper_bound(a, POWER_GUARD_ITERS));
         }
     }
     let floor = hi.abs() * 1e-8;
@@ -281,6 +318,26 @@ mod tests {
         // true spectrum is 4 − 2cos(kπ/(nb+1)) ⊂ (2, 6)
         assert!(b.lo > 0.0 && b.lo <= 2.1, "lo={}", b.lo);
         assert!(b.hi >= 5.9 && b.hi <= 6.6, "hi={}", b.hi);
+    }
+
+    #[test]
+    fn power_upper_bound_brackets_despite_rayleigh_undershoot() {
+        // Clustered spectrum: 40 eigenvalues at 9, one at 10. Three
+        // power iterations leave the Rayleigh quotient visibly below
+        // λ_max = 10 (the ratio 9/10 decays slowly), which is exactly
+        // the case where feeding the raw quotient to ChebyshevSqrt
+        // would hand it a non-bracketing interval.
+        let mut diag = vec![9.0; 40];
+        diag.push(10.0);
+        let a = diag_operator(&diag);
+        let raw = power_iteration(&a, 3);
+        assert!(raw < 9.5, "expected visible undershoot, got {raw}");
+        // The inflated bound brackets λ_max anyway.
+        assert!(power_upper_bound(&a, 3) >= 10.0);
+        // And spectral_bounds without an exact bracket inherits the
+        // guard: its interval must cover λ_max.
+        let b = spectral_bounds(&a, 3, None);
+        assert!(b.hi >= 10.0, "hi={} fails to bracket λ_max", b.hi);
     }
 
     #[test]

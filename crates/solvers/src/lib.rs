@@ -26,6 +26,7 @@ pub mod operator;
 pub mod precond;
 pub mod recycling;
 pub mod refinement;
+pub mod sstep_cg;
 
 pub use block_cg::{
     block_cg, block_cg_observed, block_cg_with_options, BlockCgOptions,
@@ -34,7 +35,13 @@ pub use block_cg::{
 pub use cg::{cg, CgResult, SolveConfig};
 pub use chebyshev::ChebyshevSqrt;
 pub use cholesky::DenseCholesky;
-pub use eigbounds::{spectral_bounds, SpectralBounds};
+pub use eigbounds::{
+    power_upper_bound, spectral_bounds, SpectralBounds, POWER_GUARD_ITERS,
+    POWER_UPPER_SAFETY,
+};
 pub use operator::{CountingOperator, DenseOperator, LinearOperator};
 pub use precond::{pcg, BlockJacobi, IdentityPreconditioner, Preconditioner};
 pub use recycling::{recycled_cg, RecycleSpace, RecycledSolve};
+pub use sstep_cg::{
+    sstep_cg, sstep_cg_with_options, SStepCgOptions, SStepCgResult,
+};

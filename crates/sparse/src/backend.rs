@@ -182,6 +182,48 @@ pub trait KernelBackend: Sync {
         rows: Range<usize>,
     );
 
+    /// Fused row kernel for the shifted Chebyshev three-term
+    /// recurrence (the SpMPV wavefront's per-cell step): for `rows`
+    /// only, computes the next level
+    /// `out = 2·(A·u_cur − mid·u_cur)/half − u_prev`, or just
+    /// `(A·u_cur − mid·u_cur)/half` when `u_prev` is `None` (the first
+    /// level, `u_1 = Ã·u_0`). `out` is the slice for exactly those
+    /// rows; `u_cur`/`u_prev` span the full operand because the column
+    /// gather reaches outside `rows`. Provided in terms of
+    /// [`Self::gspmv_rows`] plus a portable elementwise combine, so
+    /// every backend family serves the fused Chebyshev path;
+    /// implementations may override with a fully fused kernel.
+    #[allow(clippy::too_many_arguments)]
+    fn cheb_shifted_rows(
+        &self,
+        a: &BcrsMatrix,
+        u_cur: &[f64],
+        u_prev: Option<&[f64]>,
+        out: &mut [f64],
+        mid: f64,
+        half: f64,
+        m: usize,
+        rows: Range<usize>,
+    ) {
+        self.gspmv_rows(a, u_cur, out, m, rows.clone());
+        let inv = 1.0 / half;
+        let base = rows.start * crate::BLOCK_DIM * m;
+        let cur = &u_cur[base..base + out.len()];
+        match u_prev {
+            None => {
+                for (o, &c) in out.iter_mut().zip(cur) {
+                    *o = (*o - mid * c) * inv;
+                }
+            }
+            Some(up) => {
+                let prev = &up[base..base + cur.len()];
+                for ((o, &c), &p) in out.iter_mut().zip(cur).zip(prev) {
+                    *o = 2.0 * ((*o - mid * c) * inv) - p;
+                }
+            }
+        }
+    }
+
     /// Symmetric-storage two-phase row kernel; see
     /// `symmetric::dispatch_sym_rows` for the window/slab contract.
     #[allow(clippy::too_many_arguments)]

@@ -206,7 +206,8 @@ fn counting_operator_composes_with_full_pipeline() {
     let z = MultiVec::zeros(n, 8);
     let mut y = MultiVec::zeros(n, 8);
     cheb.apply_multi(&c, &z, &mut y);
-    // 15 Lanczos applies (single) + 30 Chebyshev applies (multi).
-    assert_eq!(c.single_applies(), 15);
+    // 15 Lanczos applies + the power-iteration guard on the upper end
+    // (all single), then 30 Chebyshev applies (multi).
+    assert_eq!(c.single_applies(), 15 + mrhs::solvers::POWER_GUARD_ITERS);
     assert_eq!(c.multi_applies(), 30);
 }
