@@ -25,6 +25,10 @@ pub struct Options {
     /// Run the SpMPV variant of an experiment (currently `ablation`):
     /// fused matrix-power kernels vs repeated GSPMV sweeps.
     pub spmpv: bool,
+    /// Run the block-BiCGStab variant of an experiment (currently
+    /// `ablation`): width-`m` block solves vs `m` scalar BiCGStab
+    /// solves on a nonsymmetric operator.
+    pub bicgstab: bool,
 }
 
 impl Default for Options {
@@ -36,6 +40,7 @@ impl Default for Options {
             symmetric: false,
             json: None,
             spmpv: false,
+            bicgstab: false,
         }
     }
 }
@@ -70,6 +75,7 @@ impl Options {
                 "--full" => o.particles = 300_000,
                 "--symmetric" => o.symmetric = true,
                 "--spmpv" => o.spmpv = true,
+                "--bicgstab" => o.bicgstab = true,
                 "--json" => {
                     o.json =
                         Some(it.next().cloned().expect("--json needs a file path"));

@@ -7,7 +7,9 @@
 //! ```
 //! `--symmetric` switches `fig2` to the symmetric-storage kernels
 //! (`repro fig2 --symmetric`); `--spmpv` switches `ablation` to the
-//! fused matrix-power comparison (`repro ablation --spmpv`).
+//! fused matrix-power comparison (`repro ablation --spmpv`);
+//! `--bicgstab` switches `ablation` to the nonsymmetric block-BiCGStab
+//! vs scalar-BiCGStab comparison (`repro ablation --bicgstab`).
 //! where `<experiment>` is one of `table1 table2 table3 table4 table5
 //! table6 table7 table8 fig1 fig2 fig2-model ablation fig3 fig4 fig5
 //! fig6 fig7 fig8 verify-exchange engine engine-powers all quick`.
@@ -48,6 +50,8 @@ fn main() {
         "ablation" => {
             if opts.spmpv {
                 kernels::ablation_spmpv(&opts)
+            } else if opts.bicgstab {
+                kernels::ablation_bicgstab(&opts)
             } else {
                 kernels::ablation(&opts)
             }
@@ -105,7 +109,7 @@ fn main() {
                  table8|fig1|fig2|fig2-model|ablation|fig3|fig4|fig5|fig6|fig7|\
                  fig8|verify-exchange|engine|engine-powers|cluster-mrhs|all|quick> \
                  [--particles N] [--reps N] [--seed N] [--full] [--symmetric] \
-                 [--spmpv] [--json <path>]"
+                 [--spmpv] [--bicgstab] [--json <path>]"
             );
             std::process::exit(2);
         }

@@ -301,6 +301,172 @@ pub fn corpus(scale: Scale) -> Vec<CorpusEntry> {
     entries
 }
 
+/// One matrix of the **nonsymmetric** corpus — the CFD-class systems
+/// block BiCGStab is gated on (Krasnopolsky arXiv:1907.12874's
+/// convection-dominated problems and perturbations thereof).
+pub struct NonsymEntry {
+    /// Stable identifier, printed in failure reports.
+    pub name: &'static str,
+    /// The matrix under test. Always square, full BCRS storage — the
+    /// symmetric half-storage path must refuse all of these.
+    pub matrix: BcrsMatrix,
+    /// Entries constructed to stress the ρ/ω collapse paths: the solver
+    /// gate only requires honest bookkeeping (converged, reported
+    /// breakdown, or iteration-cap stagnation — never a silent wrong
+    /// answer), not convergence.
+    pub near_breakdown: bool,
+}
+
+/// Convection–diffusion block stencil: a banded diffusion part (like
+/// [`banded_spd`]) plus a first-order upwind convection term that makes
+/// the upstream coupling stronger than the downstream one by `2·peclet`
+/// per band. Diagonally dominant, hence nonsingular and
+/// BiCGStab-friendly, but genuinely nonsymmetric.
+fn convection_diffusion(
+    nb: usize,
+    band: usize,
+    peclet: f64,
+    seed: u64,
+) -> BcrsMatrix {
+    let mut rng = SplitStream::new(seed);
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        let mut d = rng.sym_block();
+        for k in 0..3 {
+            *d.get_mut(k, k) += 4.0 + 2.0 * band as f64;
+        }
+        t.add(i, i, d);
+    }
+    for i in 0..nb {
+        for off in 1..=band {
+            if i + off < nb {
+                let base = rng.block() * 0.3;
+                let fade = 1.0 / off as f64;
+                // Downstream (i → i+off) weakened, upstream strengthened:
+                // the upwind asymmetry of a first-order convection scheme.
+                t.add(
+                    i,
+                    i + off,
+                    (base + Block3::scaled_identity(-1.0 + peclet)) * fade,
+                );
+                t.add(
+                    i + off,
+                    i,
+                    (base.transpose() + Block3::scaled_identity(-1.0 - peclet))
+                        * fade,
+                );
+            }
+        }
+    }
+    t.build()
+}
+
+/// Skew perturbation of the SPD banded workhorse: `A = S + ε·(K − Kᵀ)`
+/// with `S` the [`banded_spd`] matrix and `K` random. The symmetric
+/// part stays positive definite, so the field of values lies in the
+/// right half plane and BiCGStab converges — but the matrix is
+/// structurally nonsymmetric at every off-diagonal entry.
+fn skew_perturbed(nb: usize, band: usize, eps: f64, seed: u64) -> BcrsMatrix {
+    let sym = banded_spd(nb, band, seed);
+    let mut rng = SplitStream::new(seed ^ 0xdead_beef);
+    let mut t = BlockTripletBuilder::square(nb);
+    for bi in 0..nb {
+        let (cols, blocks) = sym.block_row(bi);
+        for (c, b) in cols.iter().zip(blocks) {
+            t.add(bi, *c as usize, *b);
+        }
+    }
+    for i in 0..nb {
+        for off in 1..=band {
+            if i + off < nb {
+                let k = rng.block() * eps;
+                t.add(i, i + off, k);
+                t.add(i + off, i, k.transpose() * -1.0);
+            }
+        }
+    }
+    t.build()
+}
+
+/// Skew-dominant near-breakdown case: `A = δ·I + (K − Kᵀ)` with a tiny
+/// symmetric part. For nearly-skew `A`, `r̃ᵀ·A·r̃ ≈ δ·‖r̃‖²`, so the
+/// shadow inner products BiCGStab divides by hover near zero — the
+/// regime where ρ/ω collapse reporting must hold up.
+fn skew_dominant(nb: usize, delta: f64, seed: u64) -> BcrsMatrix {
+    let mut rng = SplitStream::new(seed);
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        t.add(i, i, Block3::scaled_identity(delta));
+    }
+    for i in 0..nb {
+        if i + 1 < nb {
+            let k = rng.block();
+            t.add(i, i + 1, k);
+            t.add(i + 1, i, k.transpose() * -1.0);
+        }
+    }
+    t.build()
+}
+
+/// Builds the nonsymmetric corpus at the given scale, cheapest-first.
+pub fn nonsym_corpus(scale: Scale) -> Vec<NonsymEntry> {
+    let (nb, band) = match scale {
+        Scale::Small => (24usize, 3usize),
+        Scale::Large => (700, 8),
+    };
+    let mut entries = vec![
+        // Mild and convection-dominated variants of the same stencil:
+        // the Péclet knob is what separates "almost SPD" from
+        // "CFD-class".
+        NonsymEntry {
+            name: "convdiff_mild",
+            matrix: convection_diffusion(nb, band, 0.2, 1101),
+            near_breakdown: false,
+        },
+        NonsymEntry {
+            name: "convdiff_dominated",
+            matrix: convection_diffusion(nb, band, 0.8, 1202),
+            near_breakdown: false,
+        },
+        // Random skew perturbations of the SPD corpus at two strengths.
+        NonsymEntry {
+            name: "skew_perturbed_weak",
+            matrix: skew_perturbed(nb, band, 0.1, 1303),
+            near_breakdown: false,
+        },
+        NonsymEntry {
+            name: "skew_perturbed_strong",
+            matrix: skew_perturbed(nb, band, 0.6, 1404),
+            near_breakdown: false,
+        },
+        // Tiny nb: the nb < nchunks / nb < nthreads corner,
+        // nonsymmetric.
+        NonsymEntry {
+            name: "convdiff_tiny_nb2",
+            matrix: convection_diffusion(2, 1, 0.5, 1505),
+            near_breakdown: false,
+        },
+        // Near-breakdown: skew-dominant with a vanishing symmetric
+        // part.
+        NonsymEntry {
+            name: "skew_dominant_near_breakdown",
+            matrix: skew_dominant(nb.min(16), 1e-6, 1606),
+            near_breakdown: true,
+        },
+    ];
+
+    if scale == Scale::Large {
+        // Past PARALLEL_THRESHOLD for the nightly release run.
+        entries.push(NonsymEntry {
+            name: "convdiff_over_threshold",
+            matrix: convection_diffusion(1100, 8, 0.6, 1707),
+            near_breakdown: false,
+        });
+    }
+
+    entries
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +509,46 @@ mod tests {
         ] {
             assert!(names.contains(&required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn nonsym_corpus_is_deterministic_and_actually_nonsymmetric() {
+        let a = nonsym_corpus(Scale::Small);
+        let b = nonsym_corpus(Scale::Small);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.matrix.to_dense(), y.matrix.to_dense());
+        }
+        for e in &a {
+            assert_eq!(e.matrix.n_rows(), e.matrix.n_cols(), "{}", e.name);
+            // Every entry must be refused by the symmetric-storage
+            // conversion — that is the point of this corpus.
+            assert!(
+                SymmetricBcrs::from_full(&e.matrix, 1e-12).is_none(),
+                "{} unexpectedly admits half storage",
+                e.name
+            );
+        }
+    }
+
+    #[test]
+    fn nonsym_corpus_covers_generators() {
+        let names: Vec<&str> =
+            nonsym_corpus(Scale::Small).iter().map(|e| e.name).collect();
+        for required in [
+            "convdiff_mild",
+            "convdiff_dominated",
+            "skew_perturbed_weak",
+            "skew_perturbed_strong",
+            "skew_dominant_near_breakdown",
+        ] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+        assert!(
+            nonsym_corpus(Scale::Small).iter().any(|e| e.near_breakdown),
+            "corpus must include a near-breakdown case"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::reference::Dense;
 use crate::tolerance::TolModel;
-use mrhs_solvers::BlockCgResult;
+use mrhs_solvers::{BlockBicgstabResult, BlockCgResult};
 use mrhs_sparse::{BcrsMatrix, MultiVec};
 
 /// Worst-case `|a_ij − a_ji|` over the assembled matrix — zero for an
@@ -121,6 +121,124 @@ pub fn check_block_cg_bookkeeping(
             return Err(format!(
                 "breakdown at {k} inconsistent with iterations {}",
                 result.iterations
+            ));
+        }
+    }
+
+    Ok(())
+}
+
+/// The [`check_block_cg_bookkeeping`] contract for
+/// [`BlockBicgstabResult`]: recomputed residuals must match the
+/// reported ones (including after a ρ/ω collapse — the breakdown paths
+/// either leave `X` at the last completed iteration or apply the half
+/// step, never a torn state), `converged` must agree with the
+/// thresholds, and a breakdown at iteration `k` implies
+/// `iterations ∈ {k − 1, k}`.
+pub fn check_block_bicgstab_bookkeeping(
+    a: &Dense,
+    b: &MultiVec,
+    x: &MultiVec,
+    tol: f64,
+    result: &BlockBicgstabResult,
+) -> Result<(), String> {
+    let m = b.m();
+    if result.residual_norms.len() != m || result.column_converged_at.len() != m {
+        return Err(format!(
+            "bookkeeping arrays sized {}/{} for m={m}",
+            result.residual_norms.len(),
+            result.column_converged_at.len(),
+        ));
+    }
+
+    let ax = a.gspmv(x);
+    let mut norms = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut acc = 0.0;
+        for i in 0..b.n() {
+            let r = b.get(i, j) - ax.get(i, j);
+            acc += r * r;
+        }
+        norms.push(acc.sqrt());
+    }
+
+    // BiCGStab's recursive residual drifts more than CG's (two update
+    // sweeps per iteration); judge against ‖b‖-scaled solver slack.
+    // On a *diverging* run (near-breakdown stress) the accumulated
+    // drift also scales with how far the residual excursed, so allow
+    // slack against the largest finite reported norm too — a stale or
+    // torn state is off by whole update steps, i.e. O(1)·excursion,
+    // still far outside this.
+    let excursion = result
+        .residual_norms
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    let model = TolModel { rel: 1e-7, floor: 1e-30, max_ulps: 1 << 20 };
+    for (j, (want, got)) in norms.iter().zip(&result.residual_norms).enumerate() {
+        if got.is_nan() {
+            continue; // poisoned column: honest NaN, nothing to compare
+        }
+        let scale = b.column(j).iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ok = model.accepts(*want, *got)
+            || (want - got).abs() <= 1e-7 * scale.max(1e-30)
+            || (want - got).abs() <= 1e-5 * excursion;
+        if !ok {
+            return Err(format!(
+                "column {j}: reported residual {got} but recomputed {want}"
+            ));
+        }
+    }
+
+    let thresholds: Vec<f64> = (0..m)
+        .map(|j| {
+            let bn = b.column(j).iter().map(|v| v * v).sum::<f64>().sqrt();
+            tol * bn.max(f64::MIN_POSITIVE)
+        })
+        .collect();
+    let all_met = result
+        .residual_norms
+        .iter()
+        .zip(&thresholds)
+        .all(|(rn, th)| rn <= &(th * (1.0 + 1e-12)));
+    if result.converged && !all_met {
+        return Err(format!(
+            "claims converged but reported norms {:?} exceed thresholds {:?}",
+            result.residual_norms, thresholds
+        ));
+    }
+
+    for (j, conv) in result.column_converged_at.iter().enumerate() {
+        if let Some(k) = conv {
+            if *k > result.iterations {
+                return Err(format!(
+                    "column {j} converged at {k} > iterations {}",
+                    result.iterations
+                ));
+            }
+        }
+    }
+    if result.converged && result.column_converged_at.iter().any(Option::is_none) {
+        return Err("claims converged with unconverged columns".into());
+    }
+    if result.converged && result.breakdown.is_some() {
+        return Err(format!(
+            "claims converged with breakdown {:?}",
+            result.breakdown
+        ));
+    }
+
+    if let Some(bd) = result.breakdown {
+        if bd.iteration == 0 {
+            return Err("breakdown at iteration 0 is impossible".into());
+        }
+        if result.iterations + 1 != bd.iteration
+            && result.iterations != bd.iteration
+        {
+            return Err(format!(
+                "breakdown at {} inconsistent with iterations {}",
+                bd.iteration, result.iterations
             ));
         }
     }

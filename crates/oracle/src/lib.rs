@@ -18,7 +18,11 @@
 //!   every check, instead of per-test ad-hoc epsilons.
 //! * [`corpus`] — deterministic seeded generators for the pathological
 //!   matrix corpus: empty rows, dense block rows, 1×1 and single-block
-//!   matrices, `nb < p`, non-symmetric perturbations of SPD matrices.
+//!   matrices, `nb < p`, non-symmetric perturbations of SPD matrices —
+//!   plus the genuinely nonsymmetric arm ([`corpus::nonsym_corpus`]):
+//!   convection–diffusion stencils, skew perturbations of the SPD
+//!   corpus, and near-breakdown skew-dominant operators that gate the
+//!   block-BiCGStab path.
 //! * [`backends`] — the registry of GSPMV implementations under test,
 //!   each normalized to "multivector in, multivector out, original row
 //!   ordering".
@@ -47,7 +51,18 @@ pub mod runner;
 pub mod tolerance;
 
 pub use backends::{standard_backends, GspmvBackend};
-pub use corpus::{corpus, m_values, pseudo_multivec, CorpusEntry, Scale};
-pub use reference::Dense;
-pub use runner::{run_differential, run_power_differential, run_standard, Report};
+pub use corpus::{
+    corpus, m_values, nonsym_corpus, pseudo_multivec, CorpusEntry, NonsymEntry,
+    Scale,
+};
+pub use invariants::{
+    check_block_bicgstab_bookkeeping, check_block_cg_bookkeeping,
+};
+pub use reference::{
+    naive_bicgstab, naive_block_bicgstab, Dense, NaiveBicgstab, NaiveBlockBicgstab,
+};
+pub use runner::{
+    run_differential, run_nonsym_differential, run_power_differential,
+    run_standard, Report,
+};
 pub use tolerance::TolModel;

@@ -299,6 +299,253 @@ pub fn naive_block_cg(
     NaiveBlockCg { iterations, converged, residual_norms: norms }
 }
 
+/// Outcome of [`naive_bicgstab`].
+#[derive(Clone, Debug)]
+pub struct NaiveBicgstab {
+    pub iterations: usize,
+    pub converged: bool,
+    pub residual_norm: f64,
+}
+
+/// Textbook BiCGStab (van der Vorst 1992), dense and naive: explicit
+/// dot products, no fused updates, the shadow residual frozen at `r₀`.
+/// Stops on the tolerance, the iteration cap, or a vanishing
+/// denominator (reported as non-convergence — the reference does not
+/// classify breakdowns, it only refuses to divide by zero).
+pub fn naive_bicgstab(
+    a: &Dense,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iter: usize,
+) -> NaiveBicgstab {
+    let n = a.dim();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let dot = |u: &[f64], v: &[f64]| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += u[i] * v[i];
+        }
+        acc
+    };
+
+    let b_norm = dot(b, b).sqrt();
+    let threshold = tol * b_norm.max(f64::MIN_POSITIVE);
+    let ax = a.matvec(x);
+    let mut r: Vec<f64> = (0..n).map(|i| b[i] - ax[i]).collect();
+    let r_tilde = r.clone();
+    let mut p = r.clone();
+    let mut rho = dot(&r_tilde, &r);
+    let mut iterations = 0;
+    let mut residual_norm = dot(&r, &r).sqrt();
+
+    while iterations < max_iter && residual_norm > threshold {
+        let v = a.matvec(&p);
+        let rv = dot(&r_tilde, &v);
+        if rv == 0.0 || !rv.is_finite() {
+            break;
+        }
+        let alpha = rho / rv;
+        let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        let s_norm = dot(&s, &s).sqrt();
+        if s_norm <= threshold {
+            for i in 0..n {
+                x[i] += alpha * p[i];
+            }
+            iterations += 1;
+            residual_norm = s_norm;
+            break;
+        }
+        let t = a.matvec(&s);
+        let tt = dot(&t, &t);
+        if tt == 0.0 || !tt.is_finite() {
+            break;
+        }
+        let omega = dot(&t, &s) / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            break;
+        }
+        for i in 0..n {
+            x[i] += alpha * p[i] + omega * s[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        iterations += 1;
+        residual_norm = dot(&r, &r).sqrt();
+        let rho_new = dot(&r_tilde, &r);
+        if rho_new == 0.0 || !rho_new.is_finite() {
+            break;
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        rho = rho_new;
+    }
+
+    NaiveBicgstab {
+        iterations,
+        converged: residual_norm <= threshold,
+        residual_norm,
+    }
+}
+
+/// Outcome of [`naive_block_bicgstab`].
+#[derive(Clone, Debug)]
+pub struct NaiveBlockBicgstab {
+    pub iterations: usize,
+    pub converged: bool,
+    pub residual_norms: Vec<f64>,
+}
+
+/// Textbook block BiCGStab (El Guennouni–Jbilou–Sadok 2003), dense and
+/// naive: explicit `m×m` shadow Grams, Gaussian elimination for the
+/// coefficient solves, a scalar Frobenius stabilizer, column-by-column
+/// updates. This is the ground truth the production
+/// `block_bicgstab` (classic *and* reordered schedules) is differenced
+/// against.
+pub fn naive_block_bicgstab(
+    a: &Dense,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    tol: f64,
+    max_iter: usize,
+) -> NaiveBlockBicgstab {
+    let n = a.dim();
+    let m = b.m();
+    assert_eq!(b.n(), n);
+    assert_eq!(x.shape(), (n, m));
+
+    let small = |g: &[f64]| Dense { n_rows: m, n_cols: m, data: g.to_vec() };
+    let gram = |u: &MultiVec, v: &MultiVec| -> Vec<f64> {
+        let mut g = vec![0.0; m * m];
+        for i in 0..m {
+            let ui = u.column(i);
+            for j in 0..m {
+                let vj = v.column(j);
+                g[i * m + j] = ui.iter().zip(&vj).map(|(p, q)| p * q).sum::<f64>();
+            }
+        }
+        g
+    };
+    let col_norms = |u: &MultiVec| -> Vec<f64> {
+        (0..m)
+            .map(|j| u.column(j).iter().map(|v| v * v).sum::<f64>().sqrt())
+            .collect()
+    };
+    // C = U·W for n×m U and m×m W, column by column.
+    let mul_dense = |u: &MultiVec, w: &MultiVec| -> MultiVec {
+        let mut c = MultiVec::zeros(n, m);
+        for j in 0..m {
+            for i in 0..n {
+                let mut acc = 0.0;
+                for k in 0..m {
+                    acc += u.get(i, k) * w.get(k, j);
+                }
+                *c.get_mut(i, j) = acc;
+            }
+        }
+        c
+    };
+    let frob = |u: &MultiVec, v: &MultiVec| -> f64 {
+        let mut acc = 0.0;
+        for (p, q) in u.as_slice().iter().zip(v.as_slice()) {
+            acc += p * q;
+        }
+        acc
+    };
+
+    let thresholds: Vec<f64> =
+        col_norms(b).iter().map(|bn| tol * bn.max(f64::MIN_POSITIVE)).collect();
+    let done =
+        |norms: &[f64]| norms.iter().zip(&thresholds).all(|(rn, th)| rn <= th);
+
+    // R = B − A·X; shadow block frozen at R₀; P = R.
+    let ax = a.gspmv(x);
+    let mut r = b.clone();
+    for (rv, av) in r.as_mut_slice().iter_mut().zip(ax.as_slice()) {
+        *rv -= av;
+    }
+    let r_tilde = r.clone();
+    let mut p = r.clone();
+    let mut iterations = 0;
+    let mut norms = col_norms(&r);
+
+    while iterations < max_iter && !done(&norms) {
+        let v = a.gspmv(&p);
+        // α solves (R̃ᵀV)·α = R̃ᵀR.
+        let rho = gram(&r_tilde, &r);
+        let rv = gram(&r_tilde, &v);
+        let Some(alpha) =
+            gauss_solve_multi(&small(&rv), &MultiVec::from_flat(m, m, rho))
+        else {
+            break; // rank-deficient shadow Gram: genuine ρ collapse
+        };
+        // S = R − V·α.
+        let va = mul_dense(&v, &alpha);
+        let mut s = r.clone();
+        for (sv, vv) in s.as_mut_slice().iter_mut().zip(va.as_slice()) {
+            *sv -= vv;
+        }
+        let s_norms = col_norms(&s);
+        let pa = mul_dense(&p, &alpha);
+        if done(&s_norms) {
+            for (xv, pv) in x.as_mut_slice().iter_mut().zip(pa.as_slice()) {
+                *xv += pv;
+            }
+            iterations += 1;
+            norms = s_norms;
+            break;
+        }
+        // Scalar stabilizer ω = ⟨T,S⟩_F / ⟨T,T⟩_F.
+        let t = a.gspmv(&s);
+        let tt = frob(&t, &t);
+        if tt == 0.0 || !tt.is_finite() {
+            break;
+        }
+        let omega = frob(&t, &s) / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            break;
+        }
+        // X += P·α + ω·S ; R = S − ω·T.
+        for i in 0..n {
+            for j in 0..m {
+                *x.get_mut(i, j) += pa.get(i, j) + omega * s.get(i, j);
+                *r.get_mut(i, j) = s.get(i, j) - omega * t.get(i, j);
+            }
+        }
+        iterations += 1;
+        norms = col_norms(&r);
+        if done(&norms) {
+            break;
+        }
+        // β solves (R̃ᵀV)·β = −R̃ᵀT, then P ← R + (P − ω·V)·β.
+        let sigma = gram(&r_tilde, &t);
+        let neg_sigma: Vec<f64> = sigma.iter().map(|v| -v).collect();
+        let Some(beta) =
+            gauss_solve_multi(&small(&rv), &MultiVec::from_flat(m, m, neg_sigma))
+        else {
+            break;
+        };
+        let mut pw = p.clone();
+        for (pv, vv) in pw.as_mut_slice().iter_mut().zip(v.as_slice()) {
+            *pv -= omega * vv;
+        }
+        let pb = mul_dense(&pw, &beta);
+        let mut p_next = r.clone();
+        for (pv, bv) in p_next.as_mut_slice().iter_mut().zip(pb.as_slice()) {
+            *pv += bv;
+        }
+        p = p_next;
+    }
+
+    NaiveBlockBicgstab {
+        iterations,
+        converged: done(&norms),
+        residual_norms: norms,
+    }
+}
+
 /// Symmetric eigendecomposition by the cyclic Jacobi method. Returns
 /// `(eigenvalues, eigenvectors)` with `A = V·diag(λ)·Vᵀ`, eigenvectors
 /// in the *columns* of the returned dense matrix.
@@ -544,6 +791,55 @@ mod tests {
         let az = a.matvec(&z);
         for (u, v) in s2.iter().zip(&az) {
             assert!((u - v).abs() <= 1e-9 * a.max_abs(), "{u} vs {v}");
+        }
+    }
+
+    /// Diagonally dominant nonsymmetric dense matrix.
+    fn nonsym_dense(n: usize, seed: u64) -> Dense {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = if i == j { n as f64 } else { next() };
+            }
+        }
+        Dense { n_rows: n, n_cols: n, data: a }
+    }
+
+    #[test]
+    fn naive_bicgstab_solves_nonsymmetric() {
+        let a = nonsym_dense(14, 9);
+        let x_true: Vec<f64> = (0..14).map(|i| (i as f64) * 0.3 - 2.0).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; 14];
+        let res = naive_bicgstab(&a, &b, &mut x, 1e-11, 300);
+        assert!(res.converged, "{res:?}");
+        for (u, v) in x.iter().zip(&x_true) {
+            assert!((u - v).abs() < 1e-8, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn naive_block_bicgstab_matches_direct_solve() {
+        let a = nonsym_dense(12, 21);
+        let mut b = MultiVec::zeros(12, 3);
+        for j in 0..3 {
+            let col: Vec<f64> =
+                (0..12).map(|i| (((i + 2 * j) % 7) as f64) - 3.0).collect();
+            b.set_column(j, &col);
+        }
+        let mut x = MultiVec::zeros(12, 3);
+        let res = naive_block_bicgstab(&a, &b, &mut x, 1e-10, 300);
+        assert!(res.converged, "{res:?}");
+        let want = gauss_solve_multi(&a, &b).unwrap();
+        for (u, v) in x.as_slice().iter().zip(want.as_slice()) {
+            assert!((u - v).abs() <= 1e-6 * v.abs().max(1.0), "{u} vs {v}");
         }
     }
 

@@ -22,6 +22,18 @@ use crate::reference::Dense;
 use crate::tolerance::{check_bitwise, TolModel};
 use std::collections::HashMap;
 
+/// Widths the nonsymmetric *solver* differential sweeps. Much smaller
+/// than [`crate::corpus::m_values`]: every cell pays a direct dense
+/// solve, and the kernel-level `m` coverage already comes from the
+/// GSPMV sweep over the same matrices.
+const NONSYM_SOLVER_MS: [usize; 4] = [1, 2, 4, 8];
+
+/// Row-count ceiling for direct-solve references in the nonsym solver
+/// differential. Above this the O(n³) Gaussian elimination dominates
+/// the whole oracle run; the recomputed true-residual check inside the
+/// bookkeeping invariant gates correctness instead.
+const NONSYM_DIRECT_LIMIT: usize = 600;
+
 /// Outcome of a differential sweep.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -260,6 +272,246 @@ pub fn run_power_differential(scale: Scale) -> Report {
                             report.failures.push(e);
                         }
                     }
+                }
+            }
+        }
+    }
+
+    report
+}
+
+/// The nonsymmetric differential: GSPMV and block-BiCGStab checks over
+/// [`crate::corpus::nonsym_corpus`].
+///
+/// This cannot ride on [`run_differential`] either: the nonsym corpus
+/// entries carry no symmetric half-storage (there is nothing symmetric
+/// to store), and the solver leg compares *iterative solutions* against
+/// a direct dense solve rather than products against a dense product.
+///
+/// Per entry the runner checks:
+///
+/// * **GSPMV** (every `m` in the standard grid, every available
+///   [`KernelKind`]) — serial kernel vs. the dense reference under
+///   [`TolModel::KERNEL`], repeated-run bitwise, and forced-chunk
+///   full-storage sweeps bitwise against serial (the determinism
+///   contract does not care that the operator is nonsymmetric);
+/// * **solver** (the trimmed [`NONSYM_SOLVER_MS`] grid, both
+///   [`BicgstabVariant`]s) — honest bookkeeping via
+///   [`crate::invariants::check_block_bicgstab_bookkeeping`] always,
+///   plus repeated-run bitwise determinism; on well-conditioned entries
+///   additionally convergence, agreement with a direct dense solve
+///   under [`TolModel::NONSYM_SOLVER`], and agreement with the naive
+///   dense block reference. Near-breakdown entries are only required to
+///   report an honest outcome (converged, breakdown, or iteration cap)
+///   — never a silent wrong answer. Direct-solve comparisons are
+///   skipped above [`NONSYM_DIRECT_LIMIT`] rows, where the recomputed
+///   true-residual gate inside the bookkeeping check stands in for the
+///   O(n³) reference.
+pub fn run_nonsym_differential(scale: Scale) -> Report {
+    use crate::corpus::nonsym_corpus;
+    use crate::invariants::check_block_bicgstab_bookkeeping;
+    use crate::reference::{gauss_solve_multi, naive_block_bicgstab};
+    use mrhs_solvers::{
+        block_bicgstab_with_options, BicgstabVariant, BlockBicgstabOptions,
+        SolveConfig,
+    };
+    use mrhs_sparse::{
+        backend_available, gspmv_chunked_with, gspmv_serial_with, KernelKind,
+        MultiVec,
+    };
+
+    let entries = nonsym_corpus(scale);
+    let ms = crate::corpus::m_values(scale);
+    let kernel_tol = TolModel::KERNEL;
+    let solver_tol = TolModel::NONSYM_SOLVER;
+    let mut report = Report::default();
+
+    for (ei, entry) in entries.iter().enumerate() {
+        let a = &entry.matrix;
+        let n = a.n_rows();
+        let dense = Dense::from_bcrs(a);
+
+        // ---- GSPMV leg -------------------------------------------------
+        for (mi, &m) in ms.iter().enumerate() {
+            let x = pseudo_multivec(
+                a.n_cols(),
+                m,
+                0x6e6f_6e73_796d_0001 ^ ((ei as u64) << 32) ^ mi as u64,
+            );
+            let want = dense.gspmv(&x);
+            for kind in KernelKind::ALL {
+                if !backend_available(kind) {
+                    continue;
+                }
+                let ctx = format!("nonsym {} m={m} {kind:?}", entry.name);
+
+                let mut y = MultiVec::zeros(n, m);
+                gspmv_serial_with(kind, a, &x, &mut y);
+                report.checks += 1;
+                if let Err(e) =
+                    kernel_tol.check_slices(want.as_slice(), y.as_slice(), &ctx)
+                {
+                    report.failures.push(e);
+                }
+
+                let mut y2 = MultiVec::zeros(n, m);
+                gspmv_serial_with(kind, a, &x, &mut y2);
+                report.checks += 1;
+                if let Err(e) = check_bitwise(
+                    y.as_slice(),
+                    y2.as_slice(),
+                    &format!("{ctx}: repeated run"),
+                ) {
+                    report.failures.push(e);
+                }
+
+                // Full-storage chunked sweeps keep per-row summation
+                // order, so any chunk count is bitwise-equal to serial.
+                for nchunks in [2, 3, 7] {
+                    let mut yc = MultiVec::zeros(n, m);
+                    gspmv_chunked_with(kind, a, &x, &mut yc, nchunks);
+                    report.checks += 1;
+                    if let Err(e) = check_bitwise(
+                        y.as_slice(),
+                        yc.as_slice(),
+                        &format!("{ctx}: {nchunks}-chunk vs serial"),
+                    ) {
+                        report.failures.push(e);
+                    }
+                }
+            }
+        }
+
+        // ---- solver leg ------------------------------------------------
+        for (mi, &m) in NONSYM_SOLVER_MS.iter().enumerate() {
+            let b = pseudo_multivec(
+                n,
+                m,
+                0x6e6f_6e73_796d_0002 ^ ((ei as u64) << 32) ^ mi as u64,
+            );
+            // A block width approaching the operator dimension saturates
+            // the block Krylov space within an iteration or two — the
+            // rank-deficient `R̃ᵀV` breakdown is then the *correct*
+            // outcome, so those cells are judged like the near-breakdown
+            // entries: honest reporting, not convergence.
+            let stress = entry.near_breakdown || 3 * m > n;
+            let direct = if stress || n > NONSYM_DIRECT_LIMIT {
+                None
+            } else {
+                gauss_solve_multi(&dense, &b)
+            };
+
+            for variant in [BicgstabVariant::Classic, BicgstabVariant::Reordered] {
+                let ctx = format!("nonsym {} m={m} {variant:?}", entry.name);
+                let opts = BlockBicgstabOptions {
+                    solve: SolveConfig { tol: 1e-10, max_iter: 4000 },
+                    variant,
+                    ..Default::default()
+                };
+                let mut x = MultiVec::zeros(n, m);
+                let result = block_bicgstab_with_options(a, &b, &mut x, &opts);
+
+                // Bookkeeping must be honest on every entry, breakdown
+                // stress cases included.
+                report.checks += 1;
+                if let Err(e) = check_block_bicgstab_bookkeeping(
+                    &dense,
+                    &b,
+                    &x,
+                    opts.solve.tol,
+                    &result,
+                ) {
+                    report.failures.push(format!("{ctx}: bookkeeping: {e}"));
+                }
+
+                // Determinism: the whole solve is bitwise repeatable.
+                let mut x2 = MultiVec::zeros(n, m);
+                let result2 = block_bicgstab_with_options(a, &b, &mut x2, &opts);
+                report.checks += 1;
+                if let Err(e) = check_bitwise(
+                    x.as_slice(),
+                    x2.as_slice(),
+                    &format!("{ctx}: repeated solve"),
+                ) {
+                    report.failures.push(e);
+                }
+                report.checks += 1;
+                if result.iterations != result2.iterations
+                    || result.converged != result2.converged
+                    || result.breakdown != result2.breakdown
+                {
+                    report.failures.push(format!(
+                        "{ctx}: repeated solve bookkeeping diverged: \
+                         {:?}/{}/{:?} vs {:?}/{}/{:?}",
+                        result.iterations,
+                        result.converged,
+                        result.breakdown,
+                        result2.iterations,
+                        result2.converged,
+                        result2.breakdown,
+                    ));
+                }
+
+                if stress {
+                    // An honest outcome is: converged, a classified
+                    // breakdown, or the iteration cap — never a claim
+                    // of convergence the bookkeeping check above would
+                    // have caught.
+                    report.checks += 1;
+                    if !result.converged
+                        && result.breakdown.is_none()
+                        && result.iterations < opts.solve.max_iter
+                    {
+                        report.failures.push(format!(
+                            "{ctx}: stopped at {} of {} iterations with \
+                             neither convergence nor a breakdown report",
+                            result.iterations, opts.solve.max_iter,
+                        ));
+                    }
+                    continue;
+                }
+
+                report.checks += 1;
+                if !result.converged {
+                    report.failures.push(format!(
+                        "{ctx}: failed to converge in {} iterations \
+                         (breakdown {:?}, norms {:?})",
+                        result.iterations, result.breakdown, result.residual_norms,
+                    ));
+                    continue;
+                }
+
+                if let Some(direct) = &direct {
+                    report.checks += 1;
+                    if let Err(e) = solver_tol.check_slices(
+                        direct.as_slice(),
+                        x.as_slice(),
+                        &format!("{ctx}: vs direct solve"),
+                    ) {
+                        report.failures.push(e);
+                    }
+                }
+            }
+
+            // Naive dense block reference: same algorithm, independent
+            // plain-loop implementation — both must land on the direct
+            // solution.
+            if let Some(direct) = &direct {
+                let mut xn = MultiVec::zeros(n, m);
+                let naive = naive_block_bicgstab(&dense, &b, &mut xn, 1e-10, 4000);
+                report.checks += 1;
+                if !naive.converged {
+                    report.failures.push(format!(
+                        "nonsym {} m={m}: naive reference failed to \
+                         converge in {} iterations",
+                        entry.name, naive.iterations,
+                    ));
+                } else if let Err(e) = solver_tol.check_slices(
+                    direct.as_slice(),
+                    xn.as_slice(),
+                    &format!("nonsym {} m={m}: naive vs direct", entry.name),
+                ) {
+                    report.failures.push(e);
                 }
             }
         }

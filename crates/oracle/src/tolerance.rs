@@ -53,6 +53,14 @@ impl TolModel {
     /// direct reference, limited by the solve tolerance.
     pub const SOLVER: TolModel = TolModel { rel: 1e-6, floor: 1.0, max_ulps: 64 };
 
+    /// Nonsymmetric solver agreement: BiCGStab-family results compared
+    /// against a direct reference. Looser than [`TolModel::SOLVER`]
+    /// because nonsymmetric Krylov solves carry no A-norm optimality —
+    /// the forward error is bounded only through the (possibly large)
+    /// condition number, and the stabilizer adds its own roundoff.
+    pub const NONSYM_SOLVER: TolModel =
+        TolModel { rel: 1e-4, floor: 1.0, max_ulps: 64 };
+
     /// Whether the pair is acceptable under this model.
     pub fn accepts(&self, want: f64, got: f64) -> bool {
         if ulp_diff(want, got) <= self.max_ulps {

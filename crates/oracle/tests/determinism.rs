@@ -167,3 +167,180 @@ fn small_matrices_take_identical_serial_path() {
         assert_bits(&sym_serial, &sym_auto, "sym auto below threshold");
     });
 }
+
+// ---------------------------------------------------------------------------
+// Block-BiCGStab determinism (nonsymmetric solver over full storage).
+//
+// The solver touches the matrix only through GSPMV, and every dense
+// reduction in it (Gram matrices, coefficient solves, update sweeps)
+// is sequential — so the full-storage chunk-invariance contract above
+// lifts to whole *solves*: for any one kernel kind, the solution bits
+// must be identical whether the operator runs the serial kernel, the
+// auto driver (which goes parallel past the threshold), or any forced
+// chunk count. The CI matrix re-runs this suite under several
+// RAYON_NUM_THREADS values and forced MRHS_KERNEL_BACKEND kinds for
+// cross-process coverage.
+// ---------------------------------------------------------------------------
+
+use mrhs_solvers::{
+    block_bicgstab_with_options, BicgstabVariant, BlockBicgstabOptions,
+    LinearOperator, SolveConfig,
+};
+use mrhs_sparse::{
+    backend_available, gspmv_chunked_with, gspmv_serial_with, KernelKind,
+};
+
+/// Deterministic nonsymmetric banded matrix (convection-style: the
+/// downstream coupling is stronger than the upstream one), diagonally
+/// dominant so BiCGStab converges, no RNG.
+fn nonsym_banded(nb: usize, band: usize) -> mrhs_sparse::BcrsMatrix {
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        let mut d = Block3::scaled_identity(6.0 + 2.0 * band as f64);
+        *d.get_mut(0, 1) = 0.3;
+        t.add(i, i, d);
+        for off in 1..=band {
+            if i + off < nb {
+                let w = -1.0 / (1.0 + off as f64 + (i % 5) as f64 * 0.25);
+                let mut down = Block3::scaled_identity(w * 1.4);
+                *down.get_mut(0, 2) = w * 0.25;
+                t.add(i, i + off, down);
+                t.add(i + off, i, Block3::scaled_identity(w * 0.6));
+            }
+        }
+    }
+    t.build()
+}
+
+/// How the operator schedules its GSPMV sweeps — the axis the solve
+/// bits must NOT depend on.
+#[derive(Clone, Copy)]
+enum Sweep {
+    Serial,
+    Auto,
+    Chunked(usize),
+}
+
+/// Wraps a matrix with a pinned kernel kind and sweep schedule, so a
+/// whole solve runs through exactly one (kind, schedule) pair.
+struct PinnedOp<'a> {
+    a: &'a mrhs_sparse::BcrsMatrix,
+    kind: KernelKind,
+    sweep: Sweep,
+}
+
+impl LinearOperator for PinnedOp<'_> {
+    fn dim(&self) -> usize {
+        self.a.n_rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let xv = MultiVec::from_columns(&[x]);
+        let mut yv = MultiVec::zeros(self.dim(), 1);
+        self.apply_multi(&xv, &mut yv);
+        y.copy_from_slice(&yv.column(0));
+    }
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        match self.sweep {
+            Sweep::Serial => gspmv_serial_with(self.kind, self.a, x, y),
+            Sweep::Auto => mrhs_sparse::gspmv_with(self.kind, self.a, x, y),
+            Sweep::Chunked(c) => gspmv_chunked_with(self.kind, self.a, x, y, c),
+        }
+    }
+}
+
+#[test]
+fn block_bicgstab_bits_are_schedule_invariant_per_kernel_kind() {
+    with_deadline(Duration::from_secs(300), || {
+        // 2400 × 13 ≈ 31k stored blocks — the auto driver genuinely
+        // goes parallel.
+        let a = nonsym_banded(2400, 6);
+        assert!(a.nnz_blocks() >= 1 << 14, "matrix must cross the threshold");
+        let m = 4;
+        let b = inputs(a.n_rows(), m);
+
+        for variant in [BicgstabVariant::Classic, BicgstabVariant::Reordered] {
+            let opts = BlockBicgstabOptions {
+                solve: SolveConfig { tol: 1e-10, max_iter: 400 },
+                variant,
+                ..Default::default()
+            };
+            for kind in KernelKind::ALL {
+                if !backend_available(kind) {
+                    continue;
+                }
+                let solve = |sweep: Sweep| {
+                    let op = PinnedOp { a: &a, kind, sweep };
+                    let mut x = MultiVec::zeros(a.n_rows(), m);
+                    let res = block_bicgstab_with_options(&op, &b, &mut x, &opts);
+                    (x, res)
+                };
+
+                let (x_serial, res_serial) = solve(Sweep::Serial);
+                assert!(
+                    res_serial.converged,
+                    "{kind:?} {variant:?}: {res_serial:?}"
+                );
+
+                // Repeated run: bit-stable.
+                let (x_again, res_again) = solve(Sweep::Serial);
+                assert_bits(
+                    &x_serial,
+                    &x_again,
+                    &format!("{kind:?} {variant:?} repeated serial solve"),
+                );
+                assert_eq!(res_serial.iterations, res_again.iterations);
+
+                // Auto driver (parallel past the threshold): same bits.
+                let (x_auto, res_auto) = solve(Sweep::Auto);
+                assert_bits(
+                    &x_serial,
+                    &x_auto,
+                    &format!("{kind:?} {variant:?} auto vs serial solve"),
+                );
+                assert_eq!(res_serial.iterations, res_auto.iterations);
+
+                // Any forced chunk count: same bits.
+                for nchunks in [2usize, 5, 16] {
+                    let (x_c, res_c) = solve(Sweep::Chunked(nchunks));
+                    assert_bits(
+                        &x_serial,
+                        &x_c,
+                        &format!("{kind:?} {variant:?} chunked({nchunks}) solve"),
+                    );
+                    assert_eq!(res_serial.iterations, res_c.iterations);
+                }
+            }
+        }
+    });
+}
+
+/// Below-threshold path: the solver on the plain `BcrsMatrix` operator
+/// (auto scheduling, auto kernel kind) must be bit-identical across
+/// repeated solves — the whole-solve analogue of
+/// `small_matrices_take_identical_serial_path`.
+#[test]
+fn block_bicgstab_repeated_solves_are_bit_stable_below_threshold() {
+    with_deadline(Duration::from_secs(60), || {
+        let a = nonsym_banded(40, 2);
+        let m = 3;
+        let b = inputs(a.n_rows(), m);
+        let opts = BlockBicgstabOptions {
+            solve: SolveConfig { tol: 1e-11, max_iter: 400 },
+            ..Default::default()
+        };
+
+        let mut x1 = MultiVec::zeros(a.n_rows(), m);
+        let res1 = block_bicgstab_with_options(&a, &b, &mut x1, &opts);
+        assert!(res1.converged, "{res1:?}");
+
+        let mut x2 = MultiVec::zeros(a.n_rows(), m);
+        let res2 = block_bicgstab_with_options(&a, &b, &mut x2, &opts);
+        assert_bits(&x1, &x2, "repeated below-threshold solve");
+        assert_eq!(res1.iterations, res2.iterations);
+        oracle::tolerance::assert_bitwise(
+            &res1.residual_norms,
+            &res2.residual_norms,
+            "repeated solve residual norms",
+        );
+    });
+}

@@ -3,7 +3,9 @@
 
 use mrhs_cluster::watchdog::with_deadline;
 use oracle::corpus::Scale;
-use oracle::runner::{run_power_differential, run_standard};
+use oracle::runner::{
+    run_nonsym_differential, run_power_differential, run_standard,
+};
 use std::time::Duration;
 
 #[test]
@@ -36,6 +38,24 @@ fn spmpv_powers_agree_on_small_corpus() {
     report.assert_ok();
 }
 
+/// Nonsymmetric gate: GSPMV kernels and the block-BiCGStab solver over
+/// the convection–diffusion / skew-perturbed corpus, against the dense
+/// reference, direct solves, and the naive block-BiCGStab
+/// implementation — including honest-outcome checks on the
+/// near-breakdown entries.
+#[test]
+fn nonsym_suite_agrees_on_small_corpus() {
+    let report = with_deadline(Duration::from_secs(300), || {
+        run_nonsym_differential(Scale::Small)
+    });
+    assert!(
+        report.checks > 800,
+        "nonsym differential ran only {} checks — corpus or m grid shrank",
+        report.checks
+    );
+    report.assert_ok();
+}
+
 /// The large-scale sweep crosses `PARALLEL_THRESHOLD` in both storage
 /// formats, so the auto drivers take their chunked paths for real.
 /// Run by the scheduled CI job in release mode:
@@ -45,5 +65,17 @@ fn spmpv_powers_agree_on_small_corpus() {
 fn all_backends_agree_on_large_corpus() {
     let report =
         with_deadline(Duration::from_secs(1800), || run_standard(Scale::Large));
+    report.assert_ok();
+}
+
+/// Large nonsymmetric sweep: includes the over-threshold
+/// convection–diffusion entry, so the solver's auto GSPMV path runs its
+/// chunked parallel kernels for real. Scheduled CI, release mode.
+#[test]
+#[ignore = "large corpus: run with --release -- --ignored (scheduled CI)"]
+fn nonsym_suite_agrees_on_large_corpus() {
+    let report = with_deadline(Duration::from_secs(1800), || {
+        run_nonsym_differential(Scale::Large)
+    });
     report.assert_ok();
 }

@@ -6,13 +6,19 @@ use mrhs_cluster::watchdog::with_deadline;
 use mrhs_core::system::XorShiftNoise;
 use mrhs_core::{run_mrhs_chunk, MrhsConfig};
 use mrhs_solvers::{
-    block_cg, spectral_bounds, ChebyshevSqrt, LinearOperator, SolveConfig,
+    bicgstab, block_bicgstab_with_options, block_cg, spectral_bounds,
+    BicgstabVariant, BlockBicgstabOptions, ChebyshevSqrt, LinearOperator,
+    SolveConfig,
 };
 use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder, MultiVec};
+use oracle::corpus::{nonsym_corpus, Scale};
 use oracle::fixtures::LineSystem;
-use oracle::invariants::{a_norm_error, check_block_cg_bookkeeping};
+use oracle::invariants::{
+    a_norm_error, check_block_bicgstab_bookkeeping, check_block_cg_bookkeeping,
+};
 use oracle::reference::{
-    gauss_solve_multi, naive_block_cg, naive_mrhs_chunk, sqrt_matvec_eigh, Dense,
+    gauss_solve, gauss_solve_multi, naive_bicgstab, naive_block_bicgstab,
+    naive_block_cg, naive_mrhs_chunk, sqrt_matvec_eigh, Dense,
 };
 use oracle::tolerance::TolModel;
 use std::time::Duration;
@@ -308,4 +314,179 @@ fn symmetric_storage_chunk_matches_dense_reference_trajectory() {
             )
             .unwrap();
     });
+}
+
+// ---------------------------------------------------------------------------
+// Nonsymmetric arm: block BiCGStab against direct solves and the naive
+// dense reference, over the seeded nonsymmetric corpus.
+// ---------------------------------------------------------------------------
+
+/// Every well-conditioned nonsym corpus entry, both reduction
+/// schedules: the production block solver must land on the direct
+/// solution and keep its bookkeeping honest.
+#[test]
+fn production_block_bicgstab_matches_direct_solve_on_nonsym_corpus() {
+    with_deadline(Duration::from_secs(300), || {
+        for entry in nonsym_corpus(Scale::Small) {
+            if entry.near_breakdown {
+                continue;
+            }
+            let a = &entry.matrix;
+            let dense = Dense::from_bcrs(a);
+            let b = rhs(a.n_rows(), 3);
+            let want = gauss_solve_multi(&dense, &b).expect("direct solve");
+
+            for variant in [BicgstabVariant::Classic, BicgstabVariant::Reordered] {
+                let opts = BlockBicgstabOptions {
+                    solve: SolveConfig { tol: 1e-10, max_iter: 2000 },
+                    variant,
+                    ..Default::default()
+                };
+                let mut x = MultiVec::zeros(a.n_rows(), 3);
+                let res = block_bicgstab_with_options(a, &b, &mut x, &opts);
+                assert!(res.converged, "{} {variant:?}: {res:?}", entry.name);
+                assert!(res.breakdown.is_none());
+                TolModel::NONSYM_SOLVER
+                    .check_slices(
+                        want.as_slice(),
+                        x.as_slice(),
+                        &format!("{} {variant:?} vs gauss", entry.name),
+                    )
+                    .unwrap();
+                check_block_bicgstab_bookkeeping(
+                    &dense,
+                    &b,
+                    &x,
+                    opts.solve.tol,
+                    &res,
+                )
+                .unwrap_or_else(|e| panic!("{} {variant:?}: {e}", entry.name));
+            }
+        }
+    });
+}
+
+/// The independent plain-loop dense implementation and the production
+/// register-tiled one must agree (both pinned to the direct solution).
+#[test]
+fn naive_block_bicgstab_matches_production() {
+    let entry = &nonsym_corpus(Scale::Small)[0];
+    let a = &entry.matrix;
+    let dense = Dense::from_bcrs(a);
+    let b = rhs(a.n_rows(), 4);
+
+    let mut x_prod = MultiVec::zeros(a.n_rows(), 4);
+    let res_prod = block_bicgstab_with_options(
+        a,
+        &b,
+        &mut x_prod,
+        &BlockBicgstabOptions {
+            solve: SolveConfig { tol: 1e-11, max_iter: 2000 },
+            ..Default::default()
+        },
+    );
+    assert!(res_prod.converged, "{res_prod:?}");
+
+    let mut x_naive = MultiVec::zeros(a.n_rows(), 4);
+    let res_naive = naive_block_bicgstab(&dense, &b, &mut x_naive, 1e-11, 2000);
+    assert!(res_naive.converged, "{res_naive:?}");
+
+    TolModel::NONSYM_SOLVER
+        .check_slices(
+            x_naive.as_slice(),
+            x_prod.as_slice(),
+            "production vs naive block BiCGStab",
+        )
+        .unwrap();
+}
+
+/// Scalar path: production `bicgstab` against the textbook dense
+/// reference and the direct solution on a nonsymmetric operator.
+#[test]
+fn scalar_bicgstab_matches_naive_reference() {
+    let entry = &nonsym_corpus(Scale::Small)[1];
+    let a = &entry.matrix;
+    let dense = Dense::from_bcrs(a);
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i as f64) * 0.754_877_666_246_692_8).fract() * 2.0 - 1.0)
+        .collect();
+    let want = gauss_solve(&dense, &b).expect("direct solve");
+
+    let mut x_prod = vec![0.0; n];
+    let res =
+        bicgstab(a, &b, &mut x_prod, &SolveConfig { tol: 1e-11, max_iter: 2000 });
+    assert!(res.converged, "{res:?}");
+
+    let mut x_naive = vec![0.0; n];
+    let res_naive = naive_bicgstab(&dense, &b, &mut x_naive, 1e-11, 2000);
+    assert!(res_naive.converged);
+
+    TolModel::NONSYM_SOLVER
+        .check_slices(&want, &x_prod, "scalar bicgstab vs gauss")
+        .unwrap();
+    TolModel::NONSYM_SOLVER
+        .check_slices(&want, &x_naive, "naive bicgstab vs gauss")
+        .unwrap();
+}
+
+/// Truncated (unconverged) block-BiCGStab runs must still report a
+/// state that matches the solution actually left in `X` — the same
+/// bookkeeping contract block CG has.
+#[test]
+fn block_bicgstab_bookkeeping_is_consistent_when_truncated() {
+    let entry = &nonsym_corpus(Scale::Small)[0];
+    let a = &entry.matrix;
+    let dense = Dense::from_bcrs(a);
+    let b = rhs(a.n_rows(), 5);
+
+    for variant in [BicgstabVariant::Classic, BicgstabVariant::Reordered] {
+        for max_iter in [1usize, 2, 3, 5] {
+            let opts = BlockBicgstabOptions {
+                solve: SolveConfig { tol: 1e-14, max_iter },
+                variant,
+                ..Default::default()
+            };
+            let mut x = MultiVec::zeros(a.n_rows(), 5);
+            let res = block_bicgstab_with_options(a, &b, &mut x, &opts);
+            check_block_bicgstab_bookkeeping(&dense, &b, &x, 1e-14, &res)
+                .unwrap_or_else(|e| panic!("{variant:?} max_iter={max_iter}: {e}"));
+        }
+    }
+}
+
+/// The near-breakdown corpus entry (skew-dominant, δ·I barely keeping
+/// it nonsingular) must produce an *honest* outcome: convergence, a
+/// classified ρ/ω breakdown, or the iteration cap — with bookkeeping
+/// that still describes the returned state. Never a silent wrong
+/// answer.
+#[test]
+fn near_breakdown_entry_reports_an_honest_outcome() {
+    let entries = nonsym_corpus(Scale::Small);
+    let entry = entries
+        .iter()
+        .find(|e| e.near_breakdown)
+        .expect("corpus must keep a near-breakdown entry");
+    let a = &entry.matrix;
+    let dense = Dense::from_bcrs(a);
+    let b = rhs(a.n_rows(), 2);
+
+    for variant in [BicgstabVariant::Classic, BicgstabVariant::Reordered] {
+        let opts = BlockBicgstabOptions {
+            solve: SolveConfig { tol: 1e-10, max_iter: 500 },
+            variant,
+            ..Default::default()
+        };
+        let mut x = MultiVec::zeros(a.n_rows(), 2);
+        let res = block_bicgstab_with_options(a, &b, &mut x, &opts);
+        assert!(
+            res.converged
+                || res.breakdown.is_some()
+                || res.iterations >= opts.solve.max_iter,
+            "{variant:?}: silent stop at {} iterations: {res:?}",
+            res.iterations
+        );
+        check_block_bicgstab_bookkeeping(&dense, &b, &x, opts.solve.tol, &res)
+            .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+    }
 }

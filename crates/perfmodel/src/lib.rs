@@ -12,13 +12,19 @@
 //! * [`model`] — Eq. 8, `m_s`, and the Fig. 1 profile grid;
 //! * [`measure`] — host probes: STREAM-like bandwidth, basic-kernel
 //!   flop rate, and measured relative-time curves `r(m)`;
-//! * [`mrhs_model`] — Eq. 9/11/12 and predicted `m_optimal`.
+//! * [`mrhs_model`] — Eq. 9/11/12 and predicted `m_optimal`;
+//! * [`bicgstab_model`] — the Eq. 8-style per-iteration cost of block
+//!   BiCGStab (two GSPMVs plus dense `n·m²` Gram/update sweeps), whose
+//!   per-column minimizer picks coalescing widths for nonsymmetric
+//!   tenants of the solve service.
 
+pub mod bicgstab_model;
 pub mod machine;
 pub mod measure;
 pub mod model;
 pub mod mrhs_model;
 
+pub use bicgstab_model::BicgstabModel;
 pub use machine::MachineProfile;
 pub use model::{GspmvModel, SA_BYTES, SX_BYTES};
 pub use mrhs_model::MrhsModel;

@@ -38,7 +38,12 @@ pub mod server;
 pub mod trace;
 
 pub use batcher::BatchPolicy;
-pub use registry::{MatrixHandle, MatrixRegistry, PreparedMatrix, StorageKind};
+pub use registry::{
+    MatrixHandle, MatrixRegistry, OperatorClass, PreparedMatrix, StorageKind,
+};
 pub use request::{RequestOptions, SolveError, SolveOutput, SubmitError, Ticket};
-pub use server::{model_batch_width, ServiceConfig, ServiceStats, SolveService};
+pub use server::{
+    model_batch_width, model_batch_width_bicgstab, ServiceConfig, ServiceStats,
+    SolveService,
+};
 pub use trace::{Arrival, ArrivalTrace};

@@ -30,11 +30,28 @@ pub enum StorageKind {
     Operator,
 }
 
+/// Which solver family a registered operator admits. Batches never mix
+/// matrix handles, so the class is uniform per batch and the worker
+/// dispatches on it: block CG for [`OperatorClass::Spd`], block
+/// BiCGStab for [`OperatorClass::General`]. This replaces the old
+/// implicit everything-is-SPD assumption with a typed tag fixed at
+/// registration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OperatorClass {
+    /// Symmetric positive definite: served with block CG.
+    #[default]
+    Spd,
+    /// General (nonsymmetric or indefinite): served with block
+    /// BiCGStab.
+    General,
+}
+
 /// A matrix prepared for serving: the operator plus the metadata the
 /// batcher needs to validate and group requests.
 pub struct PreparedMatrix {
     name: String,
     kind: StorageKind,
+    class: OperatorClass,
     dim: usize,
     op: Box<dyn LinearOperator + Send + Sync>,
 }
@@ -50,12 +67,17 @@ impl PreparedMatrix {
         self.kind
     }
 
+    /// Solver family this operator is served with.
+    pub fn class(&self) -> OperatorClass {
+        self.class
+    }
+
     /// Scalar dimension (rows of any right-hand side).
     pub fn dim(&self) -> usize {
         self.dim
     }
 
-    /// The operator block CG applies once per iteration.
+    /// The operator the block solver applies once per iteration.
     pub fn operator(&self) -> &(dyn LinearOperator + Send + Sync) {
         &*self.op
     }
@@ -77,32 +99,64 @@ impl MatrixRegistry {
         &self,
         name: &str,
         kind: StorageKind,
+        class: OperatorClass,
         dim: usize,
         op: Box<dyn LinearOperator + Send + Sync>,
     ) -> MatrixHandle {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        let prepared =
-            Arc::new(PreparedMatrix { name: name.to_string(), kind, dim, op });
+        let prepared = Arc::new(PreparedMatrix {
+            name: name.to_string(),
+            kind,
+            class,
+            dim,
+            op,
+        });
         self.map.write().unwrap().insert(id, prepared);
         MatrixHandle(id)
     }
 
-    /// Registers a full-storage BCRS matrix.
+    /// Registers a full-storage BCRS matrix, served with block CG (the
+    /// caller asserts SPD). Use [`MatrixRegistry::register_general`]
+    /// for nonsymmetric operators.
     pub fn register_full(&self, name: &str, a: BcrsMatrix) -> MatrixHandle {
         let dim = a.n_rows();
-        self.insert(name, StorageKind::Full, dim, Box::new(a))
+        self.insert(name, StorageKind::Full, OperatorClass::Spd, dim, Box::new(a))
     }
 
-    /// Registers a symmetric-storage matrix.
+    /// Registers a general (nonsymmetric) full-storage matrix, served
+    /// with block BiCGStab.
+    pub fn register_general(&self, name: &str, a: BcrsMatrix) -> MatrixHandle {
+        let dim = a.n_rows();
+        self.insert(
+            name,
+            StorageKind::Full,
+            OperatorClass::General,
+            dim,
+            Box::new(a),
+        )
+    }
+
+    /// Registers a symmetric-storage matrix (SPD by construction of the
+    /// storage format).
     pub fn register_symmetric(&self, name: &str, s: SymmetricBcrs) -> MatrixHandle {
         let dim = s.n_rows();
-        self.insert(name, StorageKind::Symmetric, dim, Box::new(s))
+        self.insert(
+            name,
+            StorageKind::Symmetric,
+            OperatorClass::Spd,
+            dim,
+            Box::new(s),
+        )
     }
 
     /// Registers a full matrix, converting to symmetric storage when the
     /// matrix is symmetric within `sym_tol` (halving the bytes streamed
     /// per block iteration — the paper's §IV-C win — at zero cost to
-    /// callers).
+    /// callers). A matrix that fails the symmetry check is genuinely
+    /// nonsymmetric, so the fallback registers it as
+    /// [`OperatorClass::General`] and it is served with block BiCGStab
+    /// — the old fallback kept full storage but still ran CG on it,
+    /// which silently diverges on nonsymmetric operators.
     pub fn register_auto(
         &self,
         name: &str,
@@ -111,20 +165,33 @@ impl MatrixRegistry {
     ) -> (MatrixHandle, StorageKind) {
         match SymmetricBcrs::from_full(&a, sym_tol) {
             Some(s) => (self.register_symmetric(name, s), StorageKind::Symmetric),
-            None => (self.register_full(name, a), StorageKind::Full),
+            None => (self.register_general(name, a), StorageKind::Full),
         }
     }
 
     /// Registers an arbitrary prepared operator — the escape hatch for
     /// distributed backends (`mrhs_cluster::DistEngine` implements
-    /// `LinearOperator` and is `Send + Sync`).
+    /// `LinearOperator` and is `Send + Sync`). Assumed SPD; use
+    /// [`MatrixRegistry::register_operator_with_class`] to say
+    /// otherwise.
     pub fn register_operator(
         &self,
         name: &str,
         op: Box<dyn LinearOperator + Send + Sync>,
     ) -> MatrixHandle {
+        self.register_operator_with_class(name, op, OperatorClass::Spd)
+    }
+
+    /// [`MatrixRegistry::register_operator`] with an explicit solver
+    /// class.
+    pub fn register_operator_with_class(
+        &self,
+        name: &str,
+        op: Box<dyn LinearOperator + Send + Sync>,
+        class: OperatorClass,
+    ) -> MatrixHandle {
         let dim = op.dim();
-        self.insert(name, StorageKind::Operator, dim, op)
+        self.insert(name, StorageKind::Operator, class, dim, op)
     }
 
     /// Looks up a handle. `None` after `unregister` or for a foreign
@@ -183,7 +250,49 @@ mod tests {
         let reg = MatrixRegistry::new();
         let (h, kind) = reg.register_auto("lap", laplacian(4), 1e-12);
         assert_eq!(kind, StorageKind::Symmetric);
-        assert_eq!(reg.get(h).unwrap().kind(), StorageKind::Symmetric);
+        let p = reg.get(h).unwrap();
+        assert_eq!(p.kind(), StorageKind::Symmetric);
+        assert_eq!(p.class(), OperatorClass::Spd);
+    }
+
+    /// A genuinely nonsymmetric matrix fails the symmetry check and is
+    /// tagged General, so the worker serves it with block BiCGStab
+    /// instead of silently running CG on it.
+    #[test]
+    fn register_auto_tags_nonsymmetric_matrices_general() {
+        let mut t = BlockTripletBuilder::square(3);
+        for i in 0..3 {
+            t.add(i, i, Block3::scaled_identity(5.0));
+        }
+        t.add(0, 1, Block3::scaled_identity(-1.5));
+        t.add(1, 0, Block3::scaled_identity(-0.5));
+        let a = t.build();
+
+        let reg = MatrixRegistry::new();
+        let (h, kind) = reg.register_auto("conv", a.clone(), 1e-12);
+        assert_eq!(kind, StorageKind::Full);
+        assert_eq!(reg.get(h).unwrap().class(), OperatorClass::General);
+
+        let hg = reg.register_general("conv2", a);
+        assert_eq!(reg.get(hg).unwrap().class(), OperatorClass::General);
+        // The SPD registration paths keep their class.
+        let hf = reg.register_full("lap", laplacian(3));
+        assert_eq!(reg.get(hf).unwrap().class(), OperatorClass::Spd);
+    }
+
+    #[test]
+    fn operator_registration_takes_explicit_class() {
+        let reg = MatrixRegistry::new();
+        let h = reg.register_operator("op", Box::new(laplacian(2)));
+        assert_eq!(reg.get(h).unwrap().class(), OperatorClass::Spd);
+        let hg = reg.register_operator_with_class(
+            "opg",
+            Box::new(laplacian(2)),
+            OperatorClass::General,
+        );
+        let p = reg.get(hg).unwrap();
+        assert_eq!(p.class(), OperatorClass::General);
+        assert_eq!(p.kind(), StorageKind::Operator);
     }
 
     #[test]

@@ -7,13 +7,16 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use mrhs_perfmodel::mrhs_model::SolveCounts;
-use mrhs_perfmodel::{GspmvModel, MrhsModel};
-use mrhs_solvers::{block_cg_with_options, cg, BlockCgOptions, SolveConfig};
+use mrhs_perfmodel::{BicgstabModel, GspmvModel, MrhsModel};
+use mrhs_solvers::{
+    bicgstab, block_bicgstab_with_options, block_cg_with_options, cg,
+    BlockBicgstabOptions, BlockCgOptions, SolveConfig,
+};
 use mrhs_sparse::MultiVec;
 use mrhs_telemetry as telemetry;
 
 use crate::batcher::{BatchPolicy, Batcher, Pending, Poll};
-use crate::registry::{MatrixHandle, MatrixRegistry};
+use crate::registry::{MatrixHandle, MatrixRegistry, OperatorClass};
 use crate::request::{
     Completion, RequestOptions, SolveError, SolveOutput, SubmitError, Ticket,
 };
@@ -39,6 +42,17 @@ pub fn model_batch_width(
         None => m_opt.max(1),
     };
     snap_to_specialized(target)
+}
+
+/// The [`model_batch_width`] analogue for nonsymmetric tenants: block
+/// BiCGStab pays **two** GSPMVs per iteration plus dense `n·m²`
+/// Gram/update sweeps, so its per-column cost curve
+/// ([`BicgstabModel::per_column_time`]) turns upward earlier than the
+/// CG one. The returned width is that curve's minimizer, snapped down
+/// to the nearest kernel-specialized width.
+pub fn model_batch_width_bicgstab(gspmv: &GspmvModel, cap: usize) -> usize {
+    let model = BicgstabModel::new(*gspmv);
+    snap_to_specialized(model.m_optimal(cap.max(1)))
 }
 
 /// Largest kernel-specialized width `<= target` (the set always
@@ -387,16 +401,46 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
         );
     }
 
+    // Dispatch on the operator class fixed at registration: block CG
+    // for SPD tenants, block BiCGStab for general (nonsymmetric) ones.
+    // The batcher never mixes handles in a batch, so the class is
+    // uniform here.
     let min_tol = tols.iter().cloned().fold(f64::INFINITY, f64::min);
-    let opts = BlockCgOptions {
-        solve: SolveConfig { tol: min_tol, max_iter: inner.cfg.max_iter },
-        record_residual_history: false,
-        column_tols: Some(tols.clone()),
-    };
+    let solve_cfg = SolveConfig { tol: min_tol, max_iter: inner.cfg.max_iter };
     let mut x = MultiVec::zeros(n, width);
-    let res = {
-        let _g = telemetry::span("service/solve");
-        block_cg_with_options(matrix.operator(), &b, &mut x, &opts)
+    let (residual_norms, column_converged_at, column_iterations) = match matrix
+        .class()
+    {
+        OperatorClass::Spd => {
+            let opts = BlockCgOptions {
+                solve: solve_cfg,
+                record_residual_history: false,
+                column_tols: Some(tols.clone()),
+            };
+            let res = {
+                let _g = telemetry::span("service/solve");
+                block_cg_with_options(matrix.operator(), &b, &mut x, &opts)
+            };
+            (res.residual_norms, res.column_converged_at, res.column_iterations)
+        }
+        OperatorClass::General => {
+            let opts = BlockBicgstabOptions {
+                solve: solve_cfg,
+                column_tols: Some(tols.clone()),
+                ..Default::default()
+            };
+            let res = {
+                let _g = telemetry::span("service/solve");
+                block_bicgstab_with_options(matrix.operator(), &b, &mut x, &opts)
+            };
+            if let Some(bd) = res.breakdown {
+                telemetry::counter_add(
+                    &format!("service/bicgstab_breakdown/{:?}", bd.kind),
+                    1,
+                );
+            }
+            (res.residual_norms, res.column_converged_at, res.column_iterations)
+        }
     };
 
     // Per-column acceptance: the solution and final residual must be
@@ -413,19 +457,21 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
     let threshold = |j: usize| tols[j] * b_norms[j].max(f64::MIN_POSITIVE);
     let mut ok: Vec<bool> = (0..width)
         .map(|j| {
-            let rn = res.residual_norms[j];
+            let rn = residual_norms[j];
             col_finite[j]
                 && rn.is_finite()
-                && (rn <= threshold(j) || res.column_converged_at[j].is_some())
+                && (rn <= threshold(j) || column_converged_at[j].is_some())
         })
         .collect();
 
     // Failure isolation: retry failed columns solo so one pathological
-    // RHS cannot poison its batchmates.
+    // RHS cannot poison its batchmates. The retry solver matches the
+    // batch solver's class: single-RHS CG for SPD, scalar BiCGStab for
+    // general operators.
     let mut solo_retried = vec![false; width];
-    let mut iters = res.column_iterations.clone();
+    let mut iters = column_iterations.clone();
     let mut rel_res: Vec<f64> = (0..width)
-        .map(|j| res.residual_norms[j] / b_norms[j].max(f64::MIN_POSITIVE))
+        .map(|j| residual_norms[j] / b_norms[j].max(f64::MIN_POSITIVE))
         .collect();
     if inner.cfg.solo_retry && ok.iter().any(|&o| !o) {
         let cfg_base = SolveConfig {
@@ -442,13 +488,22 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
             let bj = b.column(j);
             let mut xj = vec![0.0; n];
             let cfg = SolveConfig { tol: tols[j], ..cfg_base };
-            let r = {
+            let (r_iters, r_norm, r_conv) = {
                 let _g = telemetry::span("service/solo_retry");
-                cg(matrix.operator(), &bj, &mut xj, &cfg)
+                match matrix.class() {
+                    OperatorClass::Spd => {
+                        let r = cg(matrix.operator(), &bj, &mut xj, &cfg);
+                        (r.iterations, r.residual_norm, r.converged)
+                    }
+                    OperatorClass::General => {
+                        let r = bicgstab(matrix.operator(), &bj, &mut xj, &cfg);
+                        (r.iterations, r.residual_norm, r.converged)
+                    }
+                }
             };
-            iters[j] = r.iterations;
-            rel_res[j] = r.residual_norm / b_norms[j].max(f64::MIN_POSITIVE);
-            if r.converged {
+            iters[j] = r_iters;
+            rel_res[j] = r_norm / b_norms[j].max(f64::MIN_POSITIVE);
+            if r_conv {
                 x.set_column(j, &xj);
                 ok[j] = true;
             }

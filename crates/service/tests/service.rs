@@ -401,3 +401,178 @@ fn dist_engine_backed_registration_serves_requests() {
     }
     svc.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Nonsymmetric tenants: typed operator-class registration, block
+// BiCGStab dispatch, model-chosen widths, and failure isolation.
+// ---------------------------------------------------------------------------
+
+/// Diagonally dominant convection-style matrix: downstream coupling
+/// stronger than upstream, genuinely nonsymmetric.
+fn convection(nb: usize) -> BcrsMatrix {
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        let mut d = Block3::scaled_identity(6.0);
+        *d.get_mut(0, 1) = 0.3;
+        t.add(i, i, d);
+        if i + 1 < nb {
+            t.add(i, i + 1, Block3::scaled_identity(-1.4));
+            t.add(i + 1, i, Block3::scaled_identity(-0.6));
+        }
+    }
+    t.build()
+}
+
+fn solo_bicgstab_reference(a: &BcrsMatrix, b: &[f64], tol: f64) -> Vec<f64> {
+    let mut x = vec![0.0; b.len()];
+    let r =
+        mrhs_solvers::bicgstab(a, b, &mut x, &SolveConfig { tol, max_iter: 1000 });
+    assert!(r.converged, "{r:?}");
+    x
+}
+
+/// End-to-end acceptance path for nonsymmetric operators:
+/// `register_auto` detects the asymmetry and falls back to a
+/// General-class full-storage registration, the batch width comes from
+/// the BiCGStab cost model, and coalesced requests are solved with
+/// block BiCGStab to each caller's tolerance.
+#[test]
+fn nonsym_matrix_is_served_end_to_end_with_model_width() {
+    use mrhs_perfmodel::{GspmvModel, MachineProfile};
+    use mrhs_service::{model_batch_width_bicgstab, OperatorClass, StorageKind};
+
+    let reg = MatrixRegistry::new();
+    let a = convection(16);
+    let n = a.n_rows();
+    let (h, kind) = reg.register_auto("conv", a.clone(), 1e-12);
+    assert_eq!(kind, StorageKind::Full, "nonsym cannot use symmetric storage");
+    {
+        let p = reg.get(h).unwrap();
+        assert_eq!(p.class(), OperatorClass::General);
+    }
+
+    let gspmv = GspmvModel::new(&a.stats(), MachineProfile::wsm());
+    let width = model_batch_width_bicgstab(&gspmv, 16);
+    assert!(width >= 1, "model width must be usable");
+
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: width.max(2),
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let rhss: Vec<Vec<f64>> = (0..6).map(|k| pseudo_rhs(n, 900 + 10 * k)).collect();
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    for (t, b) in tickets.into_iter().zip(&rhss) {
+        let out = t.wait().unwrap();
+        let want = solo_bicgstab_reference(&a, b, 1e-9);
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!(
+                (got - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "{got} vs {want}"
+            );
+        }
+        assert!(!out.solo_retried, "healthy batch needs no retries");
+    }
+    svc.shutdown();
+    let st = svc.stats();
+    assert_eq!(st.completed, 6);
+    assert_eq!(st.failed, 0);
+    assert!(st.batches < 6, "requests must coalesce, got {} batches", st.batches);
+}
+
+/// The failure-isolation contract on the BiCGStab path: a NaN
+/// right-hand side poisons the coupled block solve (shadow Grams mix
+/// every column), the poisoned request fails alone, and its batchmates
+/// complete through the scalar-BiCGStab solo retry.
+#[test]
+fn poisoned_rhs_fails_alone_on_nonsym_batch() {
+    let reg = MatrixRegistry::new();
+    let a = convection(8);
+    let n = a.n_rows();
+    let h = reg.register_general("conv", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let mut rhss: Vec<Vec<f64>> =
+        (0..4).map(|k| pseudo_rhs(n, 300 + 10 * k)).collect();
+    rhss[2][5] = f64::NAN;
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    let results: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+
+    match &results[2] {
+        Err(SolveError::DidNotConverge { relative_residual, .. }) => {
+            assert!(relative_residual.is_nan());
+        }
+        other => panic!("poisoned request must fail, got {other:?}"),
+    }
+    for (k, r) in results.iter().enumerate() {
+        if k == 2 {
+            continue;
+        }
+        let out = r.as_ref().expect("batchmate must complete");
+        assert_eq!(
+            out.batch_width, 4,
+            "mate must actually have shared the poisoned batch"
+        );
+        assert!(out.solo_retried, "mates complete via scalar-BiCGStab retry");
+        let want = solo_bicgstab_reference(&a, &rhss[k], 1e-6);
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0));
+        }
+    }
+    svc.shutdown();
+    let st = svc.stats();
+    assert_eq!(st.completed, 3);
+    assert_eq!(st.failed, 1);
+    assert!(st.solo_retries >= 3);
+}
+
+/// Two tenants submitting the *same* right-hand side make the batch
+/// exactly rank-deficient — block BiCGStab reports the `R̃ᵀV` rank
+/// collapse instead of papering over it, and both requests complete
+/// through the scalar solo retry.
+#[test]
+fn duplicate_rhs_batch_recovers_via_solo_retry() {
+    let reg = MatrixRegistry::new();
+    let a = convection(8);
+    let n = a.n_rows();
+    let h = reg.register_general("conv", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 2,
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let b = pseudo_rhs(n, 4242);
+    let t1 = svc.submit_one(h, &b).unwrap();
+    let t2 = svc.submit_one(h, &b).unwrap();
+    let want = solo_bicgstab_reference(&a, &b, 1e-6);
+    for t in [t1, t2] {
+        let out = t.wait().expect("duplicate RHS must still be served");
+        assert_eq!(out.batch_width, 2, "both must share the batch");
+        assert!(out.solo_retried, "rank-deficient batch resolves solo");
+        for (got, want) in out.solution.column(0).iter().zip(&want) {
+            assert!((got - want).abs() <= 1e-4 * want.abs().max(1.0));
+        }
+    }
+    svc.shutdown();
+    assert_eq!(svc.stats().completed, 2);
+}

@@ -15,7 +15,16 @@
 //!   (Gershgorin, power iteration, and a small Lanczos);
 //! * a dense Cholesky reference path for small systems ([`cholesky`]),
 //!   combined with iterative refinement ([`refinement`]) as in §II-C.
+//!
+//! For the **nonsymmetric** (CFD-class) systems of Krasnopolsky
+//! arXiv:1907.12874 the SPD assumption fails and the stack switches to
+//! BiCGStab: [`bicgstab::bicgstab`] for single right-hand sides and
+//! [`block_bicgstab::block_bicgstab`] for the MRHS-amortized block
+//! variant (two GSPMVs per iteration, classic and reordered reduction
+//! schedules).
 
+pub mod bicgstab;
+pub mod block_bicgstab;
 pub mod block_cg;
 pub mod cg;
 pub mod chebyshev;
@@ -28,6 +37,11 @@ pub mod recycling;
 pub mod refinement;
 pub mod sstep_cg;
 
+pub use bicgstab::{bicgstab, BicgstabResult, Breakdown, BreakdownKind};
+pub use block_bicgstab::{
+    block_bicgstab, block_bicgstab_observed, block_bicgstab_with_options,
+    BicgstabVariant, BlockBicgstabOptions, BlockBicgstabResult,
+};
 pub use block_cg::{
     block_cg, block_cg_observed, block_cg_with_options, BlockCgOptions,
     BlockCgResult,
