@@ -10,15 +10,26 @@
 //! ```text
 //! service-bench [--particles N] [--seed N] [--requests N]
 //!               [--rates 0.5,1,4] [--batch W] [--matrix mat3]
-//!               [--bursty] [--trace FILE] [--dump-trace FILE]
+//!               [--bursty] [--arrivals FILE] [--dump-trace FILE]
+//!               [--trace] [--export-metrics FILE]
+//!               [--inject-breakdown] [--flight-dir DIR]
 //!               [--json FILE]
 //! ```
 //!
 //! `--rates` lists arrival rates as multiples of the measured solo
 //! capacity `1/t_solo`; `--batch 0` (default) targets the model's
-//! `m_s`. `--trace` replays a recorded trace file instead of
-//! generating one (format in EXPERIMENTS.md); `--dump-trace` writes
-//! the generated trace out for replay.
+//! `m_s`. `--arrivals` replays a recorded arrival-trace file instead
+//! of generating one (format in EXPERIMENTS.md); `--dump-trace`
+//! writes the generated trace out for replay.
+//!
+//! Observability flags: `--trace` runs the causal-tracing overhead
+//! gate (tracing-off vs tracing-on replays at a saturating rate; the
+//! acceptance bar is ≤ 2% RHS/s cost) and prints one request's
+//! assembled span tree; `--export-metrics FILE` serves OpenMetrics on
+//! a loopback listener for the whole run, then self-scrapes,
+//! validates, and writes the exposition to FILE; `--inject-breakdown`
+//! pushes a NaN right-hand side through the service to trigger a
+//! flight-recorder dump; `--flight-dir DIR` is where dumps land.
 
 #[path = "../common.rs"]
 #[allow(dead_code)] // shared with the main `repro` binary
@@ -31,15 +42,17 @@ use mrhs_perfmodel::measure::{host_profile, time_gspmv};
 use mrhs_perfmodel::mrhs_model::SolveCounts;
 use mrhs_perfmodel::GspmvModel;
 use mrhs_service::{
-    model_batch_width, ArrivalTrace, BatchPolicy, MatrixRegistry, RequestOptions,
-    ServiceConfig, SolveService, SubmitError,
+    model_batch_width, ArrivalTrace, BatchPolicy, DriftModelCfg, MatrixRegistry,
+    RequestOptions, ServiceConfig, SolveService, SubmitError,
 };
 use mrhs_solvers::{cg, SolveConfig};
 use mrhs_sparse::{BcrsMatrix, MultiVec};
 use mrhs_telemetry::derived::{gbps, gflops, relative_residual, span_consistency};
 use mrhs_telemetry::report::{
-    BenchReport, KernelMetric, MachineInfo, SCHEMA_VERSION,
+    BenchReport, DriftGauge, KernelMetric, MachineInfo, TraceOverhead,
+    SCHEMA_VERSION,
 };
+use mrhs_telemetry::{exporter, flight, openmetrics, trace, MetricsExporter};
 
 struct ServiceOptions {
     requests: usize,
@@ -47,8 +60,12 @@ struct ServiceOptions {
     batch: usize,
     matrix: usize,
     bursty: bool,
-    trace_in: Option<String>,
+    arrivals_in: Option<String>,
     dump_trace: Option<String>,
+    trace_mode: bool,
+    export_metrics: Option<String>,
+    inject_breakdown: bool,
+    flight_dir: Option<String>,
 }
 
 impl ServiceOptions {
@@ -62,8 +79,12 @@ impl ServiceOptions {
             // regime the Eq. 8 amortization targets.
             matrix: 2,
             bursty: false,
-            trace_in: None,
+            arrivals_in: None,
             dump_trace: None,
+            trace_mode: false,
+            export_metrics: None,
+            inject_breakdown: false,
+            flight_dir: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -102,13 +123,25 @@ impl ServiceOptions {
                         });
                 }
                 "--bursty" => o.bursty = true,
-                "--trace" => {
-                    o.trace_in =
-                        Some(it.next().cloned().expect("--trace needs a path"));
+                "--arrivals" => {
+                    o.arrivals_in =
+                        Some(it.next().cloned().expect("--arrivals needs a path"));
                 }
                 "--dump-trace" => {
                     o.dump_trace = Some(
                         it.next().cloned().expect("--dump-trace needs a path"),
+                    );
+                }
+                "--trace" => o.trace_mode = true,
+                "--export-metrics" => {
+                    o.export_metrics = Some(
+                        it.next().cloned().expect("--export-metrics needs a path"),
+                    );
+                }
+                "--inject-breakdown" => o.inject_breakdown = true,
+                "--flight-dir" => {
+                    o.flight_dir = Some(
+                        it.next().cloned().expect("--flight-dir needs a path"),
                     );
                 }
                 _ => {}
@@ -138,6 +171,8 @@ struct RunResult {
     latencies: Vec<Duration>,
     coalescing_efficiency: f64,
     batch_widths: Vec<(usize, u64)>,
+    /// Trace ids of completed requests (empty when tracing is off).
+    trace_ids: Vec<u64>,
 }
 
 impl RunResult {
@@ -162,6 +197,7 @@ fn replay(
     rhss: &[Vec<f64>],
     trace: &ArrivalTrace,
     max_batch: usize,
+    drift: Option<DriftModelCfg>,
 ) -> RunResult {
     let reg = MatrixRegistry::new();
     let h = reg.register_full("bench", a.clone());
@@ -171,6 +207,7 @@ fn replay(
             queue_capacity: 128.max(4 * max_batch),
             linger: Duration::from_millis(2),
         },
+        drift,
         ..ServiceConfig::default()
     };
     let svc = SolveService::start(reg, cfg);
@@ -210,12 +247,14 @@ fn replay(
     let mut failed = 0usize;
     let mut total_iters = 0usize;
     let mut latencies = Vec::with_capacity(tickets.len());
+    let mut trace_ids = Vec::new();
     for t in tickets {
         match t.wait() {
             Ok(out) => {
                 solved_columns += out.solution.m();
                 total_iters += out.iterations;
                 latencies.push(out.latency);
+                trace_ids.extend(out.trace_id);
             }
             Err(_) => failed += 1,
         }
@@ -245,6 +284,7 @@ fn replay(
         latencies,
         coalescing_efficiency: st.coalescing_efficiency(),
         batch_widths,
+        trace_ids,
     }
 }
 
@@ -267,6 +307,25 @@ fn main() {
     // both the stdout histograms and the JSON report.
     mrhs_telemetry::set_enabled(true);
     let report_before = mrhs_telemetry::snapshot();
+
+    if let Some(dir) = &sopts.flight_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+        flight::configure_dump_dir(Some(dir.into()));
+        flight::install_panic_hook();
+        println!("flight-recorder dumps -> {dir}");
+    }
+    // The exporter serves live metrics for the whole run; the scrape
+    // and OpenMetrics validation happen at the end.
+    let metrics_exporter = sopts.export_metrics.as_ref().map(|_| {
+        let ex = MetricsExporter::serve("127.0.0.1:0")
+            .expect("metrics exporter must bind a loopback port");
+        println!(
+            "metrics exporter listening on http://{}/metrics",
+            ex.local_addr()
+        );
+        ex
+    });
 
     section("service-bench: workload");
     let (name, s_cut, _) = TABLE1_CUTOFFS[sopts.matrix];
@@ -326,6 +385,10 @@ fn main() {
         solo_rate
     );
 
+    // Drift gauges live-compare measured GSPMV time against this model
+    // on every batch the service solves.
+    let drift = Some(DriftModelCfg { gspmv: model, counts: SolveCounts::fig7() });
+
     section("service-bench: trace replay");
     println!(
         "{:>8} {:>9} {:>12} {:>9} {:>9} {:>8} {:>8}",
@@ -334,7 +397,7 @@ fn main() {
     let mut saturated: Option<(f64, f64)> = None;
     for &mult in &sopts.rate_multipliers {
         let rate = mult * solo_rate;
-        let trace = match &sopts.trace_in {
+        let trace = match &sopts.arrivals_in {
             Some(path) => {
                 let text = std::fs::read_to_string(path)
                     .unwrap_or_else(|e| panic!("reading {path}: {e}"));
@@ -355,10 +418,10 @@ fn main() {
         // Two replays per configuration, interleaved, keeping the
         // faster of each: background interference on a shared host
         // otherwise skews whichever run it happens to land on.
-        let base = replay(&a, &rhss, &trace, 1);
-        let coal = replay(&a, &rhss, &trace, ms);
-        let base2 = replay(&a, &rhss, &trace, 1);
-        let coal2 = replay(&a, &rhss, &trace, ms);
+        let base = replay(&a, &rhss, &trace, 1, drift);
+        let coal = replay(&a, &rhss, &trace, ms, drift);
+        let base2 = replay(&a, &rhss, &trace, 1, drift);
+        let coal2 = replay(&a, &rhss, &trace, ms, drift);
         let base =
             if base2.throughput() > base.throughput() { base2 } else { base };
         let coal =
@@ -408,14 +471,209 @@ fn main() {
         }
     }
 
-    if let Some(path) = &opts.json {
-        write_report(path, &a, &model, ms, &report_before, opts.reps);
+    let (trace_overhead, trace_summary) = if sopts.trace_mode {
+        let (ov, summary) =
+            trace_overhead_gate(&a, &rhss, solo_rate, ms, &sopts, opts.seed, drift);
+        (Some(ov), Some(summary))
+    } else {
+        (None, None)
+    };
+
+    if sopts.inject_breakdown {
+        inject_breakdown(&a, n, opts.seed);
     }
+
+    if let (Some(file), Some(ex)) = (&sopts.export_metrics, &metrics_exporter) {
+        scrape_and_validate(ex, file);
+    }
+
+    if let Some(path) = &opts.json {
+        write_report(
+            path,
+            &a,
+            &model,
+            ms,
+            &report_before,
+            opts.reps,
+            trace_overhead,
+            trace_summary.as_deref(),
+        );
+    }
+}
+
+/// The tracing acceptance gate: replay the same saturating trace with
+/// tracing off then on (two runs each, keeping the faster — the same
+/// noise discipline as the rate sweep), require the span tree of a
+/// traced request to be structurally sound with queue-wait + solve
+/// durations tiling the end-to-end root exactly, and report the RHS/s
+/// cost of tracing (the acceptance bar is ≤ 2%; sampling keeps the
+/// event rate bounded above the budget).
+#[allow(clippy::too_many_arguments)]
+fn trace_overhead_gate(
+    a: &BcrsMatrix,
+    rhss: &[Vec<f64>],
+    solo_rate: f64,
+    ms: usize,
+    sopts: &ServiceOptions,
+    seed: u64,
+    drift: Option<DriftModelCfg>,
+) -> (TraceOverhead, String) {
+    section("service-bench: tracing overhead gate");
+    let rate = 4.0 * solo_rate; // saturating load
+    let arrivals = ArrivalTrace::poisson(rate, sopts.requests, 1, seed ^ 0x7ace);
+
+    trace::set_trace_enabled(false);
+    let off = replay(a, rhss, &arrivals, ms, drift);
+    let off2 = replay(a, rhss, &arrivals, ms, drift);
+    let off = if off2.throughput() > off.throughput() { off2 } else { off };
+
+    let fs_before = flight::stats();
+    trace::set_trace_enabled(true);
+    let on = replay(a, rhss, &arrivals, ms, drift);
+    let on2 = replay(a, rhss, &arrivals, ms, drift);
+    let on = if on2.throughput() > on.throughput() { on2 } else { on };
+    trace::set_trace_enabled(false);
+    let fs_after = flight::stats();
+
+    let overhead = TraceOverhead {
+        baseline_rhs_per_sec: off.throughput(),
+        traced_rhs_per_sec: on.throughput(),
+        overhead_frac: 1.0 - on.throughput() / off.throughput(),
+        events_recorded: fs_after.recorded.saturating_sub(fs_before.recorded),
+        events_sampled_out: fs_after
+            .sampled_out
+            .saturating_sub(fs_before.sampled_out),
+    };
+    println!(
+        "tracing off: {:.1} RHS/s; on: {:.1} RHS/s -> overhead {:+.2}% \
+         ({} events recorded, {} sampled out)",
+        overhead.baseline_rhs_per_sec,
+        overhead.traced_rhs_per_sec,
+        100.0 * overhead.overhead_frac,
+        overhead.events_recorded,
+        overhead.events_sampled_out,
+    );
+    if overhead.overhead_frac > 0.02 {
+        println!(
+            "WARNING: tracing overhead above the 2% acceptance bar — \
+             rerun on an idle machine or raise --requests"
+        );
+    }
+
+    // Structural gate on one traced request: the span tree must
+    // assemble, and its queue-wait + solve children must tile the
+    // end-to-end root exactly (same-timestamp bookkeeping, so this is
+    // an equality, not a tolerance).
+    let events = flight::snapshot_events();
+    let id = *on.trace_ids.first().expect("traced replay must yield trace ids");
+    let tree = trace::assemble_linked(&events, trace::TraceId(id))
+        .expect("traced request must assemble to a span tree");
+    assert_eq!(tree.name, "service/request", "root span");
+    let child = |name: &str| {
+        tree.children
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("missing {name} child:\n{}", tree.render()))
+    };
+    let qw = child("service/queue_wait");
+    let solve = child("service/solve");
+    assert_eq!(
+        qw.event.dur_ns + solve.event.dur_ns,
+        tree.event.dur_ns,
+        "queue_wait + solve must sum to the end-to-end request span"
+    );
+    let rendered = tree.render();
+    // The full tree (hundreds of kernel spans on a long solve) goes to
+    // the artifact; stdout gets the head.
+    let head: Vec<&str> = rendered.lines().take(24).collect();
+    let elided = rendered.lines().count().saturating_sub(head.len());
+    println!(
+        "\nspan tree of trace {id} ({} spans):\n{}{}",
+        tree.span_count(),
+        head.join("\n"),
+        if elided > 0 {
+            format!("\n  … {elided} more lines (see the .trace.txt artifact)")
+        } else {
+            String::new()
+        }
+    );
+
+    let summary = format!(
+        "service-bench tracing gate\n\
+         baseline_rhs_per_sec: {:.2}\n\
+         traced_rhs_per_sec: {:.2}\n\
+         overhead_frac: {:.5}\n\
+         events_recorded: {}\n\
+         events_sampled_out: {}\n\n\
+         span tree of trace {id}:\n{rendered}",
+        overhead.baseline_rhs_per_sec,
+        overhead.traced_rhs_per_sec,
+        overhead.overhead_frac,
+        overhead.events_recorded,
+        overhead.events_sampled_out,
+    );
+    (overhead, summary)
+}
+
+/// Pushes a NaN-poisoned right-hand side through a small service so the
+/// block solve fails, the solo retry fails too, and the flight recorder
+/// dumps (`solo_retry`) — the CI hook for exercising the dump path.
+fn inject_breakdown(a: &BcrsMatrix, n: usize, seed: u64) {
+    section("service-bench: injected breakdown");
+    let reg = MatrixRegistry::new();
+    let h = reg.register_full("bench", a.clone());
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 2,
+            queue_capacity: 8,
+            linger: Duration::from_millis(1),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+    let mut bad = pseudo_rhs(n, seed ^ 0xbad);
+    bad[0] = f64::NAN;
+    let before = flight::stats().dumps;
+    let result = svc.submit_one(h, &bad).expect("submit poisoned RHS").wait();
+    svc.shutdown();
+    assert!(result.is_err(), "NaN right-hand side must fail");
+    let after = flight::stats().dumps;
+    println!(
+        "poisoned request failed as expected; flight dumps {} -> {}",
+        before, after
+    );
+}
+
+/// Self-scrapes the live exporter, validates the OpenMetrics grammar,
+/// and writes the exposition to `file`. Exits nonzero on a violation —
+/// this is the CI gate on the wire format.
+fn scrape_and_validate(ex: &MetricsExporter, file: &str) {
+    section("service-bench: OpenMetrics scrape");
+    let body = exporter::scrape(ex.local_addr(), "/metrics")
+        .expect("self-scrape must succeed");
+    let problems = openmetrics::validate(&body);
+    if !problems.is_empty() {
+        eprintln!("OpenMetrics validation failed:");
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        std::process::exit(1);
+    }
+    std::fs::write(file, &body).unwrap_or_else(|e| panic!("writing {file}: {e}"));
+    println!(
+        "scraped {} bytes ({} lines) of valid OpenMetrics -> {file}",
+        body.len(),
+        body.lines().count()
+    );
 }
 
 /// Assembles the validated BenchReport: model-vs-measured GSPMV rows at
 /// m ∈ {1, m_s} plus the full run's telemetry diff (which carries the
-/// `service/batch_width/*` counters and queue/solve span trees).
+/// `service/batch_width/*` counters, the drop/dispatch-cause counters,
+/// queue/solve span trees, and the drift gauges). Alongside the report
+/// it writes `<stem>.telemetry.json` (the final snapshot) and, when the
+/// tracing gate ran, `<stem>.trace.txt` (the gate numbers + span tree).
+#[allow(clippy::too_many_arguments)]
 fn write_report(
     path: &str,
     a: &BcrsMatrix,
@@ -423,6 +681,8 @@ fn write_report(
     ms: usize,
     before: &mrhs_telemetry::Snapshot,
     reps: usize,
+    trace_overhead: Option<TraceOverhead>,
+    trace_summary: Option<&str>,
 ) {
     section("service-bench: BenchReport");
     let host = host_profile();
@@ -453,6 +713,14 @@ fn write_report(
 
     let diff = mrhs_telemetry::snapshot().diff(before);
     let consistency = span_consistency(&diff);
+    // The drift gauges the service set while replaying, under the same
+    // names the live exporter publishes.
+    let drift_gauges: Vec<DriftGauge> = diff
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("drift/"))
+        .map(|(k, v)| DriftGauge { name: k.clone(), value: *v })
+        .collect();
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,
         experiment: "service-bench".to_string(),
@@ -473,6 +741,8 @@ fn write_report(
         kernels,
         span_consistency: consistency,
         snapshot: diff,
+        trace_overhead,
+        drift_gauges,
     };
     let problems = report.validate();
     if !problems.is_empty() {
@@ -485,8 +755,27 @@ fn write_report(
     std::fs::write(path, report.to_json_string())
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!(
-        "wrote {path}: {} kernel rows, {} counters",
+        "wrote {path}: {} kernel rows, {} counters, {} drift gauges",
         report.kernels.len(),
-        report.snapshot.counters.len()
+        report.snapshot.counters.len(),
+        report.drift_gauges.len()
     );
+
+    // Companion artifacts: the final telemetry snapshot in full (the
+    // report embeds only the bracketed diff) and the tracing-gate
+    // summary when it ran.
+    let stem = path.strip_suffix(".json").unwrap_or(path);
+    let snap_path = format!("{stem}.telemetry.json");
+    std::fs::write(
+        &snap_path,
+        mrhs_telemetry::snapshot().to_json().to_string_pretty(),
+    )
+    .unwrap_or_else(|e| panic!("writing {snap_path}: {e}"));
+    println!("wrote {snap_path}");
+    if let Some(summary) = trace_summary {
+        let trace_path = format!("{stem}.trace.txt");
+        std::fs::write(&trace_path, summary)
+            .unwrap_or_else(|e| panic!("writing {trace_path}: {e}"));
+        println!("wrote {trace_path}");
+    }
 }

@@ -14,7 +14,9 @@ use mrhs_cluster::{DistEngine, DistributedMatrix};
 use mrhs_perfmodel::measure::{
     host_profile, time_gspmv, time_gspmv_dedup, time_gspmv_with,
 };
+use mrhs_perfmodel::mrhs_model::SolveCounts;
 use mrhs_perfmodel::GspmvModel;
+use mrhs_perfmodel::MrhsModel;
 use mrhs_solvers::{block_cg, SolveConfig};
 use mrhs_sparse::partition::contiguous_partition;
 use mrhs_sparse::{
@@ -22,9 +24,10 @@ use mrhs_sparse::{
 };
 use mrhs_telemetry::derived::{gbps, gflops, relative_residual, span_consistency};
 use mrhs_telemetry::report::{
-    BenchReport, KernelMetric, MachineInfo, SCHEMA_VERSION,
+    BenchReport, DriftGauge, KernelMetric, MachineInfo, TraceOverhead,
+    SCHEMA_VERSION,
 };
-use mrhs_telemetry::Snapshot;
+use mrhs_telemetry::{flight, trace, Snapshot};
 
 /// The `m` values of the instrumented GSPMV pass.
 const REPORT_MS: [usize; 4] = [1, 4, 8, 16];
@@ -158,6 +161,57 @@ pub fn write(path: &str, experiment: &str, opts: &Options, before: &Snapshot) {
         100.0 * estats.slowest().comm_fraction()
     );
 
+    // Trace-overhead row: the same GSPMV loop with causal tracing off
+    // vs on. Tracing adds one kernel child span per call, so this is
+    // the per-call floor of the tracing tax (the service-bench gate
+    // measures the end-to-end version at saturating load).
+    let m_ov = 8usize;
+    let was_tracing = trace::trace_enabled();
+    trace::set_trace_enabled(false);
+    let base_secs = time_gspmv(&a, m_ov, opts.reps);
+    let fs_before = flight::stats();
+    trace::set_trace_enabled(true);
+    let traced_secs = {
+        // Kernel spans need an ambient trace context to emit under.
+        let _root = trace::root_span("report/trace_overhead");
+        time_gspmv(&a, m_ov, opts.reps)
+    };
+    trace::set_trace_enabled(was_tracing);
+    let fs_after = flight::stats();
+    let trace_overhead = TraceOverhead {
+        baseline_rhs_per_sec: m_ov as f64 / base_secs,
+        traced_rhs_per_sec: m_ov as f64 / traced_secs,
+        overhead_frac: 1.0 - base_secs / traced_secs,
+        events_recorded: fs_after.recorded.saturating_sub(fs_before.recorded),
+        events_sampled_out: fs_after
+            .sampled_out
+            .saturating_sub(fs_before.sampled_out),
+    };
+    println!(
+        "trace overhead (gspmv m={m_ov}): {:+.2}% ({} events)",
+        100.0 * trace_overhead.overhead_frac,
+        trace_overhead.events_recorded
+    );
+
+    // Model-drift gauges: measured-vs-Eq. 8 ratios straight from the
+    // kernel rows above, plus the Eq. 9 prediction, under the same
+    // names the serving exporter publishes.
+    let mut drift_gauges = Vec::new();
+    for k in kernels.iter().filter(|k| k.name == "gspmv") {
+        if k.model_secs > 0.0 {
+            drift_gauges.push(DriftGauge {
+                name: format!("drift/gspmv/m{}/ratio", k.m),
+                value: k.measured_secs / k.model_secs,
+            });
+        }
+    }
+    let m_opt =
+        MrhsModel { gspmv: model, counts: SolveCounts::fig7() }.m_optimal(16);
+    drift_gauges.push(DriftGauge {
+        name: "drift/m_optimal/modeled".into(),
+        value: m_opt as f64,
+    });
+
     let diff = mrhs_telemetry::snapshot().diff(before);
     let consistency = span_consistency(&diff);
     let report = BenchReport {
@@ -180,6 +234,8 @@ pub fn write(path: &str, experiment: &str, opts: &Options, before: &Snapshot) {
         kernels,
         span_consistency: consistency,
         snapshot: diff,
+        trace_overhead: Some(trace_overhead),
+        drift_gauges,
     };
 
     let problems = report.validate();

@@ -50,6 +50,20 @@ fn quick_json_report_round_trips_and_validates() {
         .iter()
         .any(|c| c.parent.starts_with("engine/node")));
     assert!(report.snapshot.counters.keys().any(|k| k.starts_with("gspmv/m")));
+    // Schema v3: the tracing-overhead row (off-vs-on GSPMV loop) and
+    // the model-drift gauges must be present and sane.
+    let ov = report.trace_overhead.as_ref().expect("v3 trace overhead");
+    assert!(ov.baseline_rhs_per_sec > 0.0 && ov.traced_rhs_per_sec > 0.0);
+    assert!(ov.overhead_frac.is_finite());
+    assert!(ov.events_recorded > 0, "traced pass must record events");
+    assert!(report
+        .drift_gauges
+        .iter()
+        .any(|g| g.name == "drift/m_optimal/modeled" && g.value >= 1.0));
+    assert!(report
+        .drift_gauges
+        .iter()
+        .any(|g| g.name.starts_with("drift/gspmv/m") && g.value.is_finite()));
     // Round trip: serialize → parse → identical.
     let again = BenchReport::from_json_str(&report.to_json_string()).unwrap();
     assert_eq!(report, again);

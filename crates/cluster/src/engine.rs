@@ -124,6 +124,53 @@ fn record_engine_telemetry(stats: &EngineStats) {
             stats.comm.recv_messages[q] as u64,
         );
     }
+    trace_engine_spans(stats);
+}
+
+/// Emits the per-node phase spans into the caller's trace context (this
+/// runs on the thread that invoked the multiply, after the node threads
+/// joined). The worker threads measured the durations themselves, so
+/// each span is back-dated from "now" — the spans nest under the
+/// enclosing `kernel/...` span and carry the true durations even though
+/// their wall-clock placement is approximate.
+fn trace_engine_spans(stats: &EngineStats) {
+    use mrhs_telemetry::trace;
+    if !trace::trace_enabled() {
+        return;
+    }
+    let Some((trace_id, parent)) = trace::current() else {
+        return;
+    };
+    let end = trace::now_ns();
+    for (q, t) in stats.timings.iter().enumerate() {
+        let node_span = trace::mint_span();
+        let node_ns = (t.total().max(0.0) * 1e9) as u64;
+        trace::emit_span_at(
+            trace_id,
+            node_span,
+            parent,
+            &format!("engine/node{q}"),
+            end.saturating_sub(node_ns),
+            node_ns,
+            stats.comm.recv_bytes[q] as u64,
+            stats.comm.recv_messages[q] as u64,
+        );
+        for (phase, secs) in
+            [("comm_wait", t.comm_wait), ("local", t.local), ("remote", t.remote)]
+        {
+            let ns = (secs.max(0.0) * 1e9) as u64;
+            trace::emit_span_at(
+                trace_id,
+                trace::mint_span(),
+                node_span,
+                &format!("engine/node{q}/{phase}"),
+                end.saturating_sub(ns),
+                ns,
+                0,
+                0,
+            );
+        }
+    }
 }
 
 enum Job {

@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 use crate::registry::{MatrixHandle, PreparedMatrix};
 use crate::request::Completion;
 use mrhs_sparse::MultiVec;
+use mrhs_telemetry as telemetry;
+use mrhs_telemetry::trace::{SpanId, TraceId};
 
 /// Dispatch-policy knobs (see module docs).
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +50,16 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Trace identity minted for a request at service ingress: the trace,
+/// its root span (emitted retroactively when the request completes),
+/// and the ingress timestamp on the trace clock.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RequestTrace {
+    pub trace: TraceId,
+    pub root: SpanId,
+    pub ingress_ns: u64,
+}
+
 /// A queued request.
 pub(crate) struct Pending {
     pub matrix: Arc<PreparedMatrix>,
@@ -57,6 +69,8 @@ pub(crate) struct Pending {
     pub enqueued: Instant,
     pub deadline: Option<Instant>,
     pub completion: Arc<Completion>,
+    /// `Some` when causal tracing was on at submit.
+    pub trace: Option<RequestTrace>,
 }
 
 impl Pending {
@@ -65,14 +79,67 @@ impl Pending {
     }
 }
 
+/// Why a batch was dispatched when it was — the batcher decision the
+/// request's span tree records (`joined_batch` link payload) and the
+/// per-cause `service/dispatch/{cause}` counters count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchCause {
+    /// Pending width for the head's matrix reached `max_batch`.
+    Full,
+    /// The head request lingered its full `linger` budget.
+    Linger,
+    /// The head's deadline minus the solve estimate came due.
+    DeadlinePressure,
+    /// Shutdown drain forced the partial batch out.
+    Flush,
+}
+
+impl DispatchCause {
+    /// Stable lowercase name (metric suffix / dump field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatchCause::Full => "full",
+            DispatchCause::Linger => "linger",
+            DispatchCause::DeadlinePressure => "deadline_pressure",
+            DispatchCause::Flush => "flush",
+        }
+    }
+
+    /// Small stable code for packing into trace-event payloads.
+    pub fn code(self) -> u64 {
+        match self {
+            DispatchCause::Full => 0,
+            DispatchCause::Linger => 1,
+            DispatchCause::DeadlinePressure => 2,
+            DispatchCause::Flush => 3,
+        }
+    }
+}
+
 /// Outcome of one dispatch poll.
 pub(crate) enum Poll {
-    /// A batch to solve now (all entries share one matrix handle).
-    Batch(Vec<Pending>),
+    /// A batch to solve now (all entries share one matrix handle),
+    /// tagged with why it went out now.
+    Batch(Vec<Pending>, DispatchCause),
     /// Nothing ready; next trigger at the given instant.
     Wait(Instant),
     /// Queue is empty.
     Empty,
+}
+
+/// Requests dropped without being solved, by cause: queue expiry
+/// (`deadline_missed` — mirrored to both `service/deadline_missed` and
+/// `service/drop/expiry` in the registry, since the former is the
+/// SLO-facing name), `try_push` rejection (`backpressure`), and submits
+/// refused while shutting down (`shutdown`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Requests expired in queue (deadline missed).
+    pub deadline_missed: u64,
+    /// Requests rejected because the column bound was full.
+    pub backpressure: u64,
+    /// Requests refused during shutdown.
+    pub shutdown: u64,
 }
 
 /// The bounded queue plus the dispatch policy. Not thread-safe by
@@ -81,6 +148,7 @@ pub(crate) struct Batcher {
     policy: BatchPolicy,
     queue: VecDeque<Pending>,
     columns: usize,
+    drops: DropStats,
 }
 
 impl Batcher {
@@ -90,12 +158,44 @@ impl Batcher {
             policy.queue_capacity >= policy.max_batch,
             "queue must hold at least one full batch"
         );
-        Batcher { policy, queue: VecDeque::new(), columns: 0 }
+        // Pre-register the drop counters at zero so the metrics
+        // exporter publishes them from the first scrape — a dashboard
+        // watching for the first drop needs the zero baseline, not a
+        // metric that appears out of nowhere.
+        telemetry::counter_add("service/deadline_missed", 0);
+        telemetry::counter_add("service/drop/expiry", 0);
+        telemetry::counter_add("service/drop/backpressure", 0);
+        telemetry::counter_add("service/drop/shutdown", 0);
+        Batcher {
+            policy,
+            queue: VecDeque::new(),
+            columns: 0,
+            drops: DropStats::default(),
+        }
     }
 
     /// Queued columns (the bounded resource).
     pub(crate) fn columns(&self) -> usize {
         self.columns
+    }
+
+    /// Drop counters so far (also mirrored into the telemetry registry
+    /// as `service/deadline_missed` and `service/drop/{cause}`).
+    pub(crate) fn drop_stats(&self) -> DropStats {
+        self.drops
+    }
+
+    /// Counts one backpressure rejection (the server calls this when
+    /// [`Batcher::try_push`] hands the request back).
+    pub(crate) fn note_backpressure_drop(&mut self) {
+        self.drops.backpressure += 1;
+        telemetry::counter_add("service/drop/backpressure", 1);
+    }
+
+    /// Counts one submit refused during shutdown.
+    pub(crate) fn note_shutdown_drop(&mut self) {
+        self.drops.shutdown += 1;
+        telemetry::counter_add("service/drop/shutdown", 1);
     }
 
     /// Queued requests.
@@ -105,6 +205,10 @@ impl Batcher {
 
     /// Accepts a request, or hands it back when the column bound would
     /// be exceeded.
+    // Handing the whole `Pending` back on rejection is the point of
+    // the API (the server completes it with `Rejected`); it is one
+    // move on a cold path, not worth a heap box on every accept.
+    #[allow(clippy::result_large_err)]
     pub(crate) fn try_push(&mut self, p: Pending) -> Result<(), Pending> {
         let w = p.width();
         if self.columns + w > self.policy.queue_capacity {
@@ -123,6 +227,9 @@ impl Batcher {
                 Some(d) if now >= d => {
                     let p = self.queue.remove(i).unwrap();
                     self.columns -= p.width();
+                    self.drops.deadline_missed += 1;
+                    telemetry::counter_add("service/deadline_missed", 1);
+                    telemetry::counter_add("service/drop/expiry", 1);
                     expired.push(p);
                 }
                 _ => i += 1,
@@ -132,19 +239,27 @@ impl Batcher {
 
     /// The instant at which the head request stops waiting for
     /// batchmates: its linger expiry, pulled earlier when its deadline
-    /// (minus the current solve-time estimate) is closer. The margin
-    /// floor keeps the drain trigger strictly before the deadline even
-    /// while the solve estimate is still zero — otherwise the wakeup
-    /// that should dispatch the request lands exactly on the deadline
-    /// and expires it instead.
-    fn head_trigger(&self, head: &Pending, solve_est: Duration) -> Instant {
+    /// (minus the current solve-time estimate) is closer — the returned
+    /// cause says which of the two set the trigger. The margin floor
+    /// keeps the drain trigger strictly before the deadline even while
+    /// the solve estimate is still zero — otherwise the wakeup that
+    /// should dispatch the request lands exactly on the deadline and
+    /// expires it instead.
+    fn head_trigger(
+        &self,
+        head: &Pending,
+        solve_est: Duration,
+    ) -> (Instant, DispatchCause) {
         const DRAIN_MARGIN: Duration = Duration::from_millis(5);
-        let mut t = head.enqueued + self.policy.linger;
+        let linger = head.enqueued + self.policy.linger;
         if let Some(d) = head.deadline {
             let margin = solve_est.max(DRAIN_MARGIN);
-            t = t.min(d.checked_sub(margin).unwrap_or(head.enqueued));
+            let drain = d.checked_sub(margin).unwrap_or(head.enqueued);
+            if drain < linger {
+                return (drain, DispatchCause::DeadlinePressure);
+            }
         }
-        t
+        (linger, DispatchCause::Linger)
     }
 
     /// One dispatch decision. `flush` forces partial batches out
@@ -170,10 +285,17 @@ impl Batcher {
             .filter(|p| p.handle == head.handle)
             .map(Pending::width)
             .sum();
-        let trigger = self.head_trigger(head, solve_est);
-        let ready =
-            flush || pending_width >= self.policy.max_batch || now >= trigger;
-        if !ready {
+        let (trigger, trigger_cause) = self.head_trigger(head, solve_est);
+        let cause = if pending_width >= self.policy.max_batch {
+            Some(DispatchCause::Full)
+        } else if flush {
+            Some(DispatchCause::Flush)
+        } else if now >= trigger {
+            Some(trigger_cause)
+        } else {
+            None
+        };
+        if cause.is_none() {
             // Wake early enough to expire any queued deadline, too.
             let wake = self
                 .queue
@@ -205,7 +327,9 @@ impl Batcher {
                 i += 1;
             }
         }
-        Poll::Batch(picked)
+        let cause = cause.unwrap();
+        telemetry::counter_add(&format!("service/dispatch/{}", cause.as_str()), 1);
+        Poll::Batch(picked, cause)
     }
 }
 
@@ -243,6 +367,7 @@ mod tests {
             enqueued: at,
             deadline: deadline.map(|d| at + d),
             completion: Arc::new(Completion::new()),
+            trace: None,
         }
     }
 
@@ -264,8 +389,9 @@ mod tests {
         }
         let mut exp = Vec::new();
         match b.poll(t0, false, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => {
+            Poll::Batch(batch, cause) => {
                 assert_eq!(batch.len(), 4, "coalesces to max_batch");
+                assert_eq!(cause, DispatchCause::Full);
             }
             _ => panic!("expected a full batch"),
         }
@@ -292,7 +418,10 @@ mod tests {
             Duration::ZERO,
             &mut exp,
         ) {
-            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            Poll::Batch(batch, cause) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(cause, DispatchCause::Linger);
+            }
             _ => panic!("linger expiry must drain the partial batch"),
         }
     }
@@ -305,7 +434,10 @@ mod tests {
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
         match b.poll(t0, true, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            Poll::Batch(batch, cause) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(cause, DispatchCause::Flush);
+            }
             _ => panic!("flush must dispatch immediately"),
         }
     }
@@ -320,14 +452,14 @@ mod tests {
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
         match b.poll(t0, false, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => {
+            Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 2);
                 assert!(batch.iter().all(|p| p.handle == hs[0]));
             }
             _ => panic!("expected a batch"),
         }
         match b.poll(t0, false, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => {
+            Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(batch[0].handle, hs[1]);
             }
@@ -370,7 +502,10 @@ mod tests {
             _ => panic!("should wait until deadline pressure"),
         }
         match b.poll(t0 + Duration::from_millis(16), false, est, &mut exp) {
-            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            Poll::Batch(batch, cause) => {
+                assert_eq!(batch.len(), 1);
+                assert_eq!(cause, DispatchCause::DeadlinePressure);
+            }
             _ => panic!("deadline pressure must dispatch"),
         }
         assert!(exp.is_empty(), "drained, not expired");
@@ -402,7 +537,7 @@ mod tests {
 
         // Poll exactly at the scheduled wakeup — the boundary case.
         match b.poll(wake, false, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => assert_eq!(batch.len(), 1),
+            Poll::Batch(batch, _) => assert_eq!(batch.len(), 1),
             Poll::Wait(_) => panic!("wakeup at the trigger must dispatch"),
             Poll::Empty => panic!("request expired at its own drain trigger"),
         }
@@ -431,7 +566,7 @@ mod tests {
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
         match b.poll(t0, false, Duration::ZERO, &mut exp) {
-            Poll::Batch(batch) => {
+            Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(batch[0].width(), 6);
             }

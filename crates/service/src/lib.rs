@@ -37,13 +37,13 @@ pub mod request;
 pub mod server;
 pub mod trace;
 
-pub use batcher::BatchPolicy;
+pub use batcher::{BatchPolicy, DispatchCause, DropStats};
 pub use registry::{
     MatrixHandle, MatrixRegistry, OperatorClass, PreparedMatrix, StorageKind,
 };
 pub use request::{RequestOptions, SolveError, SolveOutput, SubmitError, Ticket};
 pub use server::{
-    model_batch_width, model_batch_width_bicgstab, ServiceConfig, ServiceStats,
-    SolveService,
+    model_batch_width, model_batch_width_bicgstab, DriftModelCfg, ServiceConfig,
+    ServiceStats, SolveService,
 };
 pub use trace::{Arrival, ArrivalTrace};

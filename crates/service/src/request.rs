@@ -39,6 +39,11 @@ pub struct SolveOutput {
     pub solve_time: Duration,
     /// End-to-end latency: submission to completion.
     pub latency: Duration,
+    /// Trace id minted at ingress when tracing was enabled
+    /// (`MRHS_TRACE=1`); correlates this request with its span tree in
+    /// the trace buffer and any flight-recorder dump. `None` when
+    /// tracing was off at submit time.
+    pub trace_id: Option<u64>,
 }
 
 /// Why a submitted request failed.

@@ -14,8 +14,11 @@ use mrhs_solvers::{
 };
 use mrhs_sparse::MultiVec;
 use mrhs_telemetry as telemetry;
+use mrhs_telemetry::{flight, trace};
 
-use crate::batcher::{BatchPolicy, Batcher, Pending, Poll};
+use crate::batcher::{
+    BatchPolicy, Batcher, DispatchCause, DropStats, Pending, Poll, RequestTrace,
+};
 use crate::registry::{MatrixHandle, MatrixRegistry, OperatorClass};
 use crate::request::{
     Completion, RequestOptions, SolveError, SolveOutput, SubmitError, Ticket,
@@ -67,6 +70,20 @@ fn snap_to_specialized(target: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// The Eq. 8/9 reference model for the online drift gauges: with this
+/// set, each batch solve updates `drift/gspmv/m{w}/…` (measured GSPMV
+/// seconds vs the model's prediction at that width) and
+/// `drift/m_optimal/{modeled,measured}` gauges, so a scraper can see
+/// the model diverging from the machine *while serving* instead of in
+/// a post-hoc ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftModelCfg {
+    /// Eq. 8 specialized to the served matrix shape and this machine.
+    pub gspmv: GspmvModel,
+    /// Eq. 9 iteration counts for the m_optimal prediction.
+    pub counts: SolveCounts,
+}
+
 /// Service-wide configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -84,6 +101,9 @@ pub struct ServiceConfig {
     /// Retry failed batch members with a single-RHS CG before failing
     /// them (failure isolation; see module docs of [`crate`]).
     pub solo_retry: bool,
+    /// Reference model for the online drift gauges (`None` = no drift
+    /// tracking).
+    pub drift: Option<DriftModelCfg>,
 }
 
 impl Default for ServiceConfig {
@@ -94,6 +114,7 @@ impl Default for ServiceConfig {
             default_tol: 1e-6,
             max_iter: 1000,
             solo_retry: true,
+            drift: None,
         }
     }
 }
@@ -138,6 +159,8 @@ struct Inner {
     registry: MatrixRegistry,
     cfg: ServiceConfig,
     state: Mutex<Batcher>,
+    /// Per-width EWMA of measured GSPMV seconds per call (drift gauges).
+    drift_secs: Mutex<std::collections::HashMap<usize, f64>>,
     cv: Condvar,
     shutdown: AtomicBool,
     /// EWMA of batch solve time, nanoseconds (retry-after and
@@ -168,6 +191,7 @@ impl SolveService {
         let inner = Arc::new(Inner {
             registry,
             state: Mutex::new(Batcher::new(cfg.policy)),
+            drift_secs: Mutex::new(std::collections::HashMap::new()),
             cfg,
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -217,6 +241,14 @@ impl SolveService {
         }
         let now = Instant::now();
         let completion = Arc::new(Completion::new());
+        // Mint the request's trace identity at ingress. The root span
+        // is emitted retroactively when the request completes (or
+        // expires), so the ingress timestamp rides along.
+        let req_trace = trace::trace_enabled().then(|| RequestTrace {
+            trace: trace::mint_trace(),
+            root: trace::mint_span(),
+            ingress_ns: trace::now_ns(),
+        });
         let pending = Pending {
             matrix,
             handle,
@@ -225,10 +257,12 @@ impl SolveService {
             enqueued: now,
             deadline: opts.deadline.map(|d| now + d),
             completion: completion.clone(),
+            trace: req_trace,
         };
         {
             let mut st = inner.state.lock().unwrap();
             if inner.shutdown.load(Ordering::SeqCst) {
+                st.note_shutdown_drop();
                 return Err(SubmitError::ShuttingDown);
             }
             telemetry::histogram_record_ns(
@@ -240,6 +274,7 @@ impl SolveService {
                 st.len() as u64,
             );
             if st.try_push(pending).is_err() {
+                st.note_backpressure_drop();
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter_add("service/rejected", 1);
                 return Err(SubmitError::QueueFull {
@@ -251,6 +286,12 @@ impl SolveService {
         telemetry::counter_add("service/accepted", 1);
         inner.cv.notify_all();
         Ok(Ticket { shared: completion, submitted: now })
+    }
+
+    /// Requests dropped without being solved, by cause (queue expiry,
+    /// backpressure rejection, shutdown refusal).
+    pub fn drop_stats(&self) -> DropStats {
+        self.inner.state.lock().unwrap().drop_stats()
     }
 
     /// Convenience: submit one right-hand side with default options.
@@ -325,7 +366,7 @@ fn worker_main(inner: &Inner) {
                     inner.ewma_solve_ns.load(Ordering::Relaxed),
                 );
                 match st.poll(Instant::now(), flush, est, &mut expired) {
-                    Poll::Batch(b) => break Some(b),
+                    Poll::Batch(b, cause) => break Some((b, cause)),
                     Poll::Empty => {
                         if !expired.is_empty() {
                             break None;
@@ -358,21 +399,74 @@ fn worker_main(inner: &Inner) {
             inner.expired.fetch_add(1, Ordering::Relaxed);
             inner.failed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add("service/expired", 1);
+            if let Some(rt) = p.trace {
+                // Close the request's trace as an expired root span
+                // (a = waited ns, b = 1 marks the deadline miss), then
+                // dump the flight ring — an expiry is exactly the event
+                // the recorder exists for.
+                let end = trace::now_ns();
+                trace::emit_span_at(
+                    rt.trace,
+                    rt.root,
+                    trace::SpanId(0),
+                    "service/request",
+                    rt.ingress_ns,
+                    end.saturating_sub(rt.ingress_ns),
+                    waited.as_nanos().min(u64::MAX as u128) as u64,
+                    1,
+                );
+                flight::dump_now("deadline_miss");
+            }
             p.completion.complete(Err(SolveError::DeadlineExceeded { waited }));
         }
-        if let Some(batch) = batch {
-            solve_batch(inner, batch);
+        if let Some((batch, cause)) = batch {
+            solve_batch(inner, batch, cause);
         }
     }
 }
 
 /// Runs one coalesced block solve and scatters results back to the
 /// per-request completions.
-fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
+fn solve_batch(inner: &Inner, batch: Vec<Pending>, cause: DispatchCause) {
     let dispatched = Instant::now();
+    let dispatched_ns = trace::epoch_ns(dispatched);
     let matrix = batch[0].matrix.clone();
     let n = matrix.dim();
     let width: usize = batch.iter().map(Pending::width).sum();
+
+    // The batch gets its own trace rooted here; while the guard lives,
+    // this worker thread carries the batch context, so the solver's
+    // per-iteration points and the kernel/engine spans below nest under
+    // it automatically. Each member request's trace links to the batch
+    // trace (`joined_batch`), and tree assembly grafts the shared batch
+    // tree under every member.
+    let batch_span = trace::root_span("service/batch");
+    if let Some(bs) = &batch_span {
+        for (k, p) in batch.iter().enumerate() {
+            if let Some(rt) = p.trace {
+                // On the request trace: the queue-wait interval and the
+                // link into the batch trace. b packs the batcher's
+                // decision: cause code | width<<8 | member index<<32.
+                trace::emit_span_at(
+                    rt.trace,
+                    trace::mint_span(),
+                    rt.root,
+                    "service/queue_wait",
+                    rt.ingress_ns,
+                    dispatched_ns.saturating_sub(rt.ingress_ns),
+                    0,
+                    0,
+                );
+                trace::link(
+                    rt.trace,
+                    rt.root,
+                    "joined_batch",
+                    bs.trace_id().0,
+                    cause.code() | ((width as u64) << 8) | ((k as u64) << 32),
+                );
+            }
+        }
+    }
 
     inner.batches.fetch_add(1, Ordering::Relaxed);
     inner.coalesced_columns.fetch_add(width as u64, Ordering::Relaxed);
@@ -408,6 +502,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
     let min_tol = tols.iter().cloned().fold(f64::INFINITY, f64::min);
     let solve_cfg = SolveConfig { tol: min_tol, max_iter: inner.cfg.max_iter };
     let mut x = MultiVec::zeros(n, width);
+    let gspmv_before = kernel_secs_at_width(width);
     let (residual_norms, column_converged_at, column_iterations) = match matrix
         .class()
     {
@@ -419,8 +514,13 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
             };
             let res = {
                 let _g = telemetry::span("service/solve");
+                let _t = trace::child_span("service/solve");
                 block_cg_with_options(matrix.operator(), &b, &mut x, &opts)
             };
+            if res.breakdown.is_some() {
+                telemetry::counter_add("service/block_cg_breakdown", 1);
+                flight::dump_now("block_cg_breakdown");
+            }
             (res.residual_norms, res.column_converged_at, res.column_iterations)
         }
         OperatorClass::General => {
@@ -431,6 +531,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
             };
             let res = {
                 let _g = telemetry::span("service/solve");
+                let _t = trace::child_span("service/solve");
                 block_bicgstab_with_options(matrix.operator(), &b, &mut x, &opts)
             };
             if let Some(bd) = res.breakdown {
@@ -438,10 +539,12 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
                     &format!("service/bicgstab_breakdown/{:?}", bd.kind),
                     1,
                 );
+                flight::dump_now("bicgstab_breakdown");
             }
             (res.residual_norms, res.column_converged_at, res.column_iterations)
         }
     };
+    update_drift_gauges(inner, width, gspmv_before);
 
     // Per-column acceptance: the solution and final residual must be
     // finite (a NaN right-hand side poisons every column through the
@@ -474,6 +577,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
         .map(|j| residual_norms[j] / b_norms[j].max(f64::MIN_POSITIVE))
         .collect();
     if inner.cfg.solo_retry && ok.iter().any(|&o| !o) {
+        flight::dump_now("solo_retry");
         let cfg_base = SolveConfig {
             tol: inner.cfg.default_tol,
             max_iter: inner.cfg.max_iter,
@@ -515,11 +619,39 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
     telemetry::record_span_secs("service/solve_total", solve_time.as_secs_f64());
 
     let finished = Instant::now();
+    let finished_ns = trace::epoch_ns(finished);
     for (p, &off) in batch.iter().zip(&offsets) {
         let w = p.width();
         let cols: Vec<usize> = (off..off + w).collect();
         let all_ok = cols.iter().all(|&j| ok[j]);
         let retried = cols.iter().any(|&j| solo_retried[j]);
+        if let Some(rt) = p.trace {
+            // On the request trace: the solve interval (shared with the
+            // batch, but each member pays it end to end) and the root
+            // span closing out the request. queue_wait + solve children
+            // tile the root exactly in trace time, mirroring the
+            // SolveOutput durations.
+            trace::emit_span_at(
+                rt.trace,
+                trace::mint_span(),
+                rt.root,
+                "service/solve",
+                dispatched_ns,
+                finished_ns.saturating_sub(dispatched_ns),
+                width as u64,
+                0,
+            );
+            trace::emit_span_at(
+                rt.trace,
+                rt.root,
+                trace::SpanId(0),
+                "service/request",
+                rt.ingress_ns,
+                finished_ns.saturating_sub(rt.ingress_ns),
+                w as u64,
+                u64::from(!all_ok),
+            );
+        }
         if all_ok {
             inner.completed.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add("service/completed", 1);
@@ -531,6 +663,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
                 queue_wait: dispatched.duration_since(p.enqueued),
                 solve_time,
                 latency: finished.duration_since(p.enqueued),
+                trace_id: p.trace.map(|rt| rt.trace.0),
             }));
         } else {
             inner.failed.fetch_add(1, Ordering::Relaxed);
@@ -548,6 +681,70 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>) {
                 iterations: its,
             }));
         }
+    }
+}
+
+/// Accumulated `(total_secs, calls)` across every kernel span family at
+/// one width — whichever storage the tenant uses (full, symmetric,
+/// dedup, fused power) lands in one of these.
+fn kernel_secs_at_width(width: usize) -> (f64, u64) {
+    const KINDS: [&str; 4] = ["gspmv", "gspmv_sym", "gspmv_dedup", "spmpv"];
+    let mut secs = 0.0;
+    let mut calls = 0;
+    for kind in KINDS {
+        let s = telemetry::span_stat(&format!("kernel/{kind}/m{width}"));
+        secs += s.secs();
+        calls += s.count;
+    }
+    (secs, calls)
+}
+
+/// Updates the model-drift gauges after one batch solve at `width`:
+/// the kernel span deltas bracketing the solve give measured GSPMV
+/// seconds per call, EWMA-smoothed per width and compared against the
+/// Eq. 8 prediction; the per-column argmin over observed widths is the
+/// *measured* m_optimal, set next to the Eq. 9 one. Requires both
+/// telemetry (for the kernel spans) and a configured drift model.
+fn update_drift_gauges(inner: &Inner, width: usize, before: (f64, u64)) {
+    let Some(drift) = inner.cfg.drift else { return };
+    if !telemetry::enabled() {
+        return;
+    }
+    let (secs_after, calls_after) = kernel_secs_at_width(width);
+    let d_secs = secs_after - before.0;
+    let d_calls = calls_after.saturating_sub(before.1);
+    if d_calls == 0 || d_secs <= 0.0 {
+        return;
+    }
+    let measured = d_secs / d_calls as f64;
+    let ewma = {
+        let mut map = inner.drift_secs.lock().unwrap();
+        let e = map.entry(width).or_insert(measured);
+        *e = 0.5 * *e + 0.5 * measured;
+        *e
+    };
+    let model_secs = drift.gspmv.time(width);
+    telemetry::gauge_set(&format!("drift/gspmv/m{width}/measured_secs"), ewma);
+    telemetry::gauge_set(&format!("drift/gspmv/m{width}/model_secs"), model_secs);
+    if model_secs > 0.0 {
+        telemetry::gauge_set(
+            &format!("drift/gspmv/m{width}/ratio"),
+            ewma / model_secs,
+        );
+    }
+
+    let modeled_opt = MrhsModel { gspmv: drift.gspmv, counts: drift.counts }
+        .m_optimal(inner.cfg.policy.max_batch.max(1));
+    telemetry::gauge_set("drift/m_optimal/modeled", modeled_opt as f64);
+    // Measured m_optimal: the width with the cheapest measured
+    // per-column multiply among widths this service has actually run.
+    let map = inner.drift_secs.lock().unwrap();
+    if let Some((w, _)) = map
+        .iter()
+        .map(|(w, s)| (*w, *s / (*w).max(1) as f64))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+    {
+        telemetry::gauge_set("drift/m_optimal/measured", w as f64);
     }
 }
 

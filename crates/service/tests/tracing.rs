@@ -1,0 +1,208 @@
+//! Tracing acceptance and drop accounting: a traced request must
+//! assemble into a span tree whose queue-wait and solve children tile
+//! the end-to-end root exactly, with the shared batch tree (solver
+//! iterations, kernel spans) grafted in through its `joined_batch`
+//! link; and every request the service drops must be attributed to a
+//! cause (queue expiry, backpressure, shutdown).
+
+use std::time::Duration;
+
+use mrhs_service::{
+    BatchPolicy, MatrixRegistry, RequestOptions, ServiceConfig, SolveError,
+    SolveService, SubmitError,
+};
+use mrhs_sparse::{BcrsMatrix, Block3, BlockTripletBuilder, MultiVec};
+use mrhs_telemetry::flight;
+use mrhs_telemetry::trace::{self, SpanNode, TraceId};
+
+fn laplacian(nb: usize) -> BcrsMatrix {
+    let mut t = BlockTripletBuilder::square(nb);
+    for i in 0..nb {
+        t.add(i, i, Block3::scaled_identity(4.0));
+        if i + 1 < nb {
+            t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+        }
+    }
+    t.build()
+}
+
+fn pseudo_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn one_col(n: usize, seed: u64) -> MultiVec {
+    let mut mv = MultiVec::zeros(n, 1);
+    mv.set_column(0, &pseudo_rhs(n, seed));
+    mv
+}
+
+/// Depth-first search over the tree (spans only) by predicate.
+fn find_span<'a>(
+    n: &'a SpanNode,
+    pred: &dyn Fn(&SpanNode) -> bool,
+) -> Option<&'a SpanNode> {
+    if pred(n) {
+        return Some(n);
+    }
+    n.children.iter().find_map(|c| find_span(c, pred))
+}
+
+/// Whether any point event named `name` exists anywhere in the tree.
+fn has_point(n: &SpanNode, name: &str) -> bool {
+    n.points.iter().any(|p| trace::name_of(p.name) == name)
+        || n.children.iter().any(|c| has_point(c, name))
+}
+
+#[test]
+fn traced_request_assembles_consistent_span_tree() {
+    trace::set_trace_enabled(true);
+    let reg = MatrixRegistry::new();
+    let a = laplacian(10);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 4,
+            queue_capacity: 64,
+            linger: Duration::from_secs(5),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    let rhss: Vec<Vec<f64>> = (0..4).map(|k| pseudo_rhs(n, 7000 + k)).collect();
+    let tickets: Vec<_> =
+        rhss.iter().map(|b| svc.submit_one(h, b).unwrap()).collect();
+    let outs: Vec<_> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    svc.shutdown();
+
+    let events = flight::snapshot_events();
+    for out in &outs {
+        let id = TraceId(out.trace_id.expect("tracing on mints a trace id"));
+        let tree = trace::assemble_linked(&events, id)
+            .expect("request trace must assemble to a tree");
+        assert_eq!(tree.name, "service/request");
+
+        // Direct children: the queue-wait and solve intervals, sharing
+        // the dispatch timestamp, tile the root exactly.
+        let qw = tree
+            .children
+            .iter()
+            .find(|c| c.name == "service/queue_wait")
+            .expect("queue_wait child");
+        let solve = tree
+            .children
+            .iter()
+            .find(|c| c.name == "service/solve")
+            .expect("solve child");
+        assert_eq!(qw.event.start_ns, tree.event.start_ns);
+        assert_eq!(
+            qw.event.start_ns + qw.event.dur_ns,
+            solve.event.start_ns,
+            "queue_wait must end where solve begins"
+        );
+        assert_eq!(
+            qw.event.dur_ns + solve.event.dur_ns,
+            tree.event.dur_ns,
+            "children must sum to the end-to-end root duration"
+        );
+
+        // The joined_batch link carries the batcher's decision and
+        // grafts the shared batch tree under this request.
+        let link = tree
+            .links
+            .iter()
+            .find(|l| trace::name_of(l.name) == "joined_batch")
+            .expect("joined_batch link on the root");
+        assert_eq!(
+            (link.b >> 8) & 0xff_ffff,
+            out.batch_width as u64,
+            "link payload must carry the dispatched width"
+        );
+        let batch = find_span(&tree, &|s| s.name == "service/batch")
+            .expect("batch tree grafted through the link");
+        assert!(
+            find_span(batch, &|s| s.name.starts_with("kernel/")).is_some(),
+            "kernel dispatch spans must nest under the batch:\n{}",
+            tree.render()
+        );
+        assert!(
+            has_point(batch, "solver/block_cg/iter"),
+            "per-iteration residual points must nest under the batch:\n{}",
+            tree.render()
+        );
+    }
+}
+
+#[test]
+fn drop_counters_attribute_expiry_backpressure_and_shutdown() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(6);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let cfg = ServiceConfig {
+        policy: BatchPolicy {
+            max_batch: 3,
+            queue_capacity: 3,
+            // Pathological linger: nothing dispatches until shutdown
+            // flush, so queue occupancy is deterministic.
+            linger: Duration::from_secs(60),
+        },
+        ..ServiceConfig::default()
+    };
+    let svc = SolveService::start(reg, cfg);
+
+    // One request parks in the queue for the whole test.
+    let parked = svc.submit(h, one_col(n, 11), RequestOptions::default()).unwrap();
+
+    // Expiry: a zero-deadline request is removed by the worker, never
+    // solved. Waiting on it guarantees it left the queue.
+    let doomed = svc
+        .submit(
+            h,
+            one_col(n, 12),
+            RequestOptions { deadline: Some(Duration::ZERO), ..Default::default() },
+        )
+        .unwrap();
+    match doomed.wait() {
+        Err(SolveError::DeadlineExceeded { .. }) => {}
+        other => panic!("zero deadline must expire, got {other:?}"),
+    }
+
+    // Backpressure: with two columns parked (below the width-3
+    // dispatch threshold), a two-column request overflows the
+    // three-column queue bound and is rejected.
+    let filler = svc.submit(h, one_col(n, 13), RequestOptions::default()).unwrap();
+    let wide = {
+        let mut mv = MultiVec::zeros(n, 2);
+        mv.set_column(0, &pseudo_rhs(n, 14));
+        mv.set_column(1, &pseudo_rhs(n, 15));
+        mv
+    };
+    match svc.submit(h, wide, RequestOptions::default()) {
+        Err(SubmitError::QueueFull { .. }) => {}
+        other => panic!("full queue must reject, got {other:?}"),
+    }
+
+    // Shutdown drains the parked requests, then refuses new ones.
+    svc.shutdown();
+    parked.wait().expect("parked request drains on shutdown flush");
+    filler.wait().expect("filler request drains on shutdown flush");
+    match svc.submit(h, one_col(n, 15), RequestOptions::default()) {
+        Err(SubmitError::ShuttingDown) => {}
+        other => panic!("post-shutdown submit must be refused, got {other:?}"),
+    }
+
+    let drops = svc.drop_stats();
+    assert_eq!(drops.deadline_missed, 1, "{drops:?}");
+    assert_eq!(drops.backpressure, 1, "{drops:?}");
+    assert_eq!(drops.shutdown, 1, "{drops:?}");
+}

@@ -220,6 +220,12 @@ where
     push_history(&mut history, &norms);
     observe(0, &norms, x);
     update_convergence(&norms, &thresholds, &mut column_converged_at, 0);
+    crate::block_cg::trace_iteration(
+        "solver/block_bicgstab",
+        0,
+        &norms,
+        &column_converged_at,
+    );
     drop(init_span);
     if column_converged_at.iter().all(Option::is_some) {
         return BlockBicgstabResult {
@@ -277,6 +283,12 @@ where
             push_history(&mut history, &norms);
             observe(it, &norms, x);
             update_convergence(&norms, &thresholds, &mut column_converged_at, it);
+            crate::block_cg::trace_iteration(
+                "solver/block_bicgstab",
+                it,
+                &norms,
+                &column_converged_at,
+            );
             break;
         }
 
@@ -295,6 +307,12 @@ where
             push_history(&mut history, &norms);
             observe(it, &norms, x);
             update_convergence(&norms, &thresholds, &mut column_converged_at, it);
+            crate::block_cg::trace_iteration(
+                "solver/block_bicgstab",
+                it,
+                &norms,
+                &column_converged_at,
+            );
             breakdown =
                 Some(Breakdown { iteration: it, kind: BreakdownKind::Omega });
             break;
@@ -320,6 +338,12 @@ where
         push_history(&mut history, &norms);
         observe(it, &norms, x);
         update_convergence(&norms, &thresholds, &mut column_converged_at, it);
+        crate::block_cg::trace_iteration(
+            "solver/block_bicgstab",
+            it,
+            &norms,
+            &column_converged_at,
+        );
         if column_converged_at.iter().all(Option::is_some) {
             break;
         }

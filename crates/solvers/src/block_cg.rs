@@ -20,6 +20,34 @@ use mrhs_sparse::MultiVec;
 use mrhs_telemetry as telemetry;
 use std::time::Instant;
 
+/// Emits the per-iteration trace points for a block solver under
+/// `{base}/iter` (`a` = iteration index, `b` = worst per-column
+/// residual norm as f64 bits), plus a `{base}/col_converged` point for
+/// each column whose convergence was first recorded at `it` — the
+/// member-column tagging the request span tree surfaces. No-op unless
+/// the calling thread carries a trace context.
+pub(crate) fn trace_iteration(
+    base: &str,
+    it: usize,
+    norms: &[f64],
+    column_converged_at: &[Option<usize>],
+) {
+    if !telemetry::trace::trace_enabled() {
+        return;
+    }
+    let max = norms.iter().cloned().fold(0.0f64, f64::max);
+    telemetry::trace::point(&format!("{base}/iter"), it as u64, max.to_bits());
+    for (col, conv) in column_converged_at.iter().enumerate() {
+        if *conv == Some(it) {
+            telemetry::trace::point(
+                &format!("{base}/col_converged"),
+                col as u64,
+                it as u64,
+            );
+        }
+    }
+}
+
 /// Outcome of a block-CG solve.
 #[derive(Clone, Debug)]
 pub struct BlockCgResult {
@@ -188,6 +216,7 @@ where
     push_history(&mut history, &norms);
     observe(0, &norms, x);
     update_convergence(&norms, &thresholds, &mut column_converged_at, 0);
+    trace_iteration("solver/block_cg", 0, &norms, &column_converged_at);
     drop(init_span);
     if column_converged_at.iter().all(Option::is_some) {
         return BlockCgResult {
@@ -229,6 +258,7 @@ where
         push_history(&mut history, &norms);
         observe(it, &norms, x);
         update_convergence(&norms, &thresholds, &mut column_converged_at, it);
+        trace_iteration("solver/block_cg", it, &norms, &column_converged_at);
         if column_converged_at.iter().all(Option::is_some) {
             rho = rho_new;
             break;

@@ -206,7 +206,7 @@ impl DedupBcrs {
         &self,
         m: usize,
         b: &dyn KernelBackend,
-    ) -> mrhs_telemetry::SpanGuard {
+    ) -> crate::instrument::KernelGuard {
         instrument::record_kernel_call(
             "gspmv_dedup",
             m,

@@ -53,7 +53,7 @@ fn instrument_full(
     a: &BcrsMatrix,
     m: usize,
     b: &dyn KernelBackend,
-) -> mrhs_telemetry::SpanGuard {
+) -> crate::instrument::KernelGuard {
     let nb = a.nb_rows() as u64;
     let nnzb = a.nnz_blocks() as u64;
     instrument::record_kernel_call("gspmv", m, nb, nnzb, 4 * nb + 76 * nnzb);

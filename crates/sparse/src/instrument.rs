@@ -15,19 +15,35 @@
 //! minimum, exactly how the paper frames it.
 
 use crate::BLOCK_DIM;
-use mrhs_telemetry::SpanGuard;
+use mrhs_telemetry::{trace, SpanGuard, TraceSpan};
 
 /// Flops per stored-block application per vector (Eq. 8's `f_a`).
 pub const FLOPS_PER_BLOCK_PER_VECTOR: u64 = 18;
 
+/// RAII guard for one kernel invocation: the registry span timer plus,
+/// when causal tracing is on *and* the calling thread carries a trace
+/// context (it runs on the service worker's thread, outside the rayon
+/// parallel region), a trace child span under that context. Both sides
+/// are inert when their respective layer is disabled.
+pub struct KernelGuard {
+    _span: SpanGuard,
+    _trace: Option<TraceSpan>,
+}
+
 /// Opens the per-call kernel span `kernel/{kind}/m{m}` (inert — no
 /// allocation, no clock — while telemetry is disabled).
-pub(crate) fn kernel_span(kind: &str, m: usize) -> SpanGuard {
-    if mrhs_telemetry::enabled() {
+pub(crate) fn kernel_span(kind: &str, m: usize) -> KernelGuard {
+    let span = if mrhs_telemetry::enabled() {
         mrhs_telemetry::span(&format!("kernel/{kind}/m{m}"))
     } else {
         SpanGuard::inert()
-    }
+    };
+    let tr = if trace::trace_enabled() {
+        trace::child_span(&format!("kernel/{kind}/m{m}"))
+    } else {
+        None
+    };
+    KernelGuard { _span: span, _trace: tr }
 }
 
 /// Tags one kernel dispatch with the backend that ran it:

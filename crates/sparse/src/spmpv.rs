@@ -424,7 +424,7 @@ fn instrument_spmpv(
     passes: u64,
     plan: &PowerPlan,
     b: &dyn KernelBackend,
-) -> mrhs_telemetry::SpanGuard {
+) -> crate::instrument::KernelGuard {
     let nb = a.nb_rows() as u64;
     let nnzb = a.nnz_blocks() as u64;
     let stream = 4 * nb + 76 * nnzb;

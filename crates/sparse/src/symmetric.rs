@@ -161,7 +161,7 @@ impl SymmetricBcrs {
     /// *application*: each stored off-diagonal block hits two output
     /// rows (forward and transposed), so the flop total equals the
     /// full-storage one while the matrix stream is roughly halved.
-    fn instrument_sym(&self, m: usize) -> mrhs_telemetry::SpanGuard {
+    fn instrument_sym(&self, m: usize) -> crate::instrument::KernelGuard {
         let applied = (self.nb + 2 * self.blocks.len()) as u64;
         crate::instrument::record_kernel_call(
             "gspmv_sym",

@@ -50,13 +50,19 @@
 //! * `engine/…`  — distributed engine (`engine/node3/comm_wait`, …)
 
 pub mod derived;
+pub mod exporter;
+pub mod flight;
 pub mod json;
+pub mod openmetrics;
 pub mod registry;
 pub mod report;
 pub mod snapshot;
+pub mod trace;
 
+pub use exporter::MetricsExporter;
 pub use registry::{Registry, SpanGuard};
 pub use snapshot::{HistSnapshot, Snapshot, SpanStat};
+pub use trace::{SpanId, TraceEvent, TraceId, TraceSpan};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -145,6 +151,22 @@ pub fn histogram_record_ns(name: &str, ns: u64) {
     if enabled() {
         global().histogram_record_ns(name, ns);
     }
+}
+
+/// Sets the named global gauge — a last-write-wins instantaneous
+/// reading (no-op while disabled). The service's model-drift gauges
+/// (`drift/gspmv/m{w}/…`, `drift/m_optimal/…`) live here.
+#[inline]
+pub fn gauge_set(name: &str, v: f64) {
+    if enabled() {
+        global().gauge_set(name, v);
+    }
+}
+
+/// Current accumulated state of a global span timer (all-zero if never
+/// entered). Reads even while disabled.
+pub fn span_stat(name: &str) -> SpanStat {
+    global().span_stat(name)
 }
 
 /// Snapshot of the global registry.

@@ -36,6 +36,8 @@ pub struct Registry {
     counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
     spans: Mutex<HashMap<String, Arc<SpanCell>>>,
     hists: Mutex<HashMap<String, Arc<HistCell>>>,
+    // Gauges store f64 bits in an AtomicU64 (last write wins).
+    gauges: Mutex<HashMap<String, Arc<AtomicU64>>>,
 }
 
 impl Registry {
@@ -87,9 +89,37 @@ impl Registry {
         }
     }
 
+    fn gauge_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.gauges.lock().unwrap();
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(AtomicU64::new(0f64.to_bits()));
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
     /// Adds `v` to the named counter (created at zero on first use).
     pub fn counter_add(&self, name: &str, v: u64) {
         self.counter_cell(name).fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge to `v`. Unlike counters and spans, gauges
+    /// are last-write-wins instantaneous readings (a model-drift ratio,
+    /// a measured m_optimal) — `diff` passes them through unchanged.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.gauge_cell(name).store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value of a gauge (`None` if never set).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
     }
 
     /// Current value of a counter (0 if never touched).
@@ -100,6 +130,22 @@ impl Registry {
             .get(name)
             .map(|c| c.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Current accumulated state of one span timer (all-zero if never
+    /// entered). Cheaper than a full [`Registry::snapshot`] for call
+    /// sites that bracket a single span — the drift gauges read
+    /// `kernel/gspmv/m{w}` deltas around each batch solve this way.
+    pub fn span_stat(&self, name: &str) -> SpanStat {
+        self.spans
+            .lock()
+            .unwrap()
+            .get(name)
+            .map(|c| SpanStat {
+                count: c.count.load(Ordering::Relaxed),
+                total_ns: c.total_ns.load(Ordering::Relaxed),
+            })
+            .unwrap_or_default()
     }
 
     /// Opens an RAII span: the returned guard adds the elapsed
@@ -176,7 +222,14 @@ impl Registry {
                 )
             })
             .collect();
-        Snapshot { counters, spans, histograms }
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        Snapshot { counters, spans, histograms, gauges }
     }
 }
 
@@ -252,6 +305,25 @@ mod tests {
         assert_eq!(get(1), 1);
         assert_eq!(get(2), 2);
         assert_eq!(get(11), 1);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        assert_eq!(r.gauge_value("g"), None);
+        r.gauge_set("g", 3.5);
+        r.gauge_set("g", -0.25);
+        assert_eq!(r.gauge_value("g"), Some(-0.25));
+        assert_eq!(r.snapshot().gauges["g"], -0.25);
+    }
+
+    #[test]
+    fn span_stat_reads_without_snapshot() {
+        let r = Registry::new();
+        assert_eq!(r.span_stat("s"), SpanStat::default());
+        r.record_span("s", Duration::from_nanos(250));
+        r.record_span("s", Duration::from_nanos(750));
+        assert_eq!(r.span_stat("s"), SpanStat { count: 2, total_ns: 1000 });
     }
 
     #[test]

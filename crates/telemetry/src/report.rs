@@ -19,7 +19,9 @@ use crate::snapshot::Snapshot;
 
 /// Current schema version; bump on any incompatible field change.
 /// Version 2 added `machine.isa` and `machine.kernel_backend`.
-pub const SCHEMA_VERSION: u64 = 2;
+/// Version 3 added `trace_overhead` (optional), `drift_gauges`, and the
+/// `gauges` map inside `snapshot`.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Span decompositions must close within this relative tolerance.
 pub const SPAN_CONSISTENCY_TOL: f64 = 0.05;
@@ -79,6 +81,33 @@ pub struct KernelMetric {
     pub residual: f64,
 }
 
+/// Cost of causal tracing measured by the `service-bench --trace`
+/// overhead gate: the same saturating replay with tracing off, then on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceOverhead {
+    /// Sustained RHS/s with tracing off.
+    pub baseline_rhs_per_sec: f64,
+    /// Sustained RHS/s with tracing on.
+    pub traced_rhs_per_sec: f64,
+    /// `1 − traced/baseline` (positive = tracing costs throughput).
+    pub overhead_frac: f64,
+    /// Trace events the flight recorder accepted during the traced run.
+    pub events_recorded: u64,
+    /// Events the sampler dropped to stay under the event budget.
+    pub events_sampled_out: u64,
+}
+
+/// One named model-drift gauge reading (measured-vs-Eq. 8/9 state at
+/// the end of the run), lifted out of the snapshot so trajectory
+/// tooling can track drift without digging through the gauge map.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DriftGauge {
+    /// Gauge name (`drift/gspmv/m8/ratio`, `drift/m_optimal/measured`…).
+    pub name: String,
+    /// The reading.
+    pub value: f64,
+}
+
 /// The complete report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -94,6 +123,12 @@ pub struct BenchReport {
     pub kernels: Vec<KernelMetric>,
     /// Span-tree decomposition checks.
     pub span_consistency: Vec<SpanConsistency>,
+    /// Tracing overhead measurement (absent when the harness did not
+    /// run the overhead gate — e.g. plain `repro` experiments).
+    pub trace_overhead: Option<TraceOverhead>,
+    /// Model-drift gauge readings at the end of the run (may be empty
+    /// for harnesses that never solve through the service).
+    pub drift_gauges: Vec<DriftGauge>,
     /// Raw registry increments for the run.
     pub snapshot: Snapshot,
 }
@@ -155,6 +190,27 @@ impl BenchReport {
                 })
                 .collect(),
         );
+        let trace_overhead = match &self.trace_overhead {
+            None => Json::Null,
+            Some(t) => Json::Obj(vec![
+                ("baseline_rhs_per_sec".into(), Json::Num(t.baseline_rhs_per_sec)),
+                ("traced_rhs_per_sec".into(), Json::Num(t.traced_rhs_per_sec)),
+                ("overhead_frac".into(), Json::Num(t.overhead_frac)),
+                ("events_recorded".into(), Json::from_u64(t.events_recorded)),
+                ("events_sampled_out".into(), Json::from_u64(t.events_sampled_out)),
+            ]),
+        };
+        let drift_gauges = Json::Arr(
+            self.drift_gauges
+                .iter()
+                .map(|g| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(g.name.clone())),
+                        ("value".into(), Json::Num(g.value)),
+                    ])
+                })
+                .collect(),
+        );
         Json::Obj(vec![
             ("schema_version".into(), Json::from_u64(self.schema_version)),
             ("experiment".into(), Json::Str(self.experiment.clone())),
@@ -162,6 +218,8 @@ impl BenchReport {
             ("machine".into(), machine),
             ("kernels".into(), kernels),
             ("span_consistency".into(), consistency),
+            ("trace_overhead".into(), trace_overhead),
+            ("drift_gauges".into(), drift_gauges),
             ("snapshot".into(), self.snapshot.to_json()),
         ])
     }
@@ -229,6 +287,27 @@ impl BenchReport {
                 ratio: num(c, "ratio")?,
             });
         }
+        let trace_overhead = match j.get("trace_overhead") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(TraceOverhead {
+                baseline_rhs_per_sec: num(t, "baseline_rhs_per_sec")?,
+                traced_rhs_per_sec: num(t, "traced_rhs_per_sec")?,
+                overhead_frac: num(t, "overhead_frac")?,
+                events_recorded: uint(t, "events_recorded")?,
+                events_sampled_out: uint(t, "events_sampled_out")?,
+            }),
+        };
+        let mut drift_gauges = Vec::new();
+        for g in j
+            .get("drift_gauges")
+            .and_then(Json::as_arr)
+            .ok_or("missing `drift_gauges`")?
+        {
+            drift_gauges.push(DriftGauge {
+                name: string(g, "name")?,
+                value: num(g, "value")?,
+            });
+        }
         let snapshot =
             Snapshot::from_json(j.get("snapshot").ok_or("missing `snapshot`")?)?;
         Ok(BenchReport {
@@ -238,6 +317,8 @@ impl BenchReport {
             machine,
             kernels,
             span_consistency,
+            trace_overhead,
+            drift_gauges,
             snapshot,
         })
     }
@@ -308,6 +389,29 @@ impl BenchReport {
                 problems.push(format!("{tag}: residual is not finite"));
             }
         }
+        if let Some(t) = &self.trace_overhead {
+            positive(
+                &mut problems,
+                "trace_overhead.baseline_rhs_per_sec",
+                t.baseline_rhs_per_sec,
+            );
+            positive(
+                &mut problems,
+                "trace_overhead.traced_rhs_per_sec",
+                t.traced_rhs_per_sec,
+            );
+            if !t.overhead_frac.is_finite() {
+                problems.push("trace_overhead.overhead_frac not finite".into());
+            }
+        }
+        for g in &self.drift_gauges {
+            if g.name.is_empty() {
+                problems.push("drift gauge with empty name".into());
+            }
+            if !g.value.is_finite() {
+                problems.push(format!("drift gauge `{}` is not finite", g.name));
+            }
+        }
         for c in &self.span_consistency {
             if !c.within(SPAN_CONSISTENCY_TOL) {
                 problems.push(format!(
@@ -366,6 +470,17 @@ mod tests {
                 children_secs: 0.98,
                 ratio: 0.98,
             }],
+            trace_overhead: Some(TraceOverhead {
+                baseline_rhs_per_sec: 1200.0,
+                traced_rhs_per_sec: 1190.0,
+                overhead_frac: 1.0 - 1190.0 / 1200.0,
+                events_recorded: 54_321,
+                events_sampled_out: 12,
+            }),
+            drift_gauges: vec![DriftGauge {
+                name: "drift/m_optimal/measured".into(),
+                value: 8.0,
+            }],
             snapshot,
         }
     }
@@ -403,6 +518,26 @@ mod tests {
         let problems = r.validate();
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("solver/block_cg"));
+    }
+
+    #[test]
+    fn absent_trace_overhead_round_trips_and_validates() {
+        let mut r = sample();
+        r.trace_overhead = None;
+        r.drift_gauges.clear();
+        assert!(r.validate().is_empty(), "{:?}", r.validate());
+        let back = BenchReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn bad_trace_overhead_and_drift_fail_validation() {
+        let mut r = sample();
+        r.trace_overhead.as_mut().unwrap().traced_rhs_per_sec = 0.0;
+        assert!(!r.validate().is_empty());
+        let mut r = sample();
+        r.drift_gauges[0].value = f64::INFINITY;
+        assert!(!r.validate().is_empty());
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanStat>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Gauge values by name — instantaneous readings, not monotone;
+    /// `diff` keeps the later snapshot's value as-is.
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl Snapshot {
@@ -119,7 +122,10 @@ impl Snapshot {
                 )
             })
             .collect();
-        Snapshot { counters, spans, histograms }
+        // Gauges are point-in-time readings; the diff of two snapshots
+        // reports the later reading unchanged.
+        let gauges = self.gauges.clone();
+        Snapshot { counters, spans, histograms, gauges }
     }
 
     /// Seconds accumulated under a span name (0 when absent).
@@ -180,10 +186,22 @@ impl Snapshot {
                 })
                 .collect(),
         );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| {
+                    // Non-finite gauges serialize as null (the JSON
+                    // module has no NaN literal); from_json restores
+                    // them as NaN.
+                    (k.clone(), Json::Num(*v))
+                })
+                .collect(),
+        );
         Json::Obj(vec![
             ("counters".into(), counters),
             ("spans".into(), spans),
             ("histograms".into(), histograms),
+            ("gauges".into(), gauges),
         ])
     }
 
@@ -220,6 +238,12 @@ impl Snapshot {
                 buckets.push((b as u8, n));
             }
             snap.histograms.insert(k.clone(), HistSnapshot { count, sum, buckets });
+        }
+        // Absent in pre-v3 snapshots; tolerate that.
+        if let Some(gauges) = j.get("gauges").and_then(Json::as_obj) {
+            for (k, v) in gauges {
+                snap.gauges.insert(k.clone(), v.as_f64().unwrap_or(f64::NAN));
+            }
         }
         Ok(snap)
     }
@@ -270,9 +294,22 @@ mod tests {
     }
 
     #[test]
+    fn gauges_pass_through_diff() {
+        let mut before = Snapshot::default();
+        before.gauges.insert("g".into(), 4.0);
+        let mut after = Snapshot::default();
+        after.gauges.insert("g".into(), 2.5);
+        after.gauges.insert("h".into(), -1.0);
+        let d = after.diff(&before);
+        assert_eq!(d.gauges["g"], 2.5);
+        assert_eq!(d.gauges["h"], -1.0);
+    }
+
+    #[test]
     fn json_round_trip() {
         let mut s = Snapshot::default();
         s.counters.insert("gspmv/flops".into(), 123456789);
+        s.gauges.insert("drift/m_optimal/measured".into(), 8.0);
         s.spans
             .insert("solver/block_cg".into(), SpanStat { count: 4, total_ns: 987 });
         s.histograms.insert(
