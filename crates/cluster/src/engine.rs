@@ -184,6 +184,17 @@ enum Job {
         x_own: MultiVec,
         ctx: Arc<PowerContext>,
     },
+    /// One fused group of the shifted Chebyshev three-term recurrence:
+    /// `ctx.k` levels computed locally after one widened exchange.
+    /// `prev_own` carries `u_{p0−1}` for groups after the first (the
+    /// recurrence needs both entry levels' frontiers).
+    MultiplyChebyshev {
+        x_own: MultiVec,
+        prev_own: Option<MultiVec>,
+        mid: f64,
+        half: f64,
+        ctx: Arc<PowerContext>,
+    },
     Shutdown,
 }
 
@@ -389,6 +400,118 @@ impl DistEngine {
     pub fn last_stats(&self) -> EngineStats {
         self.last_stats.lock().unwrap().clone()
     }
+
+    /// Fused distributed Chebyshev evaluation
+    /// `y = c_0/2 · z + Σ_{p≥1} c_p · T_p(Ã) z`, `Ã = (A − mid·I)/half`
+    /// (permuted global ordering) — the distributed counterpart of
+    /// [`mrhs_sparse::spmpv_chebyshev`]. Levels are grouped in runs of
+    /// up to [`mrhs_sparse::SPMPV_MAX_DEPTH`]; each group pays **one**
+    /// widened halo round for all its levels (two messages per peer
+    /// after the first group, because the three-term recurrence also
+    /// needs the carried `u_{p0−1}` frontier) instead of one round per
+    /// operator application.
+    pub fn multiply_chebyshev_into(
+        &self,
+        z: &MultiVec,
+        mid: f64,
+        half: f64,
+        coeffs: &[f64],
+        y: &mut MultiVec,
+    ) -> EngineStats {
+        assert!(!coeffs.is_empty(), "need at least the constant coefficient");
+        let _guard = self.call_lock.lock().unwrap();
+        let m = z.m();
+        let n = self.scalar_dim();
+        assert_eq!(z.shape(), (n, m));
+        assert_eq!(y.shape(), (n, m));
+        let p = self.dm.n_nodes();
+        let mut agg = EngineStats {
+            timings: vec![PhaseTimings::default(); p],
+            comm: CommStats { recv_bytes: vec![0; p], recv_messages: vec![0; p] },
+        };
+
+        let half_c0 = 0.5 * coeffs[0];
+        for (yv, zv) in y.as_mut_slice().iter_mut().zip(z.as_slice()) {
+            *yv = half_c0 * zv;
+        }
+        let order = coeffs.len() - 1;
+        if order == 0 {
+            *self.last_stats.lock().unwrap() = agg.clone();
+            return agg;
+        }
+
+        let depth = order.min(mrhs_sparse::SPMPV_MAX_DEPTH);
+        let mut levels: Vec<MultiVec> =
+            (0..depth).map(|_| MultiVec::zeros(n, m)).collect();
+        // `u_{p0}` and `u_{p0 − 1}` carried between groups, exactly as
+        // in the serial wavefront (`chebyshev_wavefront`).
+        let mut prev1 = MultiVec::zeros(n, m);
+        let mut prev2 = MultiVec::zeros(n, m);
+        let mut p0 = 0usize;
+        let mut groups = 0u64;
+        while p0 < order {
+            let d = depth.min(order - p0);
+            let ctx = self.power_context(d);
+            {
+                let entry1 = if p0 == 0 { z } else { &prev1 };
+                let entry0 = if p0 == 0 { None } else { Some(&prev2) };
+                for (q, node) in self.dm.nodes().iter().enumerate() {
+                    let rows = node.rows.start * 3..node.rows.end * 3;
+                    let x_own = entry1.gather_rows(rows.clone());
+                    let prev_own = entry0.map(|e| e.gather_rows(rows));
+                    self.job_tx[q]
+                        .send(Job::MultiplyChebyshev {
+                            x_own,
+                            prev_own,
+                            mid,
+                            half,
+                            ctx: Arc::clone(&ctx),
+                        })
+                        .expect("engine worker alive");
+                }
+            }
+            for _ in 0..p {
+                let res = self.result_rx.recv().expect("engine worker result");
+                let base = self.dm.nodes()[res.node].rows.start * 3;
+                for (lvl, part) in levels.iter_mut().zip(&res.ys) {
+                    for r in 0..part.n() {
+                        lvl.row_mut(base + r).copy_from_slice(part.row(r));
+                    }
+                }
+                let t = &mut agg.timings[res.node];
+                t.comm_wait += res.timings.comm_wait;
+                t.local += res.timings.local;
+                t.remote += res.timings.remote;
+                agg.comm.recv_bytes[res.node] += res.bytes;
+                agg.comm.recv_messages[res.node] += res.messages;
+            }
+            // Accumulate this group's levels into the Chebyshev sum.
+            for (j, lvl) in levels[..d].iter().enumerate() {
+                let c = coeffs[p0 + 1 + j];
+                for (yv, uv) in y.as_mut_slice().iter_mut().zip(lvl.as_slice()) {
+                    *yv += c * *uv;
+                }
+            }
+            p0 += d;
+            groups += 1;
+            if p0 < order {
+                // Carry the group's top two levels into the next group.
+                if d >= 2 {
+                    std::mem::swap(&mut prev2, &mut levels[d - 2]);
+                } else {
+                    std::mem::swap(&mut prev2, &mut prev1);
+                }
+                std::mem::swap(&mut prev1, &mut levels[d - 1]);
+            }
+        }
+        if mrhs_telemetry::enabled() {
+            mrhs_telemetry::counter_add("engine/cheb/applies", 1);
+            mrhs_telemetry::counter_add("engine/cheb/groups", groups);
+        }
+        record_engine_telemetry(&agg);
+        *self.last_stats.lock().unwrap() = agg.clone();
+        agg
+    }
 }
 
 impl Drop for DistEngine {
@@ -423,6 +546,21 @@ impl LinearOperator for DistEngine {
     /// widened halo round instead of `outs.len()` round trips.
     fn apply_powers(&self, x: &MultiVec, outs: &mut [MultiVec]) {
         self.multiply_powers_into(x, outs);
+    }
+
+    /// Routes `solvers::chebyshev::apply_multi` through the fused
+    /// distributed recurrence: one widened exchange per coefficient
+    /// group instead of one halo round per term.
+    fn apply_chebyshev(
+        &self,
+        z: &MultiVec,
+        mid: f64,
+        half: f64,
+        coeffs: &[f64],
+        y: &mut MultiVec,
+    ) -> bool {
+        self.multiply_chebyshev_into(z, mid, half, coeffs, y);
+        true
     }
 }
 
@@ -494,6 +632,22 @@ fn node_main(
             }
             Ok(Job::MultiplyPowers { x_own, ctx }) => {
                 match node_powers(dm, q, &x_own, &ctx, &halo_rx, &halo_tx) {
+                    Some(res) => res,
+                    None => return,
+                }
+            }
+            Ok(Job::MultiplyChebyshev { x_own, prev_own, mid, half, ctx }) => {
+                match node_chebyshev(
+                    dm,
+                    q,
+                    &x_own,
+                    prev_own.as_ref(),
+                    mid,
+                    half,
+                    &ctx,
+                    &halo_rx,
+                    &halo_tx,
+                ) {
                     Some(res) => res,
                     None => return,
                 }
@@ -599,6 +753,145 @@ fn node_powers(
         timings: PhaseTimings { comm_wait, local, remote },
         bytes,
         messages: plan_in.len(),
+    })
+}
+
+/// One node's share of one fused Chebyshev group: like [`node_powers`],
+/// but running `ctx.k` levels of the *shifted three-term recurrence*
+/// (`u_{j+1} = 2·Ã·u_j − u_{j−1}`) on the extended matrix through the
+/// backend's [`mrhs_sparse::KernelBackend::cheb_shifted_rows`] kernel.
+/// Groups after the first also need the carried `u_{p0−1}` frontier, so
+/// each peer sends **two** messages over the same FIFO channel — the
+/// receiver pairs the first message from a peer with the current level
+/// and the second with the previous one.
+#[allow(clippy::too_many_arguments)]
+fn node_chebyshev(
+    dm: &DistributedMatrix,
+    q: usize,
+    x_own: &MultiVec,
+    prev_own: Option<&MultiVec>,
+    mid: f64,
+    half: f64,
+    ctx: &PowerContext,
+    halo_rx: &Receiver<HaloMessage>,
+    halo_tx: &[Sender<HaloMessage>],
+) -> Option<NodeResult> {
+    let node = &dm.nodes()[q];
+    let own = node.rows.len();
+    let m = x_own.m();
+    let np = ctx.node(q);
+    let d = ctx.k;
+    let ext_n = np.prefix[d] * 3;
+
+    // Widened sends: the peer's whole frontier slice of the entry
+    // level, followed by the carried previous level when one exists.
+    for (dst, rows) in ctx.send_plan(q) {
+        let data = pack_rows(node, x_own, rows);
+        if halo_tx[*dst].send(HaloMessage { from: q, data }).is_err() {
+            return None;
+        }
+        if let Some(pv) = prev_own {
+            let data = pack_rows(node, pv, rows);
+            if halo_tx[*dst].send(HaloMessage { from: q, data }).is_err() {
+                return None;
+            }
+        }
+    }
+
+    // Seed the extended entry operands with the owned values while the
+    // exchange is in flight.
+    let t_local = Instant::now();
+    let mut entry1 = MultiVec::zeros(ext_n, m);
+    for r in 0..own * 3 {
+        entry1.row_mut(r).copy_from_slice(x_own.row(r));
+    }
+    let mut entry0 = prev_own.map(|pv| {
+        let mut e = MultiVec::zeros(ext_n, m);
+        for r in 0..own * 3 {
+            e.row_mut(r).copy_from_slice(pv.row(r));
+        }
+        e
+    });
+    let local = t_local.elapsed().as_secs_f64();
+
+    // Drain the exchange: the first message from each peer carries the
+    // entry level, the second (same-sender FIFO) the previous one.
+    let plan_in = ctx.recv_plan(q);
+    let per_peer = if prev_own.is_some() { 2 } else { 1 };
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    let mut comm_wait = 0.0f64;
+    let mut bytes = 0usize;
+    for _ in 0..plan_in.len() * per_peer {
+        let t_wait = Instant::now();
+        let msg = match halo_rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return None,
+        };
+        comm_wait += t_wait.elapsed().as_secs_f64();
+        let (_, rows) = plan_in
+            .iter()
+            .find(|(peer, _)| *peer == msg.from)
+            .expect("unexpected sender");
+        bytes += msg.data.as_slice().len() * 8;
+        let nth = seen.entry(msg.from).or_insert(0);
+        let target = if *nth == 0 {
+            &mut entry1
+        } else {
+            entry0.as_mut().expect("second frontier message without carry")
+        };
+        *nth += 1;
+        for (i, &g) in rows.iter().enumerate() {
+            let c = np.ext_col(g);
+            for dd in 0..3 {
+                target
+                    .row_mut(3 * c + dd)
+                    .copy_from_slice(msg.data.row(3 * i + dd));
+            }
+        }
+    }
+
+    // All d levels, communication-free, over shrinking frontier
+    // prefixes. Level 1 reads the entry levels; deeper levels read the
+    // two levels computed just before them.
+    let t_remote = Instant::now();
+    let backend = active_backend();
+    let mut levels: Vec<MultiVec> =
+        (0..d).map(|_| MultiVec::zeros(ext_n, m)).collect();
+    let mut ys = Vec::with_capacity(d);
+    for j in 1..=d {
+        let rows_j = np.prefix[d - j];
+        let (done, rest) = levels.split_at_mut(j - 1);
+        let cur: &[f64] =
+            if j == 1 { entry1.as_slice() } else { done[j - 2].as_slice() };
+        let prev: Option<&[f64]> = match j {
+            1 => entry0.as_ref().map(|e| e.as_slice()),
+            2 => Some(entry1.as_slice()),
+            _ => Some(done[j - 3].as_slice()),
+        };
+        backend.cheb_shifted_rows(
+            &np.a_ext,
+            cur,
+            prev,
+            &mut rest[0].as_mut_slice()[..rows_j * 3 * m],
+            mid,
+            half,
+            m,
+            0..rows_j,
+        );
+        let mut yj = MultiVec::zeros(own * 3, m);
+        for r in 0..own * 3 {
+            yj.row_mut(r).copy_from_slice(rest[0].row(r));
+        }
+        ys.push(yj);
+    }
+    let remote = t_remote.elapsed().as_secs_f64();
+
+    Some(NodeResult {
+        node: q,
+        ys,
+        timings: PhaseTimings { comm_wait, local, remote },
+        bytes,
+        messages: plan_in.len() * per_peer,
     })
 }
 
@@ -941,6 +1234,124 @@ mod tests {
                 diff.counter("engine/powers/k3/multiplies"),
                 res.cycles as u64
             );
+        });
+    }
+
+    #[test]
+    fn fused_chebyshev_matches_serial_recurrence() {
+        with_deadline(Duration::from_secs(120), || {
+            let a = random_symmetric(48, 4, 41);
+            let (mid, half) = (8.0, 4.0);
+            for p in [1usize, 2, 4] {
+                let part = contiguous_partition(&a, p);
+                let dm = DistributedMatrix::new(&a, &part);
+                let permuted = permute_symmetric(&a, dm.permutation());
+                let engine = DistEngine::new(dm);
+                // Orders below, at, and across the fused-group depth
+                // (4), so the inter-group carry path is exercised.
+                for order in [1usize, 3, 4, 7, 10] {
+                    let coeffs: Vec<f64> =
+                        (0..=order).map(|k| 1.0 / (1.0 + k as f64)).collect();
+                    for m in [1usize, 4] {
+                        let z =
+                            pseudo_multivec(a.n_rows(), m, (order * 8 + m) as u64);
+                        let mut y = MultiVec::zeros(a.n_rows(), m);
+                        engine.multiply_chebyshev_into(
+                            &z, mid, half, &coeffs, &mut y,
+                        );
+                        let mut want = MultiVec::zeros(a.n_rows(), m);
+                        mrhs_sparse::spmpv_chebyshev(
+                            &permuted, &z, mid, half, &coeffs, &mut want,
+                        );
+                        let scale = want.max_abs().max(1.0);
+                        for (u, v) in y.as_slice().iter().zip(want.as_slice()) {
+                            assert!(
+                                (u - v).abs() <= 1e-11 * scale,
+                                "p={p} order={order} m={m}: {u} vs {v}"
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn fused_chebyshev_pays_one_exchange_per_group() {
+        with_deadline(Duration::from_secs(60), || {
+            // Deterministic chain: every partition boundary carries an
+            // edge, so each interior node talks to both neighbours.
+            let nb = 32;
+            let mut t = BlockTripletBuilder::square(nb);
+            for i in 0..nb {
+                t.add(i, i, Block3::scaled_identity(4.0));
+                if i + 1 < nb {
+                    t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+                }
+            }
+            let a = t.build();
+            let part = contiguous_partition(&a, 4);
+            let dm = DistributedMatrix::new(&a, &part);
+            let engine = DistEngine::new(dm);
+            let z = pseudo_multivec(a.n_rows(), 4, 3);
+
+            // Order 8 = two fused groups of depth 4. The first group
+            // exchanges one frontier message per peer, the second two
+            // (entry level + carried previous level): 3 messages per
+            // peer total, against 8 unfused rounds.
+            let coeffs = vec![0.7; 9];
+            let mut y = MultiVec::zeros(a.n_rows(), 4);
+            let stats =
+                engine.multiply_chebyshev_into(&z, 4.0, 2.0, &coeffs, &mut y);
+
+            let mut round = MultiVec::zeros(a.n_rows(), 4);
+            let per_round = engine.multiply_into(&z, &mut round);
+            for q in 0..4 {
+                let peers = per_round.comm.recv_messages[q];
+                assert_eq!(
+                    stats.comm.recv_messages[q],
+                    3 * peers,
+                    "node {q}: fused groups must pay 1 + 2 peer messages"
+                );
+                assert!(
+                    stats.comm.recv_messages[q] < 8 * peers || peers == 0,
+                    "node {q}: fused must beat one round per term"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn solver_chebyshev_routes_through_fused_engine_path() {
+        with_deadline(Duration::from_secs(60), || {
+            mrhs_telemetry::set_enabled(true);
+            let a = random_symmetric(30, 2, 53);
+            let part = contiguous_partition(&a, 3);
+            let dm = DistributedMatrix::new(&a, &part);
+            let permuted = permute_symmetric(&a, dm.permutation());
+            let engine = DistEngine::new(dm);
+
+            // The operator's spectrum lives in the filter interval by
+            // Gershgorin (diagonal 8, small off-diagonals).
+            let cheb = mrhs_solvers::ChebyshevSqrt::new(0.5, 16.0, 7);
+            let z = pseudo_multivec(a.n_rows(), 3, 17);
+            let mut y = MultiVec::zeros(a.n_rows(), 3);
+            let before = mrhs_telemetry::snapshot();
+            cheb.apply_multi(&engine, &z, &mut y);
+            let diff = mrhs_telemetry::snapshot().diff(&before);
+            assert!(
+                diff.counter("engine/cheb/applies") >= 1,
+                "apply_multi must route through the fused engine path"
+            );
+            assert_eq!(diff.counter("engine/cheb/groups"), 2, "7 = 4 + 3 levels");
+
+            // And the fused path matches the serial fused kernel.
+            let mut want = MultiVec::zeros(a.n_rows(), 3);
+            cheb.apply_multi(&permuted, &z, &mut want);
+            let scale = want.max_abs().max(1.0);
+            for (u, v) in y.as_slice().iter().zip(want.as_slice()) {
+                assert!((u - v).abs() <= 1e-11 * scale, "{u} vs {v}");
+            }
         });
     }
 

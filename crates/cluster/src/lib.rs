@@ -27,6 +27,7 @@ pub mod engine;
 pub mod exchange;
 pub mod mrhs;
 pub mod network;
+pub mod permuted;
 pub mod sim;
 pub mod watchdog;
 
@@ -34,4 +35,5 @@ pub use distmat::DistributedMatrix;
 pub use engine::{DistEngine, EngineStats, PhaseTimings};
 pub use mrhs::ClusterMrhsModel;
 pub use network::NetworkModel;
+pub use permuted::PermutedEngine;
 pub use sim::{ClusterGspmvModel, NodeTime};

@@ -1,0 +1,204 @@
+//! [`DistEngine`] behind the partition permutation.
+//!
+//! The engine operates in the *permuted* global ordering
+//! ([`DistributedMatrix::permutation`], `perm[new] = old`) so each node
+//! owns a contiguous block-row range. That is the right ordering for a
+//! solver driving the engine directly, but wrong for a serving layer:
+//! fleet clients submit right-hand sides in the ordering they built the
+//! matrix in and expect solutions back the same way. [`PermutedEngine`]
+//! wraps the engine as a [`LinearOperator`] over the **original**
+//! ordering — operands are permuted in, results permuted back out, at
+//! `O(n·m)` per apply (noise against the multiply itself). The fused
+//! fast paths (`apply_powers`, `apply_chebyshev`) are forwarded through
+//! the same permutation, so a sharded tenant still pays one widened
+//! exchange per group.
+
+use crate::distmat::DistributedMatrix;
+use crate::engine::DistEngine;
+use mrhs_solvers::operator::LinearOperator;
+use mrhs_sparse::MultiVec;
+
+/// A [`DistEngine`] re-indexed to the original (pre-partition) block-row
+/// ordering. See the module docs.
+pub struct PermutedEngine {
+    engine: DistEngine,
+    /// `perm[new] = old` block rows, cloned from the engine's matrix.
+    perm: Vec<usize>,
+}
+
+impl PermutedEngine {
+    /// Wraps an engine; the permutation is read off its matrix.
+    pub fn new(engine: DistEngine) -> Self {
+        let perm = engine.matrix().permutation().to_vec();
+        PermutedEngine { engine, perm }
+    }
+
+    /// The wrapped engine (permuted ordering).
+    pub fn engine(&self) -> &DistEngine {
+        &self.engine
+    }
+
+    /// The distributed matrix behind the engine.
+    pub fn matrix(&self) -> &DistributedMatrix {
+        self.engine.matrix()
+    }
+
+    /// Original-order operand → engine (permuted) order.
+    fn to_engine(&self, x: &MultiVec) -> MultiVec {
+        let mut out = MultiVec::zeros(x.n(), x.m());
+        for (new_b, &old_b) in self.perm.iter().enumerate() {
+            for d in 0..3 {
+                out.row_mut(3 * new_b + d).copy_from_slice(x.row(3 * old_b + d));
+            }
+        }
+        out
+    }
+
+    /// Engine (permuted) result → original order.
+    fn unpermute_from_engine(&self, y_p: &MultiVec, out: &mut MultiVec) {
+        for (new_b, &old_b) in self.perm.iter().enumerate() {
+            for d in 0..3 {
+                out.row_mut(3 * old_b + d).copy_from_slice(y_p.row(3 * new_b + d));
+            }
+        }
+    }
+}
+
+impl LinearOperator for PermutedEngine {
+    fn dim(&self) -> usize {
+        self.engine.scalar_dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let xm = MultiVec::from_vec(x.to_vec());
+        let mut ym = MultiVec::zeros(x.len(), 1);
+        self.apply_multi(&xm, &mut ym);
+        y.copy_from_slice(ym.as_slice());
+    }
+
+    fn apply_multi(&self, x: &MultiVec, y: &mut MultiVec) {
+        let xp = self.to_engine(x);
+        let (yp, _) = self.engine.multiply(&xp);
+        self.unpermute_from_engine(&yp, y);
+    }
+
+    fn apply_powers(&self, x: &MultiVec, outs: &mut [MultiVec]) {
+        let xp = self.to_engine(x);
+        let mut outs_p: Vec<MultiVec> =
+            outs.iter().map(|o| MultiVec::zeros(o.n(), o.m())).collect();
+        self.engine.multiply_powers_into(&xp, &mut outs_p);
+        for (out, op) in outs.iter_mut().zip(&outs_p) {
+            self.unpermute_from_engine(op, out);
+        }
+    }
+
+    fn apply_chebyshev(
+        &self,
+        z: &MultiVec,
+        mid: f64,
+        half: f64,
+        coeffs: &[f64],
+        y: &mut MultiVec,
+    ) -> bool {
+        let zp = self.to_engine(z);
+        let mut yp = MultiVec::zeros(y.n(), y.m());
+        self.engine.multiply_chebyshev_into(&zp, mid, half, coeffs, &mut yp);
+        self.unpermute_from_engine(&yp, y);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watchdog::with_deadline;
+    use mrhs_sparse::partition::contiguous_partition;
+    use mrhs_sparse::{gspmv_serial, Block3, BlockTripletBuilder, MultiVec};
+    use std::time::Duration;
+
+    fn banded(nb: usize) -> mrhs_sparse::BcrsMatrix {
+        let mut t = BlockTripletBuilder::square(nb);
+        for i in 0..nb {
+            t.add(i, i, Block3::scaled_identity(6.0));
+            if i + 1 < nb {
+                t.add_symmetric_pair(i, i + 1, Block3::scaled_identity(-1.0));
+            }
+            if i + 3 < nb {
+                t.add_symmetric_pair(i, i + 3, Block3::scaled_identity(-0.5));
+            }
+        }
+        t.build()
+    }
+
+    fn pseudo(n: usize, m: usize, seed: u64) -> MultiVec {
+        let mut state = seed | 1;
+        let mut mv = MultiVec::zeros(n, m);
+        for v in mv.as_mut_slice() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        mv
+    }
+
+    #[test]
+    fn permuted_engine_matches_original_ordering_operator() {
+        with_deadline(Duration::from_secs(120), || {
+            let a = banded(24);
+            let part = contiguous_partition(&a, 3);
+            let dm = DistributedMatrix::new(&a, &part);
+            let engine = PermutedEngine::new(DistEngine::new(dm));
+            for m in [1usize, 4] {
+                let x = pseudo(a.n_rows(), m, 7 + m as u64);
+                let mut y = MultiVec::zeros(a.n_rows(), m);
+                engine.apply_multi(&x, &mut y);
+                // Reference in the ORIGINAL ordering — no permutation.
+                let mut want = MultiVec::zeros(a.n_rows(), m);
+                gspmv_serial(&a, &x, &mut want);
+                for (u, v) in y.as_slice().iter().zip(want.as_slice()) {
+                    assert!((u - v).abs() < 1e-12, "{u} vs {v}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn permuted_fast_paths_match_original_ordering() {
+        with_deadline(Duration::from_secs(120), || {
+            let a = banded(20);
+            let part = contiguous_partition(&a, 4);
+            let dm = DistributedMatrix::new(&a, &part);
+            let engine = PermutedEngine::new(DistEngine::new(dm));
+            let x = pseudo(a.n_rows(), 3, 11);
+
+            // Powers against repeated original-order multiplies.
+            let mut outs: Vec<MultiVec> =
+                (0..3).map(|_| MultiVec::zeros(a.n_rows(), 3)).collect();
+            engine.apply_powers(&x, &mut outs);
+            let mut prev = x.clone();
+            for (lvl, out) in outs.iter().enumerate() {
+                let mut want = MultiVec::zeros(a.n_rows(), 3);
+                gspmv_serial(&a, &prev, &mut want);
+                let scale = want.max_abs().max(1.0);
+                for (u, v) in out.as_slice().iter().zip(want.as_slice()) {
+                    assert!((u - v).abs() <= 1e-12 * scale, "level {lvl}");
+                }
+                prev = want;
+            }
+
+            // Chebyshev against the serial fused kernel on the original
+            // matrix.
+            let coeffs: Vec<f64> =
+                (0..=6).map(|k| 1.0 / (1.0 + k as f64)).collect();
+            let mut y = MultiVec::zeros(a.n_rows(), 3);
+            assert!(engine.apply_chebyshev(&x, 6.0, 3.0, &coeffs, &mut y));
+            let mut want = MultiVec::zeros(a.n_rows(), 3);
+            mrhs_sparse::spmpv_chebyshev(&a, &x, 6.0, 3.0, &coeffs, &mut want);
+            let scale = want.max_abs().max(1.0);
+            for (u, v) in y.as_slice().iter().zip(want.as_slice()) {
+                assert!((u - v).abs() <= 1e-11 * scale, "{u} vs {v}");
+            }
+        });
+    }
+}

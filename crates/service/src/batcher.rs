@@ -92,6 +92,10 @@ pub enum DispatchCause {
     DeadlinePressure,
     /// Shutdown drain forced the partial batch out.
     Flush,
+    /// A sibling shard's idle worker stole the batch from a hot queue
+    /// (fleet work stealing). The batch still runs the victim shard's
+    /// solve path, so acceptance/solo-retry semantics are unchanged.
+    Stolen,
 }
 
 impl DispatchCause {
@@ -102,6 +106,7 @@ impl DispatchCause {
             DispatchCause::Linger => "linger",
             DispatchCause::DeadlinePressure => "deadline_pressure",
             DispatchCause::Flush => "flush",
+            DispatchCause::Stolen => "stolen",
         }
     }
 
@@ -112,6 +117,7 @@ impl DispatchCause {
             DispatchCause::Linger => 1,
             DispatchCause::DeadlinePressure => 2,
             DispatchCause::Flush => 3,
+            DispatchCause::Stolen => 4,
         }
     }
 }
@@ -130,8 +136,9 @@ pub(crate) enum Poll {
 /// Requests dropped without being solved, by cause: queue expiry
 /// (`deadline_missed` — mirrored to both `service/deadline_missed` and
 /// `service/drop/expiry` in the registry, since the former is the
-/// SLO-facing name), `try_push` rejection (`backpressure`), and submits
-/// refused while shutting down (`shutdown`).
+/// SLO-facing name), `try_push` rejection (`backpressure`), submits
+/// refused while shutting down (`shutdown`), and queued requests whose
+/// matrix was unregistered before dispatch (`unregistered`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DropStats {
     /// Requests expired in queue (deadline missed).
@@ -140,6 +147,8 @@ pub struct DropStats {
     pub backpressure: u64,
     /// Requests refused during shutdown.
     pub shutdown: u64,
+    /// Queued requests swept after their matrix was unregistered.
+    pub unregistered: u64,
 }
 
 /// The bounded queue plus the dispatch policy. Not thread-safe by
@@ -149,28 +158,49 @@ pub(crate) struct Batcher {
     queue: VecDeque<Pending>,
     columns: usize,
     drops: DropStats,
+    /// Extra metric prefix (e.g. `fleet/shard0`): every `service/…`
+    /// counter the batcher emits is mirrored under it, so a fleet
+    /// dashboard sees per-shard families while single-host names stay
+    /// stable.
+    scope: Option<String>,
 }
 
 impl Batcher {
-    pub(crate) fn new(policy: BatchPolicy) -> Self {
+    pub(crate) fn new(policy: BatchPolicy, scope: Option<String>) -> Self {
         assert!(policy.max_batch >= 1, "max_batch must be at least 1");
         assert!(
             policy.queue_capacity >= policy.max_batch,
             "queue must hold at least one full batch"
         );
-        // Pre-register the drop counters at zero so the metrics
-        // exporter publishes them from the first scrape — a dashboard
-        // watching for the first drop needs the zero baseline, not a
-        // metric that appears out of nowhere.
-        telemetry::counter_add("service/deadline_missed", 0);
-        telemetry::counter_add("service/drop/expiry", 0);
-        telemetry::counter_add("service/drop/backpressure", 0);
-        telemetry::counter_add("service/drop/shutdown", 0);
-        Batcher {
+        let b = Batcher {
             policy,
             queue: VecDeque::new(),
             columns: 0,
             drops: DropStats::default(),
+            scope,
+        };
+        // Pre-register the drop counters at zero so the metrics
+        // exporter publishes them from the first scrape — a dashboard
+        // watching for the first drop needs the zero baseline, not a
+        // metric that appears out of nowhere.
+        for name in [
+            "deadline_missed",
+            "drop/expiry",
+            "drop/backpressure",
+            "drop/shutdown",
+            "drop/unregistered",
+        ] {
+            b.counter(name, 0);
+        }
+        b
+    }
+
+    /// Emits `service/{suffix}`, mirrored under the per-shard scope
+    /// when one is set.
+    fn counter(&self, suffix: &str, v: u64) {
+        telemetry::counter_add(&format!("service/{suffix}"), v);
+        if let Some(s) = &self.scope {
+            telemetry::counter_add(&format!("{s}/{suffix}"), v);
         }
     }
 
@@ -189,18 +219,24 @@ impl Batcher {
     /// [`Batcher::try_push`] hands the request back).
     pub(crate) fn note_backpressure_drop(&mut self) {
         self.drops.backpressure += 1;
-        telemetry::counter_add("service/drop/backpressure", 1);
+        self.counter("drop/backpressure", 1);
     }
 
     /// Counts one submit refused during shutdown.
     pub(crate) fn note_shutdown_drop(&mut self) {
         self.drops.shutdown += 1;
-        telemetry::counter_add("service/drop/shutdown", 1);
+        self.counter("drop/shutdown", 1);
     }
 
     /// Queued requests.
     pub(crate) fn len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Queued columns waiting for one specific handle — the fleet
+    /// router's "is a batch forming here?" probe.
+    pub(crate) fn pending_columns_for(&self, h: MatrixHandle) -> usize {
+        self.queue.iter().filter(|p| p.handle == h).map(Pending::width).sum()
     }
 
     /// Accepts a request, or hands it back when the column bound would
@@ -228,11 +264,30 @@ impl Batcher {
                     let p = self.queue.remove(i).unwrap();
                     self.columns -= p.width();
                     self.drops.deadline_missed += 1;
-                    telemetry::counter_add("service/deadline_missed", 1);
-                    telemetry::counter_add("service/drop/expiry", 1);
+                    self.counter("deadline_missed", 1);
+                    self.counter("drop/expiry", 1);
                     expired.push(p);
                 }
                 _ => i += 1,
+            }
+        }
+    }
+
+    /// Moves queued requests whose matrix was unregistered into
+    /// `revoked` — the clean-fail half of the `unregister` contract
+    /// (the worker completes them with `MatrixUnregistered`; batches
+    /// already dispatched are unaffected).
+    fn sweep_revoked(&mut self, revoked: &mut Vec<Pending>) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].matrix.is_revoked() {
+                let p = self.queue.remove(i).unwrap();
+                self.columns -= p.width();
+                self.drops.unregistered += 1;
+                self.counter("drop/unregistered", 1);
+                revoked.push(p);
+            } else {
+                i += 1;
             }
         }
     }
@@ -265,15 +320,19 @@ impl Batcher {
     /// One dispatch decision. `flush` forces partial batches out
     /// (shutdown drain); `solve_est` is the server's running estimate
     /// of one batch solve, used to drain deadline-pressed batches early
-    /// enough to still meet the deadline.
+    /// enough to still meet the deadline. Requests dropped without
+    /// solving land in `expired` (deadline passed) or `revoked` (matrix
+    /// unregistered) for the worker to complete with the matching error.
     pub(crate) fn poll(
         &mut self,
         now: Instant,
         flush: bool,
         solve_est: Duration,
         expired: &mut Vec<Pending>,
+        revoked: &mut Vec<Pending>,
     ) -> Poll {
         self.expire(now, expired);
+        self.sweep_revoked(revoked);
         let head = match self.queue.front() {
             Some(h) => h,
             None => return Poll::Empty,
@@ -287,15 +346,12 @@ impl Batcher {
             .sum();
         let (trigger, trigger_cause) = self.head_trigger(head, solve_est);
         let cause = if pending_width >= self.policy.max_batch {
-            Some(DispatchCause::Full)
+            DispatchCause::Full
         } else if flush {
-            Some(DispatchCause::Flush)
+            DispatchCause::Flush
         } else if now >= trigger {
-            Some(trigger_cause)
+            trigger_cause
         } else {
-            None
-        };
-        if cause.is_none() {
             // Wake early enough to expire any queued deadline, too.
             let wake = self
                 .queue
@@ -303,12 +359,37 @@ impl Batcher {
                 .filter_map(|p| p.deadline)
                 .fold(trigger, Instant::min);
             return Poll::Wait(wake);
-        }
+        };
 
-        // Select FIFO among same-handle requests. The head always goes
-        // (even if wider than max_batch — it is solved as its own
-        // batch); later requests join while they fit.
-        let handle = head.handle;
+        let picked = self.select_from_head();
+        self.counter(&format!("dispatch/{}", cause.as_str()), 1);
+        Poll::Batch(picked, cause)
+    }
+
+    /// Force-dispatches the head batch regardless of linger/deadline
+    /// triggers — the fleet work-stealing entry point. The same
+    /// expiry/revocation sweeps and the same FIFO same-handle selection
+    /// as [`Batcher::poll`] apply, so a stolen batch is exactly the
+    /// batch the victim's own worker would have dispatched next.
+    pub(crate) fn steal_batch(
+        &mut self,
+        now: Instant,
+        expired: &mut Vec<Pending>,
+        revoked: &mut Vec<Pending>,
+    ) -> Option<Vec<Pending>> {
+        self.expire(now, expired);
+        self.sweep_revoked(revoked);
+        self.queue.front()?;
+        let picked = self.select_from_head();
+        self.counter(&format!("dispatch/{}", DispatchCause::Stolen.as_str()), 1);
+        Some(picked)
+    }
+
+    /// Selects FIFO among requests sharing the head's handle. The head
+    /// always goes (even if wider than max_batch — it is solved as its
+    /// own batch); later requests join while they fit.
+    fn select_from_head(&mut self) -> Vec<Pending> {
+        let handle = self.queue.front().expect("non-empty queue").handle;
         let mut picked = Vec::new();
         let mut width = 0usize;
         let mut i = 0;
@@ -327,9 +408,7 @@ impl Batcher {
                 i += 1;
             }
         }
-        let cause = cause.unwrap();
-        telemetry::counter_add(&format!("service/dispatch/{}", cause.as_str()), 1);
-        Poll::Batch(picked, cause)
+        picked
     }
 }
 
@@ -382,13 +461,14 @@ mod tests {
     #[test]
     fn fills_to_max_batch_and_dispatches_immediately() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(4, 16, 1000));
+        let mut b = Batcher::new(policy(4, 16, 1000), None);
         let t0 = Instant::now();
         for _ in 0..5 {
             b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         }
         let mut exp = Vec::new();
-        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, cause) => {
                 assert_eq!(batch.len(), 4, "coalesces to max_batch");
                 assert_eq!(cause, DispatchCause::Full);
@@ -402,11 +482,12 @@ mod tests {
     #[test]
     fn partial_batch_waits_for_linger_then_drains() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(8, 16, 10));
+        let mut b = Batcher::new(policy(8, 16, 10), None);
         let t0 = Instant::now();
         b.try_push(pending(&reg, hs[0], 2, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
-        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Wait(until) => {
                 assert_eq!(until, t0 + Duration::from_millis(10));
             }
@@ -417,6 +498,7 @@ mod tests {
             false,
             Duration::ZERO,
             &mut exp,
+            &mut rev,
         ) {
             Poll::Batch(batch, cause) => {
                 assert_eq!(batch.len(), 1);
@@ -429,11 +511,12 @@ mod tests {
     #[test]
     fn flush_drains_partial_batches_without_linger() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let mut b = Batcher::new(policy(8, 16, 10_000), None);
         let t0 = Instant::now();
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
-        match b.poll(t0, true, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        match b.poll(t0, true, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, cause) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(cause, DispatchCause::Flush);
@@ -445,20 +528,21 @@ mod tests {
     #[test]
     fn batches_never_mix_matrix_handles() {
         let (reg, hs) = registry_with(2);
-        let mut b = Batcher::new(policy(4, 16, 0));
+        let mut b = Batcher::new(policy(4, 16, 0), None);
         let t0 = Instant::now();
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         b.try_push(pending(&reg, hs[1], 1, t0, None)).ok().unwrap();
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
-        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 2);
                 assert!(batch.iter().all(|p| p.handle == hs[0]));
             }
             _ => panic!("expected a batch"),
         }
-        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(batch[0].handle, hs[1]);
@@ -470,13 +554,19 @@ mod tests {
     #[test]
     fn expired_deadlines_are_removed_not_solved() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(4, 16, 10_000));
+        let mut b = Batcher::new(policy(4, 16, 10_000), None);
         let t0 = Instant::now();
         b.try_push(pending(&reg, hs[0], 1, t0, Some(Duration::ZERO))).ok().unwrap();
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
-        let r =
-            b.poll(t0 + Duration::from_millis(1), false, Duration::ZERO, &mut exp);
+        let mut rev = Vec::new();
+        let r = b.poll(
+            t0 + Duration::from_millis(1),
+            false,
+            Duration::ZERO,
+            &mut exp,
+            &mut rev,
+        );
         assert_eq!(exp.len(), 1, "zero deadline expires in queue");
         assert!(matches!(r, Poll::Wait(_)));
         assert_eq!(b.len(), 1);
@@ -486,7 +576,7 @@ mod tests {
     #[test]
     fn deadline_pressure_drains_before_linger() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let mut b = Batcher::new(policy(8, 16, 10_000), None);
         let t0 = Instant::now();
         // Deadline 20ms out, solves take ~5ms: must dispatch by ~15ms,
         // long before the 10s linger.
@@ -494,14 +584,16 @@ mod tests {
             .ok()
             .unwrap();
         let mut exp = Vec::new();
+        let mut rev = Vec::new();
         let est = Duration::from_millis(5);
-        match b.poll(t0, false, est, &mut exp) {
+        match b.poll(t0, false, est, &mut exp, &mut rev) {
             Poll::Wait(until) => {
                 assert_eq!(until, t0 + Duration::from_millis(15));
             }
             _ => panic!("should wait until deadline pressure"),
         }
-        match b.poll(t0 + Duration::from_millis(16), false, est, &mut exp) {
+        match b.poll(t0 + Duration::from_millis(16), false, est, &mut exp, &mut rev)
+        {
             Poll::Batch(batch, cause) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(cause, DispatchCause::DeadlinePressure);
@@ -520,13 +612,14 @@ mod tests {
         // keep the trigger strictly before the deadline and the poll at
         // that trigger must produce a batch, not an expiry.
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(8, 16, 10_000));
+        let mut b = Batcher::new(policy(8, 16, 10_000), None);
         let t0 = Instant::now();
         let deadline = Duration::from_millis(20);
         b.try_push(pending(&reg, hs[0], 1, t0, Some(deadline))).ok().unwrap();
 
         let mut exp = Vec::new();
-        let wake = match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        let wake = match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Wait(until) => until,
             _ => panic!("should wait for deadline pressure"),
         };
@@ -536,7 +629,7 @@ mod tests {
         );
 
         // Poll exactly at the scheduled wakeup — the boundary case.
-        match b.poll(wake, false, Duration::ZERO, &mut exp) {
+        match b.poll(wake, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, _) => assert_eq!(batch.len(), 1),
             Poll::Wait(_) => panic!("wakeup at the trigger must dispatch"),
             Poll::Empty => panic!("request expired at its own drain trigger"),
@@ -547,7 +640,7 @@ mod tests {
     #[test]
     fn try_push_bounds_queued_columns() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(4, 4, 0));
+        let mut b = Batcher::new(policy(4, 4, 0), None);
         let t0 = Instant::now();
         for _ in 0..4 {
             b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
@@ -560,12 +653,13 @@ mod tests {
     #[test]
     fn oversized_request_dispatches_as_its_own_batch() {
         let (reg, hs) = registry_with(1);
-        let mut b = Batcher::new(policy(4, 16, 0));
+        let mut b = Batcher::new(policy(4, 16, 0), None);
         let t0 = Instant::now();
         b.try_push(pending(&reg, hs[0], 6, t0, None)).ok().unwrap();
         b.try_push(pending(&reg, hs[0], 1, t0, None)).ok().unwrap();
         let mut exp = Vec::new();
-        match b.poll(t0, false, Duration::ZERO, &mut exp) {
+        let mut rev = Vec::new();
+        match b.poll(t0, false, Duration::ZERO, &mut exp, &mut rev) {
             Poll::Batch(batch, _) => {
                 assert_eq!(batch.len(), 1);
                 assert_eq!(batch[0].width(), 6);

@@ -7,7 +7,7 @@
 //! against the *same* handle can ride in the same block solve.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use mrhs_solvers::LinearOperator;
@@ -53,6 +53,11 @@ pub struct PreparedMatrix {
     kind: StorageKind,
     class: OperatorClass,
     dim: usize,
+    /// Set by [`MatrixRegistry::unregister`]. Queued requests holding
+    /// this `Arc` are swept by the batcher and failed with
+    /// [`crate::SolveError::MatrixUnregistered`]; batches already
+    /// dispatched run to completion.
+    revoked: AtomicBool,
     op: Box<dyn LinearOperator + Send + Sync>,
 }
 
@@ -80,6 +85,12 @@ impl PreparedMatrix {
     /// The operator the block solver applies once per iteration.
     pub fn operator(&self) -> &(dyn LinearOperator + Send + Sync) {
         &*self.op
+    }
+
+    /// Whether this registration has been revoked by
+    /// [`MatrixRegistry::unregister`].
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::SeqCst)
     }
 }
 
@@ -109,6 +120,7 @@ impl MatrixRegistry {
             kind,
             class,
             dim,
+            revoked: AtomicBool::new(false),
             op,
         });
         self.map.write().unwrap().insert(id, prepared);
@@ -200,10 +212,26 @@ impl MatrixRegistry {
         self.map.read().unwrap().get(&h.0).cloned()
     }
 
-    /// Removes a registration. In-flight batches hold their own `Arc`
-    /// and finish normally; later submits fail with `UnknownMatrix`.
+    /// Removes a registration and marks the prepared matrix revoked.
+    ///
+    /// Defined semantics for requests caught mid-stream:
+    ///
+    /// * later submits fail with [`crate::SubmitError::UnknownMatrix`];
+    /// * requests still **queued** are swept on the next batcher poll
+    ///   and fail with [`crate::SolveError::MatrixUnregistered`] — a
+    ///   distinct drop cause (`service/drop/unregistered`), never a
+    ///   worker panic or a stranded batch column;
+    /// * batches already **dispatched** hold their own `Arc` to the
+    ///   operator and run to completion (a revocation racing a dispatch
+    ///   yields a normally-solved request, not an error).
     pub fn unregister(&self, h: MatrixHandle) -> bool {
-        self.map.write().unwrap().remove(&h.0).is_some()
+        match self.map.write().unwrap().remove(&h.0) {
+            Some(prepared) => {
+                prepared.revoked.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Number of live registrations.

@@ -62,6 +62,10 @@ pub enum SolveError {
         /// Iterations spent in the failing solo retry.
         iterations: usize,
     },
+    /// The matrix was unregistered while the request was still queued
+    /// (the distinct drop cause behind `service/drop/unregistered`).
+    /// Requests already dispatched in a batch run to completion instead.
+    MatrixUnregistered,
     /// The service was shut down before the request was dispatched.
     Shutdown,
 }

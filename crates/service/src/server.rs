@@ -104,6 +104,11 @@ pub struct ServiceConfig {
     /// Reference model for the online drift gauges (`None` = no drift
     /// tracking).
     pub drift: Option<DriftModelCfg>,
+    /// Extra metric prefix (e.g. `fleet/shard0`). Every `service/…`
+    /// counter and queue-depth histogram is mirrored under it, giving a
+    /// fleet deployment per-shard metric families without disturbing
+    /// the single-host names.
+    pub scope: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -115,6 +120,7 @@ impl Default for ServiceConfig {
             max_iter: 1000,
             solo_retry: true,
             drift: None,
+            scope: None,
         }
     }
 }
@@ -140,6 +146,9 @@ pub struct ServiceStats {
     pub full_batches: u64,
     /// Columns that went through the solo-retry path.
     pub solo_retries: u64,
+    /// Batches lifted off this shard's queue by a sibling's idle worker
+    /// (fleet work stealing; always 0 single-host).
+    pub stolen_batches: u64,
     /// The configured target width (for efficiency calculations).
     pub target_width: u64,
 }
@@ -155,6 +164,13 @@ impl ServiceStats {
     }
 }
 
+/// An installed work-stealing probe: returns `true` when it stole (and
+/// solved) a batch from a sibling shard, `false` when nothing was worth
+/// stealing. Installed by the fleet layer via
+/// [`SolveService::set_steal_hook`]; idle workers call it between
+/// queue polls.
+pub(crate) type StealHook = Arc<dyn Fn() -> bool + Send + Sync>;
+
 struct Inner {
     registry: MatrixRegistry,
     cfg: ServiceConfig,
@@ -163,6 +179,8 @@ struct Inner {
     drift_secs: Mutex<std::collections::HashMap<usize, f64>>,
     cv: Condvar,
     shutdown: AtomicBool,
+    /// Fleet work-stealing probe; `None` single-host.
+    steal: std::sync::RwLock<Option<StealHook>>,
     /// EWMA of batch solve time, nanoseconds (retry-after and
     /// deadline-pressure estimates).
     ewma_solve_ns: AtomicU64,
@@ -175,6 +193,22 @@ struct Inner {
     coalesced_columns: AtomicU64,
     full_batches: AtomicU64,
     solo_retries: AtomicU64,
+    stolen_batches: AtomicU64,
+}
+
+impl Inner {
+    /// Emits `service/{suffix}`, mirrored under the configured
+    /// per-shard scope.
+    fn scoped(&self, suffix: &str, v: u64) {
+        telemetry::counter_add(&format!("service/{suffix}"), v);
+        if let Some(s) = &self.cfg.scope {
+            telemetry::counter_add(&format!("{s}/{suffix}"), v);
+        }
+    }
+
+    fn steal_hook(&self) -> Option<StealHook> {
+        self.steal.read().unwrap().clone()
+    }
 }
 
 /// A running solve service. Dropping it shuts down and joins the
@@ -190,11 +224,12 @@ impl SolveService {
         assert!(cfg.workers >= 1, "need at least one worker");
         let inner = Arc::new(Inner {
             registry,
-            state: Mutex::new(Batcher::new(cfg.policy)),
+            state: Mutex::new(Batcher::new(cfg.policy, cfg.scope.clone())),
             drift_secs: Mutex::new(std::collections::HashMap::new()),
             cfg,
             cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            steal: std::sync::RwLock::new(None),
             ewma_solve_ns: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -205,6 +240,7 @@ impl SolveService {
             coalesced_columns: AtomicU64::new(0),
             full_batches: AtomicU64::new(0),
             solo_retries: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
         });
         let workers = (0..inner.cfg.workers)
             .map(|k| {
@@ -265,25 +301,30 @@ impl SolveService {
                 st.note_shutdown_drop();
                 return Err(SubmitError::ShuttingDown);
             }
-            telemetry::histogram_record_ns(
-                "service/queue_depth_cols",
-                st.columns() as u64,
-            );
-            telemetry::histogram_record_ns(
-                "service/queue_depth_reqs",
-                st.len() as u64,
-            );
+            let (cols, reqs) = (st.columns() as u64, st.len() as u64);
+            telemetry::histogram_record_ns("service/queue_depth_cols", cols);
+            telemetry::histogram_record_ns("service/queue_depth_reqs", reqs);
+            if let Some(s) = &inner.cfg.scope {
+                telemetry::histogram_record_ns(
+                    &format!("{s}/queue_depth_cols"),
+                    cols,
+                );
+                telemetry::histogram_record_ns(
+                    &format!("{s}/queue_depth_reqs"),
+                    reqs,
+                );
+            }
             if st.try_push(pending).is_err() {
                 st.note_backpressure_drop();
                 inner.rejected.fetch_add(1, Ordering::Relaxed);
-                telemetry::counter_add("service/rejected", 1);
+                inner.scoped("rejected", 1);
                 return Err(SubmitError::QueueFull {
                     retry_after: self.solve_estimate(),
                 });
             }
         }
         inner.accepted.fetch_add(1, Ordering::Relaxed);
-        telemetry::counter_add("service/accepted", 1);
+        inner.scoped("accepted", 1);
         inner.cv.notify_all();
         Ok(Ticket { shared: completion, submitted: now })
     }
@@ -319,6 +360,7 @@ impl SolveService {
             coalesced_columns: ld(&i.coalesced_columns),
             full_batches: ld(&i.full_batches),
             solo_retries: ld(&i.solo_retries),
+            stolen_batches: ld(&i.stolen_batches),
             target_width: i.cfg.policy.max_batch as u64,
         }
     }
@@ -327,6 +369,72 @@ impl SolveService {
     pub fn solve_estimate(&self) -> Duration {
         let ns = self.inner.ewma_solve_ns.load(Ordering::Relaxed);
         Duration::from_nanos(ns).max(Duration::from_micros(100))
+    }
+
+    /// Queued columns right now (the fleet router's load probe).
+    pub fn queued_columns(&self) -> usize {
+        self.inner.state.lock().unwrap().columns()
+    }
+
+    /// The configured queue bound, in columns.
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.cfg.policy.queue_capacity
+    }
+
+    /// Queued columns waiting for `h` — the fleet router's "is a batch
+    /// already forming here?" probe.
+    pub fn pending_columns_for(&self, h: MatrixHandle) -> usize {
+        self.inner.state.lock().unwrap().pending_columns_for(h)
+    }
+
+    /// Unregisters a handle. Later submits fail with
+    /// [`SubmitError::UnknownMatrix`]; requests still queued fail
+    /// promptly with [`SolveError::MatrixUnregistered`] (the workers
+    /// are woken to sweep them); batches already dispatched run to
+    /// completion. Returns whether the handle was registered.
+    pub fn unregister(&self, h: MatrixHandle) -> bool {
+        let was = self.inner.registry.unregister(h);
+        if was {
+            self.inner.cv.notify_all();
+        }
+        was
+    }
+
+    /// Lifts the next dispatchable batch off this shard's queue when it
+    /// holds at least `min_cols` columns — the victim half of fleet
+    /// work stealing. Deadline-expired and revoked requests swept along
+    /// the way are completed here, exactly as this shard's own worker
+    /// would complete them.
+    pub(crate) fn try_steal(&self, min_cols: usize) -> Option<Vec<Pending>> {
+        let mut expired = Vec::new();
+        let mut revoked = Vec::new();
+        let batch = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.columns() < min_cols.max(1) {
+                None
+            } else {
+                st.steal_batch(Instant::now(), &mut expired, &mut revoked)
+            }
+        };
+        complete_dropped(&self.inner, &mut expired, &mut revoked);
+        batch
+    }
+
+    /// Runs a batch stolen from this shard on the caller's thread. The
+    /// batch still uses this shard's solver configuration, counters,
+    /// and completions, so per-column acceptance and solo-retry
+    /// semantics are identical to a locally dispatched batch.
+    pub(crate) fn run_stolen(&self, batch: Vec<Pending>) {
+        self.inner.stolen_batches.fetch_add(1, Ordering::Relaxed);
+        self.inner.scoped("stolen_batches", 1);
+        solve_batch(&self.inner, batch, DispatchCause::Stolen);
+    }
+
+    /// Installs the fleet work-stealing probe this shard's idle workers
+    /// call between queue polls.
+    pub(crate) fn set_steal_hook(&self, hook: StealHook) {
+        *self.inner.steal.write().unwrap() = Some(hook);
+        self.inner.cv.notify_all();
     }
 
     /// Stops accepting requests, drains the queue, and joins the
@@ -357,31 +465,43 @@ impl Drop for SolveService {
 
 fn worker_main(inner: &Inner) {
     let mut expired: Vec<Pending> = Vec::new();
+    let mut revoked: Vec<Pending> = Vec::new();
     loop {
         let batch = {
             let mut st = inner.state.lock().unwrap();
+            // Once an empty queue has made us wait a full idle tick,
+            // release the lock and probe the siblings instead of
+            // waiting again (fleet work stealing).
+            let mut waited_idle = false;
             loop {
                 let flush = inner.shutdown.load(Ordering::SeqCst);
                 let est = Duration::from_nanos(
                     inner.ewma_solve_ns.load(Ordering::Relaxed),
                 );
-                match st.poll(Instant::now(), flush, est, &mut expired) {
+                let now = Instant::now();
+                match st.poll(now, flush, est, &mut expired, &mut revoked) {
                     Poll::Batch(b, cause) => break Some((b, cause)),
                     Poll::Empty => {
-                        if !expired.is_empty() {
+                        if !expired.is_empty() || !revoked.is_empty() {
                             break None;
                         }
                         if flush {
                             return;
                         }
-                        let (g, _) = inner
-                            .cv
-                            .wait_timeout(st, Duration::from_millis(100))
-                            .unwrap();
+                        let stealing = inner.steal_hook().is_some();
+                        if stealing && waited_idle {
+                            break None;
+                        }
+                        // Shorter idle tick when stealing is on: an
+                        // idle shard should notice a hot sibling fast.
+                        let tick =
+                            Duration::from_millis(if stealing { 5 } else { 100 });
+                        let (g, _) = inner.cv.wait_timeout(st, tick).unwrap();
                         st = g;
+                        waited_idle = true;
                     }
                     Poll::Wait(until) => {
-                        if !expired.is_empty() {
+                        if !expired.is_empty() || !revoked.is_empty() {
                             break None;
                         }
                         let dur = until
@@ -394,34 +514,74 @@ fn worker_main(inner: &Inner) {
                 }
             }
         };
-        for p in expired.drain(..) {
-            let waited = p.enqueued.elapsed();
-            inner.expired.fetch_add(1, Ordering::Relaxed);
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-            telemetry::counter_add("service/expired", 1);
-            if let Some(rt) = p.trace {
-                // Close the request's trace as an expired root span
-                // (a = waited ns, b = 1 marks the deadline miss), then
-                // dump the flight ring — an expiry is exactly the event
-                // the recorder exists for.
-                let end = trace::now_ns();
-                trace::emit_span_at(
-                    rt.trace,
-                    rt.root,
-                    trace::SpanId(0),
-                    "service/request",
-                    rt.ingress_ns,
-                    end.saturating_sub(rt.ingress_ns),
-                    waited.as_nanos().min(u64::MAX as u128) as u64,
-                    1,
-                );
-                flight::dump_now("deadline_miss");
+        complete_dropped(inner, &mut expired, &mut revoked);
+        match batch {
+            Some((batch, cause)) => solve_batch(inner, batch, cause),
+            None => {
+                // Idle with nothing dropped locally: probe the fleet's
+                // hottest sibling for a batch worth stealing.
+                if let Some(hook) = inner.steal_hook() {
+                    hook();
+                }
             }
-            p.completion.complete(Err(SolveError::DeadlineExceeded { waited }));
         }
-        if let Some((batch, cause)) = batch {
-            solve_batch(inner, batch, cause);
+    }
+}
+
+/// Completes requests the batcher dropped from the queue without
+/// solving: deadline expiries fail with [`SolveError::DeadlineExceeded`]
+/// and revocation sweeps fail with [`SolveError::MatrixUnregistered`].
+/// Runs outside the queue lock — completions wake client threads.
+fn complete_dropped(
+    inner: &Inner,
+    expired: &mut Vec<Pending>,
+    revoked: &mut Vec<Pending>,
+) {
+    for p in expired.drain(..) {
+        let waited = p.enqueued.elapsed();
+        inner.expired.fetch_add(1, Ordering::Relaxed);
+        inner.failed.fetch_add(1, Ordering::Relaxed);
+        inner.scoped("expired", 1);
+        if let Some(rt) = p.trace {
+            // Close the request's trace as an expired root span
+            // (a = waited ns, b = 1 marks the deadline miss), then
+            // dump the flight ring — an expiry is exactly the event
+            // the recorder exists for.
+            let end = trace::now_ns();
+            trace::emit_span_at(
+                rt.trace,
+                rt.root,
+                trace::SpanId(0),
+                "service/request",
+                rt.ingress_ns,
+                end.saturating_sub(rt.ingress_ns),
+                waited.as_nanos().min(u64::MAX as u128) as u64,
+                1,
+            );
+            flight::dump_now("deadline_miss");
         }
+        p.completion.complete(Err(SolveError::DeadlineExceeded { waited }));
+    }
+    for p in revoked.drain(..) {
+        inner.failed.fetch_add(1, Ordering::Relaxed);
+        inner.scoped("failed", 1);
+        if let Some(rt) = p.trace {
+            // Root span with the error flag set; the batcher already
+            // counted `drop/unregistered`. No flight dump — an
+            // unregister is an administrative action, not an anomaly.
+            let end = trace::now_ns();
+            trace::emit_span_at(
+                rt.trace,
+                rt.root,
+                trace::SpanId(0),
+                "service/request",
+                rt.ingress_ns,
+                end.saturating_sub(rt.ingress_ns),
+                0,
+                1,
+            );
+        }
+        p.completion.complete(Err(SolveError::MatrixUnregistered));
     }
 }
 
@@ -473,9 +633,9 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>, cause: DispatchCause) {
     if width == inner.cfg.policy.max_batch {
         inner.full_batches.fetch_add(1, Ordering::Relaxed);
     }
-    telemetry::counter_add("service/batches", 1);
+    inner.scoped("batches", 1);
     telemetry::counter_add(&format!("service/batch_width/{width:02}"), 1);
-    telemetry::counter_add("service/coalesced_columns", width as u64);
+    inner.scoped("coalesced_columns", width as u64);
     telemetry::histogram_record_ns("service/batch_width", width as u64);
 
     // Gather pending right-hand sides into one MultiVec.
@@ -588,7 +748,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>, cause: DispatchCause) {
             }
             solo_retried[j] = true;
             inner.solo_retries.fetch_add(1, Ordering::Relaxed);
-            telemetry::counter_add("service/solo_retries", 1);
+            inner.scoped("solo_retries", 1);
             let bj = b.column(j);
             let mut xj = vec![0.0; n];
             let cfg = SolveConfig { tol: tols[j], ..cfg_base };
@@ -654,7 +814,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>, cause: DispatchCause) {
         }
         if all_ok {
             inner.completed.fetch_add(1, Ordering::Relaxed);
-            telemetry::counter_add("service/completed", 1);
+            inner.scoped("completed", 1);
             p.completion.complete(Ok(SolveOutput {
                 solution: x.gather_columns(&cols),
                 iterations: cols.iter().map(|&j| iters[j]).max().unwrap(),
@@ -667,7 +827,7 @@ fn solve_batch(inner: &Inner, batch: Vec<Pending>, cause: DispatchCause) {
             }));
         } else {
             inner.failed.fetch_add(1, Ordering::Relaxed);
-            telemetry::counter_add("service/failed", 1);
+            inner.scoped("failed", 1);
             let worst = cols.iter().map(|&j| rel_res[j]).fold(0.0f64, |a, r| {
                 if r.is_nan() {
                     f64::NAN

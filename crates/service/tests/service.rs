@@ -576,3 +576,82 @@ fn duplicate_rhs_batch_recovers_via_solo_retry() {
     svc.shutdown();
     assert_eq!(svc.stats().completed, 2);
 }
+
+#[test]
+fn unregister_fails_queued_requests_cleanly() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(6);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a);
+    let svc = SolveService::start(
+        reg,
+        ServiceConfig {
+            policy: BatchPolicy {
+                max_batch: 8,
+                queue_capacity: 64,
+                linger: Duration::from_secs(5),
+            },
+            ..Default::default()
+        },
+    );
+    // Long linger: these stay queued until the revocation sweep.
+    let tickets: Vec<_> =
+        (0..3).map(|k| svc.submit_one(h, &pseudo_rhs(n, 7 + k)).unwrap()).collect();
+    assert!(svc.unregister(h));
+    for t in tickets {
+        assert_eq!(t.wait().unwrap_err(), SolveError::MatrixUnregistered);
+    }
+    assert_eq!(svc.drop_stats().unregistered, 3);
+    // Later submits see an unknown handle, not a panic.
+    assert!(matches!(
+        svc.submit_one(h, &pseudo_rhs(n, 1)),
+        Err(SubmitError::UnknownMatrix)
+    ));
+    // The workers survived the sweep: a fresh registration still solves.
+    let a2 = laplacian(6);
+    let h2 = svc.registry().register_full("lap2", a2.clone());
+    let b = pseudo_rhs(n, 5);
+    let out = svc.submit_one(h2, &b).unwrap().wait().unwrap();
+    let want = solo_reference(&a2, &b, 1e-6);
+    for (got, want) in out.solution.column(0).iter().zip(&want) {
+        assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn unregister_lets_dispatched_batches_finish() {
+    let reg = MatrixRegistry::new();
+    let a = laplacian(40);
+    let n = a.n_rows();
+    let h = reg.register_full("lap", a.clone());
+    let svc = SolveService::start(
+        reg,
+        ServiceConfig {
+            policy: BatchPolicy {
+                max_batch: 4,
+                queue_capacity: 64,
+                linger: Duration::ZERO,
+            },
+            ..Default::default()
+        },
+    );
+    let b = pseudo_rhs(n, 99);
+    let t = svc.submit_one(h, &b).unwrap();
+    // Give the zero-linger dispatch a moment, then yank the handle.
+    std::thread::sleep(Duration::from_millis(20));
+    svc.unregister(h);
+    match t.wait() {
+        Ok(out) => {
+            let want = solo_reference(&a, &b, 1e-6);
+            for (got, want) in out.solution.column(0).iter().zip(&want) {
+                assert!((got - want).abs() <= 1e-5 * want.abs().max(1.0));
+            }
+        }
+        // The only acceptable failure is the clean revocation sweep —
+        // the unregister racing ahead of the dispatch. Anything else
+        // (a panic, a stranded ticket) fails the test.
+        Err(e) => assert_eq!(e, SolveError::MatrixUnregistered),
+    }
+    svc.shutdown();
+}
